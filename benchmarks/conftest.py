@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure: it runs the experiment
+once under ``pytest-benchmark`` timing (``rounds=1`` — these are experiment
+regenerations, not micro-benchmarks), asserts the paper's qualitative shape,
+and prints the regenerated rows/series so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,61 @@
+"""Ablation: how much corpus cluster structure does Hermes need?
+
+Hermes's accuracy claim rests on the corpus being semantically clusterable.
+This ablation sweeps the topic spread of the synthetic corpus from tightly
+clustered to nearly structureless and measures the NDCG gap between Hermes
+(3-of-10 clusters) and the monolithic search — quantifying the regime where
+the paper's design applies.
+"""
+
+from repro.baselines.monolithic import MonolithicRetriever
+from repro.core.clustering import cluster_datastore
+from repro.core.config import HermesConfig
+from repro.core.hierarchical import HermesSearcher
+from repro.datastore.embeddings import make_corpus
+from repro.datastore.queries import trivia_queries
+from repro.metrics.ndcg import ndcg
+from repro.metrics.reporting import format_table
+
+SPREADS = (0.25, 0.45, 0.8)
+
+
+def sweep_structure(spreads=SPREADS, *, n_docs=4000, n_queries=48):
+    rows = []
+    for spread in spreads:
+        corpus = make_corpus(n_docs, n_topics=10, dim=64, spread=spread, seed=11)
+        queries = trivia_queries(corpus.topic_model, n_queries, query_spread=spread)
+        mono = MonolithicRetriever(corpus.embeddings)
+        _, truth = mono.ground_truth(queries.embeddings, 5)
+        _, mono_ids = mono.search(queries.embeddings, 5)
+        datastore = cluster_datastore(corpus.embeddings, HermesConfig())
+        hermes = HermesSearcher(datastore)
+        result = hermes.search(queries.embeddings, clusters_to_search=3)
+        rows.append(
+            {
+                "spread": spread,
+                "mono_ndcg": ndcg(mono_ids, truth),
+                "hermes_ndcg": ndcg(result.ids, truth),
+            }
+        )
+    return rows
+
+
+def test_ablation_structure(run_once):
+    rows = run_once(sweep_structure)
+    print("\n" + format_table(
+        ["topic spread", "monolithic NDCG", "Hermes@3 NDCG", "gap"],
+        [
+            (r["spread"], r["mono_ndcg"], r["hermes_ndcg"],
+             r["mono_ndcg"] - r["hermes_ndcg"])
+            for r in rows
+        ],
+        title="Ablation: corpus structure strength vs Hermes accuracy",
+    ))
+
+    # With strong structure, Hermes is iso-accurate.
+    assert rows[0]["mono_ndcg"] - rows[0]["hermes_ndcg"] < 0.03
+    # The gap widens as structure dissolves (Hermes routes blind), but stays
+    # graceful rather than catastrophic.
+    gaps = [r["mono_ndcg"] - r["hermes_ndcg"] for r in rows]
+    assert gaps[-1] >= gaps[0] - 1e-6
+    assert rows[-1]["hermes_ndcg"] > 0.5

@@ -1,0 +1,41 @@
+"""Figure 4: HNSW vs IVF latency/throughput/memory."""
+
+from repro.experiments import fig04
+from repro.metrics.reporting import format_table
+
+
+def test_fig04_at_scale(run_once):
+    results = run_once(fig04.run, (32, 128))
+    rows = []
+    for batch, comp in results.items():
+        rows.append(
+            (
+                batch,
+                comp.ivf_latency_s,
+                comp.hnsw_latency_s,
+                comp.ivf_qps,
+                comp.hnsw_qps,
+            )
+        )
+    print("\n" + format_table(
+        ["batch", "IVF lat (s)", "HNSW lat (s)", "IVF QPS", "HNSW QPS"],
+        rows,
+        title="Figure 4: 10B-token index comparison",
+    ))
+    at128 = results[128]
+    # Paper: >2.4x latency/throughput advantage, 2.3x memory overhead.
+    assert at128.latency_advantage > 2.4
+    assert at128.hnsw_qps / at128.ivf_qps > 2.4
+    assert 2.0 < at128.memory_overhead < 2.6
+
+
+def test_fig04_in_vivo(run_once):
+    comp = run_once(fig04.in_vivo, n_docs=1200, n_queries=24)
+    print(
+        f"\nin-vivo: IVF recall {comp.ivf_recall:.2f} / HNSW recall "
+        f"{comp.hnsw_recall:.2f}, memory overhead {comp.memory_overhead:.2f}x"
+    )
+    # The real data structures exhibit the same trade-off: HNSW buys speed
+    # with link memory.
+    assert comp.memory_overhead > 1.0
+    assert comp.hnsw_recall > 0.7

@@ -1,0 +1,32 @@
+"""Figure 5: perplexity and retrieval latency vs retrieval stride."""
+
+from repro.experiments import fig05
+
+
+def test_fig05_panels(run_once):
+    panels = run_once(fig05.run)
+    print()
+    for fig in panels.values():
+        print(fig.render())
+
+    ppl = panels["perplexity"]
+    # Smaller models with frequent retrieval rival larger models.
+    retro = ppl.get("RETRO 578M")
+    gpt2_large = ppl.get("GPT-2 1.5B")
+    assert retro.y[retro.x.index(4)] < gpt2_large.y[gpt2_large.x.index(64)] + 3.5
+    # Perplexity degrades monotonically with stride for every model.
+    for series in ppl.series:
+        assert series.y == sorted(series.y)
+
+    lat = panels["retrieval_latency"]
+    for series in lat.series:
+        # Total retrieval time halves as the stride doubles.
+        for a, b in zip(series.y, series.y[1:]):
+            assert a / b == sorted([a / b, 1.9, 2.1])[1]  # ~2x each step
+
+
+def test_fig05_stride_cost_headline(run_once):
+    # Paper: stride 4 vs 64 at 100B tokens costs ~12.12x end to end.
+    ratio = run_once(fig05.e2e_stride_cost_ratio)
+    print(f"\nE2E stride-4/stride-64 ratio at 100B: {ratio:.2f}x (paper 12.12x)")
+    assert 8 < ratio < 16

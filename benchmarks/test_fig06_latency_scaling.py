@@ -1,0 +1,23 @@
+"""Figure 6: TTFT and end-to-end latency vs datastore size."""
+
+import pytest
+
+from repro.experiments import fig06
+
+
+def test_fig06_latency_scaling(run_once):
+    points = run_once(fig06.run)
+    print("\n" + fig06.render(points))
+
+    by_tokens = {p.datastore_tokens: p for p in points}
+    # Paper-quoted E2E anchors within 3%.
+    for tokens, expected in fig06.PAPER_E2E.items():
+        assert by_tokens[tokens].e2e_s == pytest.approx(expected, rel=0.03)
+    # Paper-quoted TTFT retrieval shares within 2 points.
+    for tokens, expected in fig06.PAPER_TTFT_RETRIEVAL_SHARE.items():
+        assert by_tokens[tokens].retrieval_share_of_ttft == pytest.approx(
+            expected, abs=0.02
+        )
+    # Retrieval comes to dominate TTFT as the store grows.
+    shares = [p.retrieval_share_of_ttft for p in points]
+    assert shares == sorted(shares)

@@ -1,0 +1,29 @@
+"""Figure 7: retrieval throughput/energy/memory scaling trends."""
+
+import pytest
+
+from repro.experiments import fig07
+
+
+def test_fig07_scaling_trends(run_once):
+    points = run_once(fig07.run)
+    print("\n" + fig07.render(points))
+
+    # Each decade of datastore size costs ~a decade of everything.
+    for a, b in zip(points, points[1:]):
+        assert b.throughput_qps == pytest.approx(a.throughput_qps / 10, rel=0.05)
+        assert b.energy_per_query_j == pytest.approx(a.energy_per_query_j * 10, rel=0.05)
+        assert b.memory_gb == pytest.approx(a.memory_gb * 10, rel=0.05)
+
+    by_tokens = {p.datastore_tokens: p for p in points}
+    # Paper anchors: ~5.69 QPS at 100B; ~10 TB at 1T.
+    assert by_tokens[100e9].throughput_qps == pytest.approx(5.69, rel=0.05)
+    assert 5000 < by_tokens[1e12].memory_gb < 12000
+
+
+def test_fig07_gpu_contrast(run_once):
+    contrast = run_once(fig07.gpu_contrast)
+    print(f"\nGPU contrast: {contrast}")
+    # Paper: GPU prefill 132 QPS at 2.2 J/query vs CPU's 5.69 QPS @100B.
+    assert contrast["gpu_prefill_qps"] == pytest.approx(132, rel=0.02)
+    assert contrast["gpu_prefill_j_per_query"] == pytest.approx(2.2, rel=0.1)

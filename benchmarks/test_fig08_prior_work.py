@@ -1,0 +1,27 @@
+"""Figure 8: PipeRAG and RAGCache lose their edge as datastores grow."""
+
+from repro.experiments import fig08
+
+
+def test_fig08_prior_work(run_once):
+    fig = run_once(fig08.run)
+    print("\n" + fig.render())
+
+    piperag = fig.get("PipeRAG")
+    ragcache = fig.get("RAGCache")
+
+    # RAGCache's speedup decays monotonically with datastore size.
+    assert ragcache.y == sorted(ragcache.y, reverse=True)
+    # PipeRAG peaks near the retrieval/inference crossover, then decays.
+    peak = max(piperag.y)
+    assert piperag.y.index(peak) not in (0, len(piperag.y) - 1)
+    assert peak > 1.3  # meaningful overlap benefit near the crossover
+    # At the trillion scale both prior techniques are nearly useless.
+    assert piperag.y[-1] < 1.1
+    assert ragcache.y[-1] < 1.1
+
+
+def test_fig08_crossover(run_once):
+    cross = run_once(fig08.crossover_size)
+    print(f"\nretrieval/inference crossover: {cross:.3g} tokens")
+    assert 5e9 < cross < 5e10

@@ -1,0 +1,22 @@
+"""Figure 10: sizing clusters to hide retrieval under inference."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_cluster_sizing(run_once):
+    points = run_once(fig10.run)
+    print("\n" + fig10.to_figure(points).render())
+
+    # Search latency crosses the inference line somewhere inside the sweep.
+    assert points[0].hidden
+    assert not points[-1].hidden
+
+    max_hidden = fig10.max_hidden_cluster_tokens()
+    print(f"max hidden cluster size: {max_hidden:.3g} tokens")
+    # The paper's example: ~10B-token clusters hide under Gemma2-9B inference.
+    assert 1e9 < max_hidden < 1e11
+
+    # And a 100B store therefore wants on the order of 10 clusters.
+    n = fig10.recommended_clusters(100e9)
+    print(f"recommended clusters for 100B tokens: {n}")
+    assert 5 <= n <= 15

@@ -1,0 +1,21 @@
+"""Figure 11: NDCG vs clusters deep-searched (real-search ablation)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_accuracy(run_once):
+    sweep = run_once(fig11.run)
+    print("\n" + fig11.to_figure(sweep).render())
+
+    # Hermes reaches iso-accuracy with ~3 clusters (the paper's design point).
+    assert sweep.hermes_iso_accuracy_clusters() <= 3
+
+    at = lambda curve, m: curve[sweep.clusters.index(m)]
+    # Naive splitting needs nearly all clusters for comparable accuracy.
+    assert at(sweep.split, 3) < sweep.monolithic - 0.05
+    assert at(sweep.split, 10) >= sweep.monolithic - 0.02
+    # Document sampling beats centroid-only routing at the design point.
+    assert at(sweep.hermes, 2) >= at(sweep.centroid, 2)
+    assert at(sweep.hermes, 3) >= at(sweep.centroid, 3)
+    # All strategies converge once everything is searched.
+    assert abs(at(sweep.hermes, 10) - at(sweep.split, 10)) < 0.02

@@ -1,0 +1,49 @@
+"""Figure 12: nProbe design-space exploration."""
+
+from repro.experiments import fig12
+from repro.metrics.reporting import format_table
+
+
+def _print_panel(title, points):
+    rows = [
+        (p.sample_nprobe, p.deep_nprobe, p.clusters_searched, p.ndcg, p.latency_s)
+        for p in points
+        if p.clusters_searched in (1, 3, 10)
+    ]
+    print("\n" + format_table(
+        ["sample nProbe", "deep nProbe", "clusters", "NDCG", "latency (s)"],
+        rows,
+        title=title,
+    ))
+
+
+def test_fig12_small_nprobe_sweep(run_once):
+    points = run_once(fig12.small_nprobe_sweep)
+    _print_panel("Figure 12 (left): sampling nProbe sweep", points)
+
+    at = lambda np_, m: next(
+        p for p in points if p.sample_nprobe == np_ and p.clusters_searched == m
+    )
+    # Better sampling improves routing at modest latency cost.
+    assert at(8, 3).ndcg >= at(1, 3).ndcg - 0.01
+    assert at(8, 3).latency_s < 2 * at(1, 3).latency_s
+
+
+def test_fig12_large_nprobe_sweep(run_once):
+    points = run_once(fig12.large_nprobe_sweep)
+    _print_panel("Figure 12 (right): deep nProbe sweep", points)
+
+    at = lambda np_, m: next(
+        p for p in points if p.deep_nprobe == np_ and p.clusters_searched == m
+    )
+    # Deep-search depth buys NDCG at a much steeper latency cost.
+    assert at(128, 3).ndcg >= at(16, 3).ndcg - 0.01
+    assert at(128, 3).latency_s > 3 * at(16, 3).latency_s
+
+    # The DSE decision at the paper's 3-cluster design point: a deep search
+    # of nProbe >= 64 is needed for near-maximal NDCG (the paper picks 128).
+    at_design_point = [p for p in points if p.clusters_searched == 3]
+    best = fig12.optimal_config(at_design_point)
+    print(f"chosen operating point: sample {best.sample_nprobe} / deep {best.deep_nprobe}")
+    assert best.sample_nprobe == 8
+    assert best.deep_nprobe >= 64

@@ -1,0 +1,27 @@
+"""Figure 13: cluster size and access-frequency imbalance."""
+
+from repro.experiments import fig13
+from repro.metrics.reporting import format_table
+
+
+def test_fig13_imbalance(run_once):
+    report = run_once(fig13.run)
+    rows = [
+        (i, int(s), int(a))
+        for i, (s, a) in enumerate(zip(report.cluster_sizes, report.access_counts))
+    ]
+    print("\n" + format_table(
+        ["cluster", "size (docs)", "deep accesses"],
+        rows,
+        title="Figure 13: size and access imbalance",
+    ))
+    print(
+        f"size imbalance {report.size_imbalance:.2f}x, "
+        f"access imbalance {report.access_imbalance:.2f}x"
+    )
+
+    # Paper: sizes vary up to ~2x after the seed sweep; accesses vary >2x.
+    assert 1.2 < report.size_imbalance < 3.0
+    assert report.access_imbalance > 1.5
+    # Every cluster is still reachable (no starvation).
+    assert (report.access_counts > 0).all()

@@ -1,0 +1,41 @@
+"""Figure 14: Hermes vs prior techniques across serving configurations."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_batch_sweep(run_once):
+    points = run_once(fig14.sweep_batch)
+    print("\n" + fig14.render(points, metric="latency"))
+    print(fig14.render(points, metric="energy"))
+    for p in points:
+        lat = p.normalized_latency()
+        # Hermes standalone beats the baseline; the combined stack beats all.
+        assert lat["hermes"] < 1.0
+        assert lat["hermes_combined"] <= min(lat.values()) + 1e-9
+
+
+def test_fig14_datastore_sweep(run_once):
+    points = run_once(fig14.sweep_datastore)
+    print("\n" + fig14.render(points, metric="latency"))
+    print(fig14.render(points, metric="energy"))
+
+    speedups = [p.hermes_speedup() for p in points]
+    assert speedups == sorted(speedups)  # gains grow with datastore size
+    at_1t = points[-1]
+    # Paper headline: up to 9.33x latency / 2.10x energy at 1T tokens.
+    print(f"1T: {at_1t.hermes_speedup():.2f}x latency, "
+          f"{at_1t.hermes_energy_saving():.2f}x energy")
+    assert at_1t.hermes_speedup() > 8.0
+    assert at_1t.hermes_energy_saving() > 1.8
+    # Paper range across configs: 2.45-10.25x latency.
+    assert 2.0 < points[1].hermes_speedup() < 12.0
+
+
+def test_fig14_stride_sweep(run_once):
+    points = run_once(fig14.sweep_stride)
+    print("\n" + fig14.render(points, metric="latency"))
+    speedups = [p.hermes_speedup() for p in points]
+    # More frequent retrieval -> larger cumulative gains (paper: up to
+    # 10.12x at stride 4).
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[0] > 6.0

@@ -1,0 +1,36 @@
+"""Figure 16: time-to-first-token across datastore sizes."""
+
+import pytest
+
+from repro.experiments import fig16
+from repro.metrics.reporting import format_table
+
+
+def test_fig16_ttft(run_once):
+    points = run_once(fig16.run)
+    rows = []
+    for p in points:
+        normalized = p.normalized_ttft()
+        rows.append(
+            (
+                f"{p.datastore_tokens:.0e}",
+                normalized["baseline"],
+                normalized["hermes"],
+                normalized["hermes_combined"],
+                f"{p.hermes_ttft_speedup():.2f}x",
+            )
+        )
+    print("\n" + format_table(
+        ["tokens", "baseline", "hermes", "combined", "speedup"],
+        rows,
+        title="Figure 16: normalized TTFT",
+    ))
+
+    # Paper: 9.1x TTFT improvement at the trillion-token scale.
+    assert points[-1].hermes_ttft_speedup() == pytest.approx(9.1, rel=0.25)
+    # Pipelining/caching cannot cut TTFT — only Hermes's retrieval does.
+    for p in points:
+        assert not p.pipelining_helps_ttft()
+    # Gains grow with scale.
+    speedups = [p.hermes_ttft_speedup() for p in points]
+    assert speedups == sorted(speedups)

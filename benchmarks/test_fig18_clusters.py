@@ -1,0 +1,22 @@
+"""Figure 18: retrieval throughput/energy vs clusters deep-searched."""
+
+import pytest
+
+from repro.experiments import fig18
+
+
+def test_fig18_clusters(run_once):
+    points = run_once(fig18.run)
+    print("\n" + fig18.to_figure(points).render())
+
+    # Fewer clusters searched -> higher throughput, less energy.
+    tput = [p.throughput_qps for p in points]
+    energy = [p.energy_per_batch_j for p in points]
+    assert all(b <= a + 1e-9 for a, b in zip(tput, tput[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(energy, energy[1:]))
+
+    # Paper headline at the 3-of-10 design point: 1.81x throughput and
+    # 1.77x energy vs the naive all-clusters search.
+    ratios = fig18.hermes_vs_naive(points)
+    assert ratios["throughput_gain"] == pytest.approx(1.81, rel=0.25)
+    assert ratios["energy_saving"] == pytest.approx(1.77, rel=0.25)

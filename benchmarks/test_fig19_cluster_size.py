@@ -1,0 +1,42 @@
+"""Figure 19: optimal cluster sizes across inference serving scenarios."""
+
+from repro.experiments import fig19
+from repro.metrics.reporting import format_table
+
+
+def test_fig19_inference_grid(run_once):
+    cells = run_once(fig19.inference_latency_grid)
+    rows = [
+        (c.batch, f"({c.input_tokens},{c.output_tokens})", c.latency_s)
+        for c in cells
+    ]
+    print("\n" + format_table(
+        ["batch", "(in,out)", "latency (s)"],
+        rows,
+        title="Figure 19 (left): inference latency grid",
+    ))
+    # Longer sequences cost more at every batch size.
+    by_batch = {}
+    for c in cells:
+        by_batch.setdefault(c.batch, {})[(c.input_tokens, c.output_tokens)] = c.latency_s
+    for shapes in by_batch.values():
+        assert shapes[(256, 32)] > shapes[(32, 4)]
+
+
+def test_fig19_optimal_cluster_sizes(run_once):
+    cells = run_once(fig19.optimal_cluster_sizes)
+    rows = [
+        (c.input_tokens, c.inference_window_s, f"{c.optimal_cluster_tokens:.3g}")
+        for c in cells
+    ]
+    print("\n" + format_table(
+        ["input tokens", "window (s)", "optimal cluster (tokens)"],
+        rows,
+        title="Figure 19 (right): hidden cluster size vs input length",
+    ))
+    sizes = [c.optimal_cluster_tokens for c in cells]
+    # Paper's example direction: longer inputs -> bigger hidden clusters
+    # (their 32->2048 tokens moved clusters from 34B to 114B).
+    assert sizes == sorted(sizes)
+    assert sizes[-1] / sizes[0] > 2.0
+    assert all(1e9 < s < 1e12 for s in sizes)

@@ -1,0 +1,38 @@
+"""Figure 20: retrieval latency/throughput across CPU platforms."""
+
+from repro.experiments import fig20
+from repro.metrics.reporting import format_table
+
+
+def test_fig20_hardware(run_once):
+    points = run_once(fig20.run)
+    at3 = [p for p in points if p.clusters_searched == 3]
+    rows = [
+        (p.label, p.batch, p.latency_s, p.throughput_qps) for p in at3
+    ]
+    print("\n" + format_table(
+        ["platform", "batch", "latency (s)", "throughput (QPS)"],
+        rows,
+        title="Figure 20 at 3 clusters searched",
+    ))
+    window = fig20.inference_latency_line()
+    print(f"Gemma2-9B inference latency line: {window:.2f} s")
+
+    # Paper: the Platinum 8380 leads latency and throughput.
+    assert "Platinum" in fig20.best_platform(points)
+    by = {(p.label): p for p in at3}
+    assert (
+        by["Platinum 8380"].throughput_qps > by["Silver 4316"].throughput_qps
+    )
+    # ARM at batch 128 recovers throughput its per-core speed loses at 32.
+    assert (
+        by["Neoverse-N1 (BS=128)"].throughput_qps
+        > by["Neoverse-N1 (BS=32)"].throughput_qps
+    )
+    # Latency grows (weakly) with clusters searched on every platform.
+    for label in {p.label for p in points}:
+        series = sorted(
+            (p for p in points if p.label == label),
+            key=lambda p: p.clusters_searched,
+        )
+        assert series[-1].latency_s >= series[0].latency_s - 1e-9

@@ -1,0 +1,37 @@
+"""Figure 21: DVFS energy savings vs clusters deep-searched."""
+
+import pytest
+
+from repro.experiments import fig21
+from repro.metrics.reporting import format_table
+
+
+def test_fig21_dvfs(run_once):
+    points = run_once(fig21.run)
+    rows = [
+        (
+            p.clusters_searched,
+            p.energy_none_j,
+            p.energy_baseline_j,
+            p.energy_enhanced_j,
+            f"{p.baseline_savings:.1%}",
+            f"{p.enhanced_savings:.1%}",
+        )
+        for p in points
+    ]
+    print("\n" + format_table(
+        ["clusters", "none (J)", "baseline (J)", "enhanced (J)", "base save", "enh save"],
+        rows,
+        title="Figure 21: DVFS policies",
+    ))
+
+    avg = fig21.average_savings(points)
+    print(f"averages: baseline {avg['baseline']:.2%} (paper 12.24%), "
+          f"enhanced {avg['enhanced']:.2%} (paper 20.44%)")
+
+    # Paper averages within a few points.
+    assert avg["baseline"] == pytest.approx(0.1224, abs=0.05)
+    assert avg["enhanced"] == pytest.approx(0.2044, abs=0.06)
+    # Policy ordering holds at every fan-out.
+    for p in points:
+        assert p.energy_enhanced_j <= p.energy_baseline_j <= p.energy_none_j

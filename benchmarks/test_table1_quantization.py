@@ -1,0 +1,19 @@
+"""Table 1: quantization scheme sweep (recall vs vector size)."""
+
+from repro.experiments import table1
+
+
+def test_table1_quantization(run_once):
+    rows = run_once(table1.run, n_docs=1500, n_queries=32)
+    print("\n" + table1.render(rows))
+
+    by = {r.scheme: r for r in rows}
+    # Code sizes are exact.
+    for row in rows:
+        assert row.vector_bytes == row.paper_vector_bytes
+    # SQ8 is the knee: ~Flat recall at 1/4 the bytes; cheaper codecs pay.
+    assert table1.sq8_is_knee(rows)
+    # Row ordering mirrors the paper's conclusions.
+    assert by["flat"].recall >= by["sq8"].recall - 0.01
+    assert by["sq8"].recall > by["sq4"].recall
+    assert by["sq8"].recall > by["pq256"].recall

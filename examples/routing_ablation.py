@@ -1,0 +1,73 @@
+"""Routing-strategy ablation: why document sampling beats centroids.
+
+Run with::
+
+    python examples/routing_ablation.py
+
+Reproduces the design argument of the paper's §4.2 interactively: on the
+same clustered datastore, compare four ways of choosing which clusters to
+deep-search — Hermes document sampling, centroid-only ranking, a naive random
+split, and exhaustive search — as the deep-search fan-out grows. Prints the
+NDCG table and the per-query work each strategy pays.
+"""
+
+from repro import HermesConfig, MonolithicRetriever, cluster_datastore, make_corpus, ndcg
+from repro.core.clustering import split_datastore_evenly
+from repro.core.hierarchical import HierarchicalSearcher
+from repro.core.router import CentroidRouter, SampledRouter
+from repro.datastore import trivia_queries
+from repro.metrics import format_table
+
+
+def main() -> None:
+    corpus = make_corpus(12_000, n_topics=10, dim=64, seed=4)
+    queries = trivia_queries(corpus.topic_model, 96)
+    config = HermesConfig()
+
+    mono = MonolithicRetriever(corpus.embeddings)
+    _, truth = mono.ground_truth(queries.embeddings, config.k)
+
+    clustered = cluster_datastore(corpus.embeddings, config)
+    random_split = split_datastore_evenly(corpus.embeddings, config)
+    print(
+        f"clustered datastore: {clustered.n_clusters} shards, "
+        f"imbalance {clustered.imbalance:.2f}x (paper ~2x)\n"
+    )
+
+    strategies = {
+        "Hermes (sampling)": HierarchicalSearcher(clustered, router=SampledRouter()),
+        "Centroid-based": HierarchicalSearcher(clustered, router=CentroidRouter()),
+        "Random split": HierarchicalSearcher(random_split, router=SampledRouter()),
+    }
+
+    rows = []
+    for m in (1, 2, 3, 5, 10):
+        row = [m]
+        for searcher in strategies.values():
+            result = searcher.search(queries.embeddings, clusters_to_search=m)
+            row.append(ndcg(result.ids, truth))
+        rows.append(row)
+    _, mono_ids = mono.search(queries.embeddings, config.k)
+    print(
+        format_table(
+            ["clusters searched"] + list(strategies),
+            rows,
+            title=f"NDCG vs deep-search fan-out (monolithic = {ndcg(mono_ids, truth):.3f})",
+        )
+    )
+
+    # The work side of the trade-off: shard-queries issued per batch.
+    print("\nwork per batch (deep shard-queries, fan-out 3 vs exhaustive):")
+    hermes3 = strategies["Hermes (sampling)"].search(
+        queries.embeddings, clusters_to_search=3
+    )
+    exhaustive = strategies["Hermes (sampling)"].search(
+        queries.embeddings, clusters_to_search=10
+    )
+    print(f"  Hermes fan-out 3 : {hermes3.shard_queries}")
+    print(f"  search all 10    : {exhaustive.shard_queries}")
+    print(f"  work saved       : {exhaustive.shard_queries / hermes3.shard_queries:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

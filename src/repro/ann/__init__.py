@@ -1,0 +1,77 @@
+"""Dense vector search substrate (pure-numpy FAISS replacement).
+
+Provides the index families the Hermes paper builds on: exact Flat search,
+IVF with scalar/product quantization, and HNSW, plus the K-means machinery
+shared by IVF training and Hermes's datastore disaggregation.
+"""
+
+from .base import INDEX_REGISTRY, VectorIndex, build_index, register_index
+from .early_termination import (
+    EarlyTerminationResult,
+    search_with_early_termination,
+)
+from .distances import (
+    VALID_METRICS,
+    inner_product,
+    normalize,
+    pairwise_distance,
+    squared_l2,
+    top_k,
+)
+from .flat import FlatIndex
+from .persistence import load_index, save_flat, save_ivf
+from .hnsw import HNSWIndex
+from .ivf import IVFIndex, default_nlist
+from .kmeans import KMeansResult, assign_to_centroids, kmeans, kmeans_seed_sweep
+from .sparse import (
+    BM25Index,
+    HybridRetriever,
+    SparseSearchResult,
+    reciprocal_rank_fusion,
+    zscore_fusion,
+)
+from .quantization import (
+    IdentityQuantizer,
+    OPQQuantizer,
+    ProductQuantizer,
+    Quantizer,
+    ScalarQuantizer,
+    make_quantizer,
+)
+
+__all__ = [
+    "INDEX_REGISTRY",
+    "VectorIndex",
+    "build_index",
+    "register_index",
+    "VALID_METRICS",
+    "inner_product",
+    "normalize",
+    "pairwise_distance",
+    "squared_l2",
+    "top_k",
+    "FlatIndex",
+    "load_index",
+    "save_flat",
+    "save_ivf",
+    "EarlyTerminationResult",
+    "search_with_early_termination",
+    "HNSWIndex",
+    "IVFIndex",
+    "default_nlist",
+    "KMeansResult",
+    "assign_to_centroids",
+    "kmeans",
+    "kmeans_seed_sweep",
+    "BM25Index",
+    "HybridRetriever",
+    "SparseSearchResult",
+    "reciprocal_rank_fusion",
+    "zscore_fusion",
+    "IdentityQuantizer",
+    "OPQQuantizer",
+    "ProductQuantizer",
+    "Quantizer",
+    "ScalarQuantizer",
+    "make_quantizer",
+]

@@ -1,0 +1,125 @@
+"""Common interface for all vector indices in :mod:`repro.ann`.
+
+The interface intentionally mirrors the small slice of the FAISS API the
+Hermes paper relies on: ``train``, ``add``, and ``search`` returning
+``(distances, ids)`` top-k matrices. Indices register themselves in
+:data:`INDEX_REGISTRY` under a factory-string key (e.g. ``"ivf_sq8"``) so
+experiment configs can name index types declaratively, the way the paper's
+artifact names its index construction variants.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from .distances import as_matrix, validate_metric
+
+
+class VectorIndex(abc.ABC):
+    """Abstract k-NN index over fixed-dimension dense vectors."""
+
+    def __init__(self, dim: int, metric: str = "l2") -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self.metric = validate_metric(metric)
+        self.is_trained = False
+        self.ntotal = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def train(self, vectors: np.ndarray) -> None:
+        """Learn any data-dependent structure (clusters, codebooks).
+
+        Indices without a training phase (e.g. Flat) are trained trivially.
+        """
+        self._check_dim(vectors)
+        self._train(as_matrix(vectors))
+        self.is_trained = True
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Add vectors; returns the assigned contiguous int64 ids."""
+        if not self.is_trained:
+            raise RuntimeError(f"{type(self).__name__} must be trained before add()")
+        vecs = as_matrix(vectors)
+        self._check_dim(vecs)
+        start = self.ntotal
+        self._add(vecs)
+        self.ntotal += len(vecs)
+        return np.arange(start, self.ntotal, dtype=np.int64)
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(distances, ids)`` of the *k* nearest stored vectors.
+
+        Distances follow the metric-agnostic convention of
+        :func:`repro.ann.distances.pairwise_distance` (smaller is closer);
+        missing results are padded with ``inf`` / ``-1``.
+        """
+        if not self.is_trained:
+            raise RuntimeError(f"{type(self).__name__} must be trained before search()")
+        if self.ntotal == 0:
+            q = as_matrix(queries)
+            return (
+                np.full((len(q), k), np.inf, dtype=np.float32),
+                np.full((len(q), k), -1, dtype=np.int64),
+            )
+        q = as_matrix(queries)
+        self._check_dim(q)
+        return self._search(q, int(k))
+
+    # -- introspection ----------------------------------------------------
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the index payload in bytes."""
+
+    # -- hooks -------------------------------------------------------------
+    def _train(self, vectors: np.ndarray) -> None:  # pragma: no cover - default
+        del vectors
+
+    @abc.abstractmethod
+    def _add(self, vectors: np.ndarray) -> None: ...
+
+    @abc.abstractmethod
+    def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def _check_dim(self, vectors: np.ndarray) -> None:
+        arr = np.asarray(vectors)
+        d = arr.shape[-1]
+        if d != self.dim:
+            raise ValueError(f"vector dim {d} != index dim {self.dim}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(dim={self.dim}, metric={self.metric!r}, "
+            f"ntotal={self.ntotal}, trained={self.is_trained})"
+        )
+
+
+#: Maps factory-string keys (``"flat"``, ``"ivf_sq8"``, ...) to constructors
+#: taking ``(dim, metric, **kwargs)``.
+INDEX_REGISTRY: dict[str, Callable[..., VectorIndex]] = {}
+
+
+def register_index(key: str) -> Callable[[Callable[..., VectorIndex]], Callable[..., VectorIndex]]:
+    """Class decorator registering a constructor under *key*."""
+
+    def deco(factory: Callable[..., VectorIndex]) -> Callable[..., VectorIndex]:
+        if key in INDEX_REGISTRY:
+            raise ValueError(f"index key {key!r} already registered")
+        INDEX_REGISTRY[key] = factory
+        return factory
+
+    return deco
+
+
+def build_index(key: str, dim: int, metric: str = "l2", **kwargs) -> VectorIndex:
+    """Instantiate a registered index type by its factory-string key."""
+    try:
+        factory = INDEX_REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown index key {key!r}; registered: {sorted(INDEX_REGISTRY)}"
+        ) from None
+    return factory(dim=dim, metric=metric, **kwargs)

@@ -1,0 +1,105 @@
+"""Distance and similarity kernels for dense vector search.
+
+All kernels operate on 2-D float32/float64 arrays of shape ``(n, d)`` and are
+vectorised with numpy. Two metrics are supported, matching the two FAISS
+metrics the Hermes paper uses:
+
+- ``"l2"``: squared Euclidean distance (lower is closer).
+- ``"ip"``: inner product (higher is closer) — the metric used for the
+  BGE-style normalised embeddings in the paper's retrieval pipeline.
+
+``pairwise_distance`` returns a matrix where *smaller is always better*; for
+inner product the negated similarity is returned so that downstream top-k
+selection is metric-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Metrics accepted throughout :mod:`repro.ann`.
+VALID_METRICS = ("l2", "ip")
+
+
+def validate_metric(metric: str) -> str:
+    """Return *metric* if supported, else raise ``ValueError``."""
+    if metric not in VALID_METRICS:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {VALID_METRICS}")
+    return metric
+
+
+def as_matrix(x: np.ndarray, *, name: str = "x") -> np.ndarray:
+    """Coerce *x* to a 2-D contiguous float array.
+
+    A single vector of shape ``(d,)`` is promoted to ``(1, d)``.
+    """
+    arr = np.asarray(x, dtype=np.float32)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def squared_l2(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Pairwise squared L2 distance matrix of shape ``(nq, np)``.
+
+    Uses the expansion ``|q - p|^2 = |q|^2 - 2 q.p + |p|^2`` which is a single
+    GEMM plus two rank-1 updates, clamped at zero to absorb rounding noise.
+    """
+    q = as_matrix(queries, name="queries")
+    p = as_matrix(points, name="points")
+    q_norms = np.einsum("ij,ij->i", q, q)[:, np.newaxis]
+    p_norms = np.einsum("ij,ij->i", p, p)[np.newaxis, :]
+    dists = q_norms + p_norms - 2.0 * (q @ p.T)
+    np.maximum(dists, 0.0, out=dists)
+    return dists
+
+
+def inner_product(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Pairwise inner-product similarity matrix of shape ``(nq, np)``."""
+    q = as_matrix(queries, name="queries")
+    p = as_matrix(points, name="points")
+    return q @ p.T
+
+
+def pairwise_distance(queries: np.ndarray, points: np.ndarray, metric: str = "l2") -> np.ndarray:
+    """Metric-agnostic distance matrix where smaller always means closer."""
+    validate_metric(metric)
+    if metric == "l2":
+        return squared_l2(queries, points)
+    return -inner_product(queries, points)
+
+
+def top_k(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Select the *k* smallest entries per row of a distance matrix.
+
+    Returns ``(dists, indices)`` each of shape ``(nq, k)``, rows sorted
+    ascending. When a row has fewer than *k* columns the result is padded with
+    ``inf`` distances and ``-1`` indices, mirroring FAISS's convention.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    nq, n = distances.shape
+    kk = min(k, n)
+    if kk == n:
+        order = np.argsort(distances, axis=1)[:, :kk]
+    else:
+        part = np.argpartition(distances, kk - 1, axis=1)[:, :kk]
+        row = np.arange(nq)[:, np.newaxis]
+        order = part[row, np.argsort(distances[row, part], axis=1)]
+    row = np.arange(nq)[:, np.newaxis]
+    out_d = distances[row, order]
+    if kk < k:
+        pad_d = np.full((nq, k - kk), np.inf, dtype=out_d.dtype)
+        pad_i = np.full((nq, k - kk), -1, dtype=np.int64)
+        out_d = np.concatenate([out_d, pad_d], axis=1)
+        order = np.concatenate([order.astype(np.int64), pad_i], axis=1)
+    return out_d, order.astype(np.int64)
+
+
+def normalize(vectors: np.ndarray, *, eps: float = 1e-12) -> np.ndarray:
+    """Return L2-normalised copies of *vectors* (rows with ~zero norm are kept)."""
+    v = as_matrix(vectors, name="vectors")
+    norms = np.linalg.norm(v, axis=1, keepdims=True)
+    return v / np.maximum(norms, eps)

@@ -1,0 +1,133 @@
+"""Adaptive early termination for IVF search (related-work extension).
+
+The paper's §7 cites IVF optimisations that "use input/intermediate results
+to learn to predict search extent and terminate search early" [Li et al.
+2020, Zhang et al. 2023] and SPANN's query-time cluster pruning — noting they
+are complementary to Hermes ("need to be used in conjunction with our
+distributed system"). This module implements both ideas over our IVF index:
+
+- **patience termination**: stop probing further cells once the top-k result
+  set has not improved for ``patience`` consecutive cells;
+- **distance-ratio pruning** (SPANN-style): skip any cell whose centroid is
+  more than ``prune_ratio`` times farther than the nearest centroid.
+
+Both trade a bounded recall loss for probing fewer cells; the ablation bench
+(``benchmarks/test_ablation_early_termination.py``) measures that trade-off
+and shows it composes with Hermes's hierarchical search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distances import as_matrix, pairwise_distance, top_k
+from .ivf import IVFIndex
+
+
+@dataclass(frozen=True)
+class EarlyTerminationResult:
+    """Search output plus the probing effort actually spent."""
+
+    distances: np.ndarray
+    ids: np.ndarray
+    cells_probed: np.ndarray
+
+    @property
+    def mean_cells_probed(self) -> float:
+        return float(self.cells_probed.mean())
+
+
+def search_with_early_termination(
+    index: IVFIndex,
+    queries: np.ndarray,
+    k: int,
+    *,
+    max_nprobe: int | None = None,
+    patience: int = 4,
+    prune_ratio: float | None = None,
+) -> EarlyTerminationResult:
+    """Top-k IVF search that stops probing when progress stalls.
+
+    Parameters
+    ----------
+    max_nprobe:
+        Upper bound on cells probed per query (defaults to the index's
+        ``nprobe``).
+    patience:
+        Consecutive cells allowed to leave the running top-k unchanged before
+        the query terminates.
+    prune_ratio:
+        Optional SPANN-style cutoff: cells whose centroid distance exceeds
+        ``prune_ratio x`` the nearest centroid's distance are never probed.
+        Uses L2 centroid distances (matching IVF cell assignment).
+    """
+    if not index.is_trained:
+        raise RuntimeError("index must be trained")
+    if patience <= 0:
+        raise ValueError("patience must be positive")
+    if prune_ratio is not None and prune_ratio < 1.0:
+        raise ValueError("prune_ratio must be >= 1")
+    q = as_matrix(queries)
+    limit = min(max_nprobe or index.nprobe, index.nlist)
+
+    cell_d = pairwise_distance(q, index.centroids, "l2")
+    _, cell_order = top_k(cell_d, limit)
+
+    nq = len(q)
+    out_d = np.full((nq, k), np.inf, dtype=np.float32)
+    out_i = np.full((nq, k), -1, dtype=np.int64)
+    probed = np.zeros(nq, dtype=np.int64)
+
+    decoded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def cell_payload(cell: int):
+        if cell not in decoded:
+            ids_parts = index._list_ids[cell]
+            if not ids_parts:
+                decoded[cell] = (
+                    np.empty((0, index.dim), dtype=np.float32),
+                    np.empty(0, dtype=np.int64),
+                )
+            else:
+                codes = np.concatenate(index._list_codes[cell], axis=0)
+                decoded[cell] = (
+                    index.quantizer.decode(codes),
+                    np.concatenate(ids_parts),
+                )
+        return decoded[cell]
+
+    for qi in range(nq):
+        best_d = np.full(k, np.inf, dtype=np.float32)
+        best_i = np.full(k, -1, dtype=np.int64)
+        stall = 0
+        nearest_cell_d = float(cell_d[qi, cell_order[qi, 0]])
+        for rank in range(limit):
+            cell = int(cell_order[qi, rank])
+            if cell < 0:
+                break
+            if (
+                prune_ratio is not None
+                and rank > 0
+                and float(cell_d[qi, cell]) > prune_ratio * max(nearest_cell_d, 1e-30)
+            ):
+                break
+            vecs, ids = cell_payload(cell)
+            probed[qi] += 1
+            if len(ids):
+                dists = pairwise_distance(q[qi : qi + 1], vecs, index.metric)[0]
+                merged_d = np.concatenate([best_d, dists.astype(np.float32)])
+                merged_i = np.concatenate([best_i, ids])
+                order = np.argsort(merged_d)[:k]
+                new_d, new_i = merged_d[order], merged_i[order]
+                improved = not np.array_equal(new_i, best_i)
+                best_d, best_i = new_d, new_i
+            else:
+                improved = False
+            stall = 0 if improved else stall + 1
+            if stall >= patience and rank >= patience:
+                break
+        out_d[qi] = best_d
+        out_i[qi] = best_i
+    return EarlyTerminationResult(distances=out_d, ids=out_i, cells_probed=probed)

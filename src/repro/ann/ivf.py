@@ -1,0 +1,197 @@
+"""Inverted File (IVF) index with optional quantization.
+
+IVF is the index family Hermes is built on (§2.1): K-means partitions the
+vectors into ``nlist`` cells; a query is compared against the cell centroids
+and only the ``nProbe`` nearest cells are scanned. ``nProbe`` is the paper's
+central latency/accuracy knob — Hermes's hierarchical search runs the same
+index once with a *small* nProbe (sampling) and again with a *large* nProbe
+(deep search) on the winning clusters.
+
+The default ``nlist`` follows the paper's rule of thumb ``nlist ≈ sqrt(N)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import VectorIndex, register_index
+from .distances import pairwise_distance, top_k
+from .kmeans import kmeans
+from .quantization import IdentityQuantizer, Quantizer, make_quantizer
+
+
+def default_nlist(n_vectors: int) -> int:
+    """Paper heuristic: ``nlist ≈ sqrt(N)``, at least 1."""
+    return max(1, int(round(math.sqrt(max(n_vectors, 1)))))
+
+
+class IVFIndex(VectorIndex):
+    """Cluster-probed approximate k-NN search.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    metric:
+        ``"l2"`` or ``"ip"``; cell assignment always uses L2 on centroids,
+        matching FAISS's ``IndexIVF`` coarse quantizer behaviour.
+    nlist:
+        Number of inverted lists (cells). ``None`` defers to
+        ``sqrt(len(train_set))`` at train time.
+    nprobe:
+        Default number of cells scanned per query; overridable per search.
+    quantizer:
+        Codec used to store list payloads (``IdentityQuantizer`` keeps raw
+        float32, i.e. ``IVFFlat``).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "l2",
+        *,
+        nlist: int | None = None,
+        nprobe: int = 1,
+        quantizer: Quantizer | None = None,
+        train_seed: int = 0,
+    ) -> None:
+        super().__init__(dim, metric)
+        if nlist is not None and nlist <= 0:
+            raise ValueError(f"nlist must be positive, got {nlist}")
+        if nprobe <= 0:
+            raise ValueError(f"nprobe must be positive, got {nprobe}")
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.quantizer = quantizer if quantizer is not None else IdentityQuantizer(dim)
+        self.train_seed = train_seed
+        self.centroids: np.ndarray | None = None
+        self._list_codes: list[list[np.ndarray]] = []
+        self._list_ids: list[list[np.ndarray]] = []
+
+    # -- training ----------------------------------------------------------
+    def _train(self, vectors: np.ndarray) -> None:
+        if self.nlist is None:
+            self.nlist = default_nlist(len(vectors))
+        if len(vectors) < self.nlist:
+            raise ValueError(
+                f"training set of {len(vectors)} vectors is smaller than nlist={self.nlist}"
+            )
+        result = kmeans(vectors, self.nlist, seed=self.train_seed, max_iter=20)
+        self.centroids = result.centroids
+        if not self.quantizer.is_trained:
+            self.quantizer.train(vectors)
+        self._list_codes = [[] for _ in range(self.nlist)]
+        self._list_ids = [[] for _ in range(self.nlist)]
+
+    # -- population ---------------------------------------------------------
+    def _add(self, vectors: np.ndarray) -> None:
+        cells = pairwise_distance(vectors, self.centroids, "l2").argmin(axis=1)
+        codes = self.quantizer.encode(vectors)
+        base = self.ntotal
+        for cell in np.unique(cells):
+            members = np.flatnonzero(cells == cell)
+            self._list_codes[cell].append(codes[members])
+            self._list_ids[cell].append((base + members).astype(np.int64))
+
+    def list_sizes(self) -> np.ndarray:
+        """Number of stored vectors per inverted list."""
+        return np.array(
+            [sum(len(ids) for ids in lst) for lst in self._list_ids], dtype=np.int64
+        )
+
+    # -- search --------------------------------------------------------------
+    def _search(
+        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        probe = min(self.nprobe if nprobe is None else int(nprobe), self.nlist)
+        if probe <= 0:
+            raise ValueError(f"nprobe must be positive, got {probe}")
+        cell_d = pairwise_distance(queries, self.centroids, "l2")
+        _, probe_cells = top_k(cell_d, probe)
+
+        nq = len(queries)
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+
+        # Group queries by identical probe sets so each decode batch is shared.
+        # For simplicity (and since probe sets rarely coincide across queries),
+        # scan per query but decode each touched cell once per call.
+        decoded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for qi in range(nq):
+            cand_vecs: list[np.ndarray] = []
+            cand_ids: list[np.ndarray] = []
+            for cell in probe_cells[qi]:
+                cell = int(cell)
+                if cell < 0:
+                    continue
+                if cell not in decoded:
+                    ids_parts = self._list_ids[cell]
+                    if not ids_parts:
+                        decoded[cell] = (
+                            np.empty((0, self.dim), dtype=np.float32),
+                            np.empty(0, dtype=np.int64),
+                        )
+                    else:
+                        codes = np.concatenate(self._list_codes[cell], axis=0)
+                        ids = np.concatenate(ids_parts)
+                        decoded[cell] = (self.quantizer.decode(codes), ids)
+                vecs, ids = decoded[cell]
+                if len(ids):
+                    cand_vecs.append(vecs)
+                    cand_ids.append(ids)
+            if not cand_vecs:
+                continue
+            vecs = np.concatenate(cand_vecs, axis=0)
+            ids = np.concatenate(cand_ids)
+            dists = pairwise_distance(queries[qi : qi + 1], vecs, self.metric)
+            d_row, order = top_k(dists, k)
+            out_d[qi] = d_row[0]
+            valid = order[0] >= 0
+            out_i[qi, valid] = ids[order[0][valid]]
+        return out_d, out_i
+
+    def search(
+        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k search, optionally overriding the index's default nProbe."""
+        if not self.is_trained:
+            raise RuntimeError("IVFIndex must be trained before search()")
+        if self.ntotal == 0:
+            return super().search(queries, k)
+        from .distances import as_matrix
+
+        q = as_matrix(queries)
+        self._check_dim(q)
+        return self._search(q, int(k), nprobe=nprobe)
+
+    def memory_bytes(self) -> int:
+        payload = int(self.ntotal) * self.quantizer.code_size()
+        ids = int(self.ntotal) * 8
+        cents = 0 if self.centroids is None else self.centroids.size * 4
+        return payload + ids + cents
+
+
+@register_index("ivf_flat")
+def ivf_flat(dim: int, metric: str = "l2", **kwargs) -> IVFIndex:
+    """IVF with raw float32 payloads (``IVFFlat``)."""
+    return IVFIndex(dim, metric, quantizer=IdentityQuantizer(dim), **kwargs)
+
+
+@register_index("ivf_sq8")
+def ivf_sq8(dim: int, metric: str = "l2", **kwargs) -> IVFIndex:
+    """IVF with 8-bit scalar quantization — the paper's production index."""
+    return IVFIndex(dim, metric, quantizer=make_quantizer("sq8", dim), **kwargs)
+
+
+@register_index("ivf_sq4")
+def ivf_sq4(dim: int, metric: str = "l2", **kwargs) -> IVFIndex:
+    """IVF with 4-bit scalar quantization."""
+    return IVFIndex(dim, metric, quantizer=make_quantizer("sq4", dim), **kwargs)
+
+
+@register_index("ivf_pq")
+def ivf_pq(dim: int, metric: str = "l2", *, m: int = 8, **kwargs) -> IVFIndex:
+    """IVF with product quantization (``m`` byte codes)."""
+    return IVFIndex(dim, metric, quantizer=make_quantizer(f"pq{m}", dim), **kwargs)

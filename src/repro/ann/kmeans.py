@@ -1,0 +1,190 @@
+"""K-means clustering (Lloyd's algorithm) for IVF training and Hermes splits.
+
+The Hermes paper uses K-means twice:
+
+1. Inside every IVF index, to learn the ``nlist`` coarse centroids (§2.1).
+2. At the system level, to disaggregate the datastore into per-node clusters
+   of similar documents (§4.1), including a *seed sweep on a small subset* to
+   minimise cluster-size imbalance cheaply.
+
+This module provides both, plus the imbalance proxy the paper uses (ratio of
+largest to smallest cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .distances import as_matrix, pairwise_distance, validate_metric
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one K-means run."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iter: int
+    seed: int
+    #: per-cluster member counts, length k
+    sizes: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        k = len(self.centroids)
+        self.sizes = np.bincount(self.assignments, minlength=k)
+
+    @property
+    def imbalance(self) -> float:
+        """Largest/smallest cluster-size ratio (paper §4.1 imbalance proxy).
+
+        ``inf`` when any cluster is empty.
+        """
+        smallest = int(self.sizes.min())
+        if smallest == 0:
+            return float("inf")
+        return float(self.sizes.max()) / float(smallest)
+
+
+def _kmeanspp_init(vectors: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2."""
+    n = len(vectors)
+    centroids = np.empty((k, vectors.shape[1]), dtype=vectors.dtype)
+    first = rng.integers(n)
+    centroids[0] = vectors[first]
+    closest = pairwise_distance(vectors, centroids[0:1], "l2")[:, 0]
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centroids; fall back
+            # to uniform sampling of distinct rows.
+            centroids[i] = vectors[rng.integers(n)]
+        else:
+            probs = closest / total
+            choice = rng.choice(n, p=probs)
+            centroids[i] = vectors[choice]
+        d_new = pairwise_distance(vectors, centroids[i : i + 1], "l2")[:, 0]
+        np.minimum(closest, d_new, out=closest)
+    return centroids
+
+
+def kmeans(
+    vectors: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    max_iter: int = 25,
+    tol: float = 1e-4,
+    init: str = "k-means++",
+) -> KMeansResult:
+    """Run Lloyd's algorithm and return the fitted clustering.
+
+    Empty clusters are repaired each iteration by re-seeding them at the
+    point currently farthest from its assigned centroid, which keeps all
+    ``k`` clusters populated (required by the IVF inverted lists).
+    """
+    vecs = as_matrix(vectors)
+    n = len(vecs)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if n < k:
+        raise ValueError(f"need at least k={k} vectors, got {n}")
+    rng = np.random.default_rng(seed)
+    if init == "k-means++":
+        centroids = _kmeanspp_init(vecs, k, rng)
+    elif init == "random":
+        centroids = vecs[rng.choice(n, size=k, replace=False)].copy()
+    else:
+        raise ValueError(f"unknown init {init!r}")
+
+    assignments = np.zeros(n, dtype=np.int64)
+    inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        dists = pairwise_distance(vecs, centroids, "l2")
+        assignments = dists.argmin(axis=1)
+        point_cost = dists[np.arange(n), assignments]
+        new_inertia = float(point_cost.sum())
+
+        # Recompute centroids; repair empties from the worst-fit points.
+        counts = np.bincount(assignments, minlength=k)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignments, vecs)
+        empties = np.flatnonzero(counts == 0)
+        if len(empties):
+            worst = np.argsort(point_cost)[::-1]
+            for slot, point in zip(empties, worst):
+                centroids[slot] = vecs[point]
+            nonempty = counts > 0
+            centroids[nonempty] = sums[nonempty] / counts[nonempty, np.newaxis]
+        else:
+            centroids = sums / counts[:, np.newaxis]
+
+        converged = (
+            np.isfinite(inertia) and inertia - new_inertia <= tol * max(inertia, 1.0)
+        )
+        if converged and not len(empties):
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+
+    # Final assignment against the final centroids.
+    dists = pairwise_distance(vecs, centroids, "l2")
+    assignments = dists.argmin(axis=1)
+    inertia = float(dists[np.arange(n), assignments].sum())
+    return KMeansResult(
+        centroids=centroids.astype(np.float32),
+        assignments=assignments,
+        inertia=inertia,
+        n_iter=n_iter,
+        seed=seed,
+    )
+
+
+def kmeans_seed_sweep(
+    vectors: np.ndarray,
+    k: int,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7),
+    subset_fraction: float = 0.02,
+    min_subset: int = 256,
+    max_iter: int = 25,
+    rng_seed: int = 0,
+) -> KMeansResult:
+    """Pick the K-means seed with the lowest cluster-size imbalance.
+
+    Mirrors the paper's §4.1 procedure: each candidate seed is evaluated on a
+    small random subset (1–2% of the datastore by default) because imbalance
+    on the subset tracks imbalance on the full set, then the winning seed is
+    re-run on the full data.
+    """
+    vecs = as_matrix(vectors)
+    n = len(vecs)
+    if not 0 < subset_fraction <= 1.0:
+        raise ValueError(f"subset_fraction must be in (0, 1], got {subset_fraction}")
+    subset_size = max(min(n, min_subset), int(n * subset_fraction))
+    subset_size = min(subset_size, n)
+    if subset_size < k:
+        subset_size = min(n, max(k, subset_size))
+    rng = np.random.default_rng(rng_seed)
+    subset = vecs[rng.choice(n, size=subset_size, replace=False)]
+
+    best_seed = seeds[0]
+    best_imbalance = float("inf")
+    for seed in seeds:
+        trial = kmeans(subset, k, seed=seed, max_iter=max_iter)
+        if trial.imbalance < best_imbalance:
+            best_imbalance = trial.imbalance
+            best_seed = seed
+    return kmeans(vecs, k, seed=best_seed, max_iter=max_iter)
+
+
+def assign_to_centroids(
+    vectors: np.ndarray, centroids: np.ndarray, metric: str = "l2"
+) -> np.ndarray:
+    """Nearest-centroid assignment for out-of-sample vectors."""
+    validate_metric(metric)
+    dists = pairwise_distance(vectors, centroids, metric)
+    return dists.argmin(axis=1)

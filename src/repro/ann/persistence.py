@@ -1,0 +1,158 @@
+"""Index persistence: save/load for the offline index-construction stage.
+
+The paper's artifact builds indices offline (hours to weeks at their scales)
+and serves them online; this module provides the corresponding serialization
+for our indices using numpy's ``.npz`` container plus a small JSON header.
+Flat and IVF indices (any quantizer) round-trip exactly; a clustered
+datastore persists as one directory with one file per shard plus a manifest
+(see :mod:`repro.core.store_io`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .flat import FlatIndex
+from .ivf import IVFIndex
+from .quantization import (
+    IdentityQuantizer,
+    OPQQuantizer,
+    ProductQuantizer,
+    Quantizer,
+    ScalarQuantizer,
+)
+
+#: Bumped on any incompatible format change.
+FORMAT_VERSION = 1
+
+
+def _quantizer_state(quantizer: Quantizer) -> tuple[str, dict[str, np.ndarray]]:
+    """Serialize a codec to (spec-json, arrays)."""
+    if isinstance(quantizer, IdentityQuantizer):
+        return json.dumps({"kind": "identity", "dim": quantizer.dim}), {}
+    if isinstance(quantizer, ScalarQuantizer):
+        spec = {"kind": "scalar", "dim": quantizer.dim, "bits": quantizer.bits}
+        return json.dumps(spec), {
+            "sq_vmin": quantizer._vmin,
+            "sq_scale": quantizer._scale,
+        }
+    if isinstance(quantizer, OPQQuantizer):
+        spec = {"kind": "opq", "dim": quantizer.dim, "m": quantizer.m}
+        return json.dumps(spec), {
+            "opq_rotation": quantizer._rotation,
+            "pq_codebooks": quantizer.pq._codebooks,
+        }
+    if isinstance(quantizer, ProductQuantizer):
+        spec = {"kind": "pq", "dim": quantizer.dim, "m": quantizer.m}
+        return json.dumps(spec), {"pq_codebooks": quantizer._codebooks}
+    raise TypeError(f"cannot serialize quantizer type {type(quantizer).__name__}")
+
+
+def _restore_quantizer(spec_json: str, arrays) -> Quantizer:
+    spec = json.loads(spec_json)
+    kind = spec["kind"]
+    if kind == "identity":
+        quantizer = IdentityQuantizer(spec["dim"])
+        quantizer.is_trained = True
+        return quantizer
+    if kind == "scalar":
+        quantizer = ScalarQuantizer(spec["dim"], bits=spec["bits"])
+        quantizer._vmin = arrays["sq_vmin"]
+        quantizer._scale = arrays["sq_scale"]
+        quantizer.is_trained = True
+        return quantizer
+    if kind == "pq":
+        quantizer = ProductQuantizer(spec["dim"], m=spec["m"])
+        quantizer._codebooks = arrays["pq_codebooks"]
+        quantizer.is_trained = True
+        return quantizer
+    if kind == "opq":
+        quantizer = OPQQuantizer(spec["dim"], m=spec["m"])
+        quantizer._rotation = arrays["opq_rotation"]
+        quantizer.pq._codebooks = arrays["pq_codebooks"]
+        quantizer.pq.is_trained = True
+        quantizer.is_trained = True
+        return quantizer
+    raise ValueError(f"unknown quantizer kind {kind!r}")
+
+
+def save_flat(index: FlatIndex, path: "str | Path") -> None:
+    """Persist a Flat index to *path* (.npz)."""
+    header = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "type": "flat",
+            "dim": index.dim,
+            "metric": index.metric,
+        }
+    )
+    np.savez_compressed(path, header=header, vectors=index.vectors)
+
+
+def save_ivf(index: IVFIndex, path: "str | Path") -> None:
+    """Persist a trained IVF index (any quantizer) to *path* (.npz)."""
+    if not index.is_trained:
+        raise ValueError("cannot save an untrained IVF index")
+    quant_spec, quant_arrays = _quantizer_state(index.quantizer)
+    header = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "type": "ivf",
+            "dim": index.dim,
+            "metric": index.metric,
+            "nlist": index.nlist,
+            "nprobe": index.nprobe,
+            "ntotal": index.ntotal,
+            "quantizer": quant_spec,
+        }
+    )
+    arrays = {"header": header, "centroids": index.centroids}
+    arrays.update(quant_arrays)
+    for cell in range(index.nlist):
+        codes_parts = index._list_codes[cell]
+        ids_parts = index._list_ids[cell]
+        if ids_parts:
+            arrays[f"codes_{cell}"] = np.concatenate(codes_parts, axis=0)
+            arrays[f"ids_{cell}"] = np.concatenate(ids_parts)
+    np.savez_compressed(path, **arrays)
+
+
+def load_index(path: "str | Path") -> "FlatIndex | IVFIndex":
+    """Load an index saved by :func:`save_flat` or :func:`save_ivf`."""
+    with np.load(path, allow_pickle=False) as data:
+        header = json.loads(str(data["header"]))
+        if header["format"] != FORMAT_VERSION:
+            raise ValueError(
+                f"index format {header['format']} != supported {FORMAT_VERSION}"
+            )
+        if header["type"] == "flat":
+            index = FlatIndex(header["dim"], header["metric"])
+            vectors = data["vectors"]
+            if len(vectors):
+                index.add(vectors)
+            return index
+        if header["type"] != "ivf":
+            raise ValueError(f"unknown index type {header['type']!r}")
+
+        quantizer = _restore_quantizer(header["quantizer"], data)
+        index = IVFIndex(
+            header["dim"],
+            header["metric"],
+            nlist=header["nlist"],
+            nprobe=header["nprobe"],
+            quantizer=quantizer,
+        )
+        index.centroids = data["centroids"]
+        index.is_trained = True
+        index._list_codes = [[] for _ in range(index.nlist)]
+        index._list_ids = [[] for _ in range(index.nlist)]
+        for cell in range(index.nlist):
+            key = f"ids_{cell}"
+            if key in data:
+                index._list_codes[cell].append(data[f"codes_{cell}"])
+                index._list_ids[cell].append(data[key])
+        index.ntotal = header["ntotal"]
+        return index

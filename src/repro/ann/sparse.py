@@ -1,0 +1,251 @@
+"""Sparse (BM25) retrieval and dense/sparse hybrid fusion.
+
+§2.1 of the paper contrasts retrieval families: sparse term-based indices
+excel at *rare terms that cannot be adequately represented through
+embeddings*, dense indices at semantic similarity, and cites hybrid
+approaches (Blended RAG) combining both. Hermes itself is dense-only, but the
+claims are empirical and testable, so this module provides:
+
+- :class:`BM25Index` — a classic inverted-file text index with BM25 scoring
+  (Robertson/Sparck-Jones weights, k1/b defaults from the literature);
+- :class:`HybridRetriever` — reciprocal-rank-fusion of dense and sparse
+  rankings, the standard training-free hybrid.
+
+``benchmarks/test_ablation_sparse_hybrid.py`` reproduces the qualitative
+§2.1 claims on the synthetic corpus: dense wins on topical (semantic)
+queries, sparse wins on rare-token queries, hybrid is competitive on both.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import VectorIndex
+from .distances import top_k
+
+
+@dataclass(frozen=True)
+class SparseSearchResult:
+    """Ranked ids + BM25 scores (higher is better)."""
+
+    scores: np.ndarray
+    ids: np.ndarray
+
+
+class BM25Index:
+    """Inverted-file index over token-id documents with BM25 ranking.
+
+    Parameters follow the standard Okapi defaults: ``k1`` saturates term
+    frequency, ``b`` normalises by document length.
+    """
+
+    def __init__(self, *, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 <= 0 or not 0 <= b <= 1:
+            raise ValueError("require k1 > 0 and 0 <= b <= 1")
+        self.k1 = k1
+        self.b = b
+        #: token -> {doc_id: term frequency}
+        self._postings: dict[int, dict[int, int]] = {}
+        self._doc_lengths: list[int] = []
+
+    @property
+    def ntotal(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def add(self, documents: "list[np.ndarray]") -> np.ndarray:
+        """Index token-id documents; returns assigned contiguous ids."""
+        start = self.ntotal
+        for doc in documents:
+            tokens = np.asarray(doc, dtype=np.int64)
+            if not len(tokens):
+                raise ValueError("cannot index an empty document")
+            doc_id = len(self._doc_lengths)
+            self._doc_lengths.append(len(tokens))
+            for token, tf in Counter(int(t) for t in tokens).items():
+                self._postings.setdefault(token, {})[doc_id] = tf
+        return np.arange(start, self.ntotal, dtype=np.int64)
+
+    def _idf(self, token: int) -> float:
+        """Robertson-Sparck-Jones IDF (floored at 0 for very common terms)."""
+        df = len(self._postings.get(token, ()))
+        if df == 0:
+            return 0.0
+        n = self.ntotal
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def search(
+        self, query_tokens: np.ndarray, k: int
+    ) -> SparseSearchResult:
+        """BM25 top-k for one token-id query."""
+        if self.ntotal == 0:
+            return SparseSearchResult(
+                scores=np.full(k, -np.inf), ids=np.full(k, -1, dtype=np.int64)
+            )
+        tokens = np.asarray(query_tokens, dtype=np.int64)
+        if not len(tokens):
+            raise ValueError("query must be non-empty")
+        avg_len = float(np.mean(self._doc_lengths))
+        scores: dict[int, float] = {}
+        for token, qf in Counter(int(t) for t in tokens).items():
+            del qf  # standard BM25 ignores query-side term frequency
+            idf = self._idf(token)
+            if idf == 0.0:
+                continue
+            for doc_id, tf in self._postings.get(token, {}).items():
+                length_norm = 1.0 - self.b + self.b * self._doc_lengths[doc_id] / avg_len
+                gain = idf * tf * (self.k1 + 1) / (tf + self.k1 * length_norm)
+                scores[doc_id] = scores.get(doc_id, 0.0) + gain
+        if not scores:
+            return SparseSearchResult(
+                scores=np.full(k, -np.inf), ids=np.full(k, -1, dtype=np.int64)
+            )
+        ids = np.fromiter(scores.keys(), dtype=np.int64)
+        vals = np.fromiter(scores.values(), dtype=np.float64)
+        neg, order = top_k(-vals[np.newaxis, :], k)
+        picked = order[0]
+        out_ids = np.full(k, -1, dtype=np.int64)
+        out_scores = np.full(k, -np.inf)
+        valid = picked >= 0
+        out_ids[valid] = ids[picked[valid]]
+        out_scores[valid] = -neg[0][valid]
+        return SparseSearchResult(scores=out_scores, ids=out_ids)
+
+    def search_batch(
+        self, queries: "list[np.ndarray]", k: int
+    ) -> SparseSearchResult:
+        """BM25 top-k for a batch of token-id queries."""
+        results = [self.search(q, k) for q in queries]
+        return SparseSearchResult(
+            scores=np.stack([r.scores for r in results]),
+            ids=np.stack([r.ids for r in results]),
+        )
+
+
+def reciprocal_rank_fusion(
+    rankings: "list[np.ndarray]", k: int, *, rrf_k: float = 60.0
+) -> np.ndarray:
+    """Fuse several ranked-id lists for one query via RRF.
+
+    ``score(d) = sum_r 1 / (rrf_k + rank_r(d))`` over the rankings that
+    contain *d*; ``-1`` padding entries are ignored. Returns the fused top-k
+    ids (padded with -1).
+    """
+    if rrf_k <= 0:
+        raise ValueError("rrf_k must be positive")
+    scores: dict[int, float] = {}
+    for ranking in rankings:
+        for rank, doc in enumerate(np.asarray(ranking).ravel()):
+            doc = int(doc)
+            if doc < 0:
+                continue
+            scores[doc] = scores.get(doc, 0.0) + 1.0 / (rrf_k + rank + 1)
+    ordered = sorted(scores, key=lambda d: -scores[d])[:k]
+    out = np.full(k, -1, dtype=np.int64)
+    out[: len(ordered)] = ordered
+    return out
+
+
+def zscore_fusion(
+    candidate_lists: "list[tuple[np.ndarray, np.ndarray]]", k: int
+) -> np.ndarray:
+    """Confidence-weighted score fusion for one query.
+
+    Each entry is ``(scores, ids)`` with *higher-is-better* scores and ``-1``
+    padding. Scores are standardized per retriever (z-scores over its valid
+    candidates), so a retriever that is *confident* — its top result stands
+    far above its own candidate distribution, like BM25 on an exact rare-term
+    hit — outvotes one whose candidates all look alike. Retrievers with no
+    valid candidates contribute nothing; zero-variance lists contribute 0.
+    """
+    fused: dict[int, float] = {}
+    for scores, ids in candidate_lists:
+        ids = np.asarray(ids).ravel()
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        valid = (ids >= 0) & np.isfinite(scores)
+        if not valid.any():
+            continue
+        vals = scores[valid]
+        std = vals.std()
+        z = np.zeros_like(vals) if std == 0 else (vals - vals.mean()) / std
+        for doc, score in zip(ids[valid], z):
+            doc = int(doc)
+            fused[doc] = fused.get(doc, 0.0) + float(score)
+    ordered = sorted(fused, key=lambda d: -fused[d])[:k]
+    out = np.full(k, -1, dtype=np.int64)
+    out[: len(ordered)] = ordered
+    return out
+
+
+class HybridRetriever:
+    """Dense + sparse retrieval with score fusion.
+
+    The dense side is any :class:`~repro.ann.base.VectorIndex`; the sparse
+    side a :class:`BM25Index` over the same documents (ids must align).
+    ``fusion`` picks between confidence-weighted z-score fusion (default —
+    lets a decisive BM25 exact match outvote an indifferent dense ranking)
+    and plain reciprocal-rank fusion.
+    """
+
+    def __init__(
+        self,
+        dense: VectorIndex,
+        sparse: BM25Index,
+        *,
+        candidates: int = 20,
+        fusion: str = "zscore",
+        rrf_k: float = 60.0,
+    ) -> None:
+        if dense.ntotal != sparse.ntotal:
+            raise ValueError(
+                f"dense ({dense.ntotal}) and sparse ({sparse.ntotal}) "
+                "indices must cover the same documents"
+            )
+        if candidates <= 0:
+            raise ValueError("candidates must be positive")
+        if fusion not in ("zscore", "rrf"):
+            raise ValueError(f"unknown fusion {fusion!r}")
+        self.dense = dense
+        self.sparse = sparse
+        self.candidates = candidates
+        self.fusion = fusion
+        self.rrf_k = rrf_k
+
+    def search(
+        self,
+        query_embeddings: np.ndarray,
+        query_tokens: "list[np.ndarray]",
+        k: int,
+    ) -> np.ndarray:
+        """Fused top-k ids, one row per query."""
+        if len(query_embeddings) != len(query_tokens):
+            raise ValueError("embedding and token query counts differ")
+        dense_d, dense_ids = self.dense.search(query_embeddings, self.candidates)
+        sparse = self.sparse.search_batch(query_tokens, self.candidates)
+        fused = []
+        for qi in range(len(dense_ids)):
+            if self.fusion == "rrf":
+                fused.append(
+                    reciprocal_rank_fusion(
+                        [dense_ids[qi], sparse.ids[qi]], k, rrf_k=self.rrf_k
+                    )
+                )
+            else:
+                # Dense distances are smaller-is-better; negate to scores.
+                fused.append(
+                    zscore_fusion(
+                        [
+                            (-dense_d[qi], dense_ids[qi]),
+                            (sparse.scores[qi], sparse.ids[qi]),
+                        ],
+                        k,
+                    )
+                )
+        return np.stack(fused)

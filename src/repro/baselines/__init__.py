@@ -1,0 +1,27 @@
+"""Baselines the paper compares Hermes against.
+
+Monolithic single-index retrieval, the naive broadcast split, PipeRAG
+pipelining, and RAGCache prefix caching (plus their combination with Hermes).
+"""
+
+from .monolithic import MonolithicRetriever
+from .naive_split import NaiveSplitRetriever
+from .piperag import adaptive_nprobe, piperag_config, quality_proxy
+from .ragcache import (
+    combined_config,
+    ragcache_config,
+    simulate_cache_hit_rate,
+    stride_overlap_fraction,
+)
+
+__all__ = [
+    "MonolithicRetriever",
+    "NaiveSplitRetriever",
+    "adaptive_nprobe",
+    "piperag_config",
+    "quality_proxy",
+    "combined_config",
+    "ragcache_config",
+    "simulate_cache_hit_rate",
+    "stride_overlap_fraction",
+]

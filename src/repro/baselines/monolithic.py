@@ -1,0 +1,76 @@
+"""Monolithic retrieval baseline: one big IVF index on one node.
+
+This is the paper's unoptimized baseline — the entire datastore behind a
+single IVF-SQ8 index with nProbe 128 — whose linear latency scaling motivates
+Hermes (§3 Takeaway 1). The class wraps the real index (for accuracy
+experiments) and exposes the exact brute-force ground truth used by NDCG and
+recall evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ann.flat import FlatIndex
+from ..ann.ivf import IVFIndex
+from ..ann.quantization import make_quantizer
+
+
+class MonolithicRetriever:
+    """Single-index retrieval over the full corpus.
+
+    Parameters
+    ----------
+    embeddings:
+        Full corpus ``(n, d)`` matrix.
+    metric:
+        Similarity metric; the paper's pipeline reranks by inner product.
+    quantization:
+        Table 1 scheme for the IVF payload (default the paper's SQ8).
+    nprobe:
+        Default search depth (the paper's production value is 128).
+    """
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        *,
+        metric: str = "ip",
+        quantization: str = "sq8",
+        nlist: int | None = None,
+        nprobe: int = 128,
+        train_seed: int = 0,
+    ) -> None:
+        emb = np.asarray(embeddings, dtype=np.float32)
+        if emb.ndim != 2 or not len(emb):
+            raise ValueError("embeddings must be a non-empty (n, d) matrix")
+        dim = emb.shape[1]
+        self.index = IVFIndex(
+            dim,
+            metric,
+            nlist=nlist,
+            nprobe=nprobe,
+            quantizer=make_quantizer(quantization, dim),
+            train_seed=train_seed,
+        )
+        self.index.train(emb)
+        self.index.add(emb)
+        self._exact = FlatIndex(dim, metric)
+        self._exact.add(emb)
+
+    @property
+    def ntotal(self) -> int:
+        return self.index.ntotal
+
+    def search(
+        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k over the whole datastore."""
+        return self.index.search(queries, k, nprobe=nprobe)
+
+    def ground_truth(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exhaustive brute-force top-k (the paper's NDCG reference)."""
+        return self._exact.search(queries, k)
+
+    def memory_bytes(self) -> int:
+        return self.index.memory_bytes()

@@ -1,0 +1,46 @@
+"""Naive distributed retrieval baseline: shard everything, search everything.
+
+Commercial distributed vector databases (Milvus, Elasticsearch, and the
+literature the paper cites in §7 "Scaling Retrieval") horizontally shard the
+datastore and broadcast every query to every node, aggregating results. That
+cuts per-node latency and memory but, as the paper's Fig. 18 shows, caps
+throughput and wastes energy because all N nodes do deep work for every
+query. This wrapper builds the random equal split and exposes the
+broadcast-search semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.clustering import ClusteredDatastore, split_datastore_evenly
+from ..core.config import HermesConfig
+from ..core.hierarchical import ExhaustiveSplitSearcher, SearchResult
+
+
+class NaiveSplitRetriever:
+    """Random equal sharding with broadcast search."""
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        *,
+        config: HermesConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or HermesConfig()
+        self.datastore: ClusteredDatastore = split_datastore_evenly(
+            embeddings, self.config, seed=seed
+        )
+        self._searcher = ExhaustiveSplitSearcher(self.datastore, config=self.config)
+
+    @property
+    def n_shards(self) -> int:
+        return self.datastore.n_clusters
+
+    def search(self, queries: np.ndarray, k: int | None = None) -> SearchResult:
+        """Broadcast the batch to all shards and aggregate the union top-k."""
+        return self._searcher.search(queries, k=k)
+
+    def memory_bytes(self) -> int:
+        return self.datastore.memory_bytes()

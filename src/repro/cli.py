@@ -1,0 +1,247 @@
+"""Command-line interface mirroring the paper artifact's workflow.
+
+The Hermes artifact ships shell scripts for index construction, search/model
+profiling, accuracy evaluation, multi-node aggregation, and plot generation
+(its Appendix A.5 steps). This CLI exposes the same workflow over the
+reproduction::
+
+    hermes-repro build-index --docs 20000 --clusters 10 --out store/
+    hermes-repro accuracy --store store/ --clusters-searched 3
+    hermes-repro profile --tokens 1e10 --batch 128
+    hermes-repro multinode --tokens 1e12 --clusters 10 --batch 128 --dvfs enhanced
+    hermes-repro serve-sim --tokens 1e10 --batches 16
+    hermes-repro reproduce --fast
+
+Every subcommand is also reachable as ``python -m repro.cli <cmd>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    from .core.clustering import cluster_datastore, split_datastore_evenly
+    from .core.config import HermesConfig
+    from .core.store_io import save_datastore
+    from .datastore.embeddings import make_corpus
+
+    corpus = make_corpus(
+        args.docs, n_topics=args.topics, dim=args.dim, seed=args.seed
+    )
+    config = HermesConfig(
+        n_clusters=args.clusters,
+        clusters_to_search=min(3, args.clusters),
+        quantization=args.quantization,
+    )
+    if args.strategy == "clustered":
+        datastore = cluster_datastore(corpus.embeddings, config)
+    else:
+        datastore = split_datastore_evenly(corpus.embeddings, config)
+    save_datastore(datastore, args.out)
+    print(
+        f"built {args.strategy} datastore: {datastore.ntotal} docs, "
+        f"{datastore.n_clusters} shards, imbalance {datastore.imbalance:.2f}x, "
+        f"{datastore.memory_bytes() / 1e6:.1f} MB -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from .baselines.monolithic import MonolithicRetriever
+    from .core.hierarchical import HermesSearcher
+    from .core.store_io import load_datastore
+    from .datastore.embeddings import TopicModel
+    from .datastore.queries import trivia_queries
+    from .metrics.ndcg import ndcg
+
+    datastore = load_datastore(args.store)
+    dim = datastore.shards[0].index.dim
+    # NDCG against brute force over the deployed (quantized) vectors; the
+    # query topic geometry must match the build seed (same --seed/--topics).
+    vectors = datastore.reconstruct_vectors()
+    model = TopicModel.create(n_topics=args.topics, dim=dim, seed=args.seed)
+    queries = trivia_queries(model, args.queries)
+    mono = MonolithicRetriever(vectors)
+    _, truth = mono.ground_truth(queries.embeddings, args.k)
+    searcher = HermesSearcher(datastore)
+    result = searcher.search(
+        queries.embeddings, k=args.k, clusters_to_search=args.clusters_searched
+    )
+    score = ndcg(result.ids, truth)
+    print(
+        f"NDCG @ {args.clusters_searched} clusters searched: {score:.4f} "
+        f"({args.queries} queries, k={args.k})"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .metrics.reporting import format_table
+    from .perfmodel.measurements import (
+        RetrievalCostModel,
+        index_memory_bytes,
+    )
+    from .hardware.cpu import get_cpu
+
+    cost = RetrievalCostModel(platform=get_cpu(args.cpu))
+    rows = []
+    for nprobe in args.nprobes:
+        latency = cost.batch_latency(args.tokens, args.batch, nprobe=nprobe)
+        energy = cost.batch_energy(args.tokens, args.batch, nprobe=nprobe)
+        rows.append(
+            (nprobe, latency, args.batch / latency, energy, energy / args.batch)
+        )
+    print(
+        format_table(
+            ["nProbe", "latency (s)", "QPS", "J/batch", "J/query"],
+            rows,
+            title=(
+                f"retrieval profile: {args.tokens:.3g} tokens, batch "
+                f"{args.batch}, {cost.platform.name}"
+            ),
+        )
+    )
+    print(f"index memory: {index_memory_bytes(args.tokens) / 1e9:.1f} GB (IVF-SQ8)")
+    return 0
+
+
+def _cmd_multinode(args: argparse.Namespace) -> int:
+    from .experiments.common import build_fleet
+    from .perfmodel.aggregate import DVFSPolicy, expected_deep_loads
+
+    fleet = build_fleet(args.tokens, n_clusters=args.clusters, cpu_key=args.cpu)
+    loads = expected_deep_loads(
+        args.batch, fleet.access_frequency, args.clusters_searched
+    )
+    dvfs = DVFSPolicy(args.dvfs)
+    kwargs = {}
+    if dvfs is DVFSPolicy.ENHANCED:
+        kwargs["latency_target_s"] = args.inference_window
+    hermes = fleet.model.hermes(args.batch, loads, dvfs=dvfs, **kwargs)
+    naive = fleet.model.naive_split(args.batch)
+    mono = fleet.model.monolithic(args.tokens, args.batch)
+    print(f"fleet: {args.clusters}x {fleet.model.cluster[0].cpu.name}")
+    print(f"monolithic : {mono.latency_s:9.3f} s  {mono.energy_j:10.0f} J")
+    print(f"naive split: {naive.latency_s:9.3f} s  {naive.energy_j:10.0f} J")
+    print(
+        f"hermes     : {hermes.latency_s:9.3f} s  {hermes.energy_j:10.0f} J "
+        f"({args.clusters_searched} clusters deep, dvfs={args.dvfs})"
+    )
+    print(
+        f"speedup vs monolithic: {mono.latency_s / hermes.latency_s:.2f}x; "
+        f"energy vs naive: {naive.energy_j / hermes.energy_j:.2f}x; "
+        f"throughput: {fleet.model.throughput_qps(args.batch, hermes):.0f} QPS"
+    )
+    return 0
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from .datastore.embeddings import zipf_weights
+    from .llm.generation import GenerationConfig
+    from .perfmodel.aggregate import expected_deep_loads
+    from .serving import PipelineSimulator, plan_from_models
+
+    config = GenerationConfig(
+        batch=args.batch, stride=args.stride, output_tokens=args.output_tokens
+    )
+    shard_tokens = [args.tokens / args.clusters] * args.clusters
+    loads = expected_deep_loads(
+        args.batch, zipf_weights(args.clusters, exponent=0.45), args.clusters_searched
+    )
+    plan = plan_from_models(config, shard_tokens=shard_tokens, deep_loads=loads)
+    sim = PipelineSimulator(plan, batch_size=args.batch)
+    report = sim.run(args.batches)
+    print(
+        f"simulated {args.batches} batches of {args.batch}: "
+        f"makespan {report.makespan_s:.1f} s, throughput {report.throughput_qps:.1f} QPS"
+    )
+    print(
+        f"latency mean {report.mean_latency_s:.1f} s / p99 "
+        f"{report.latency_percentile(99):.1f} s; TTFT mean {report.mean_ttft_s:.2f} s"
+    )
+    print(
+        f"gpu utilization {report.gpu_utilization:.0%}; hottest node "
+        f"{report.node_utilization.max():.0%}"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_all
+
+    run_all(fast=args.fast)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hermes-repro",
+        description="Hermes (ISCA'25) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-index", help="build and save a clustered datastore")
+    p.add_argument("--docs", type=int, default=20_000)
+    p.add_argument("--topics", type=int, default=10)
+    p.add_argument("--dim", type=int, default=64)
+    p.add_argument("--clusters", type=int, default=10)
+    p.add_argument("--quantization", default="sq8")
+    p.add_argument("--strategy", choices=("clustered", "split"), default="clustered")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_build_index)
+
+    p = sub.add_parser("accuracy", help="evaluate a saved datastore's NDCG")
+    p.add_argument("--store", required=True)
+    p.add_argument("--topics", type=int, default=10)
+    p.add_argument("--queries", type=int, default=64)
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--clusters-searched", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_accuracy)
+
+    p = sub.add_parser("profile", help="profile retrieval latency/energy")
+    p.add_argument("--tokens", type=float, default=10e9)
+    p.add_argument("--batch", type=int, default=128)
+    p.add_argument("--cpu", default="xeon_gold_6448y")
+    p.add_argument("--nprobes", type=int, nargs="+", default=[8, 32, 128])
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("multinode", help="run the multi-node aggregation model")
+    p.add_argument("--tokens", type=float, default=1e12)
+    p.add_argument("--clusters", type=int, default=10)
+    p.add_argument("--clusters-searched", type=int, default=3)
+    p.add_argument("--batch", type=int, default=128)
+    p.add_argument("--cpu", default="xeon_gold_6448y")
+    p.add_argument("--dvfs", choices=("none", "baseline", "enhanced"), default="none")
+    p.add_argument("--inference-window", type=float, default=1.7)
+    p.set_defaults(func=_cmd_multinode)
+
+    p = sub.add_parser("serve-sim", help="event-driven serving simulation")
+    p.add_argument("--tokens", type=float, default=10e9)
+    p.add_argument("--clusters", type=int, default=10)
+    p.add_argument("--clusters-searched", type=int, default=3)
+    p.add_argument("--batch", type=int, default=128)
+    p.add_argument("--stride", type=int, default=16)
+    p.add_argument("--output-tokens", type=int, default=256)
+    p.add_argument("--batches", type=int, default=8)
+    p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser("reproduce", help="regenerate every paper table/figure")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Hermes core: the paper's primary contribution.
+
+Datastore disaggregation (K-means split with seed sweep), hierarchical
+sample-then-deep search, fleet scheduling, DVFS load balancing, and the
+end-to-end RAG pipeline facade.
+"""
+
+from .clustering import (
+    ClusteredDatastore,
+    IndexShard,
+    assign_queries_to_shards,
+    cluster_datastore,
+    split_datastore_evenly,
+)
+from .config import HermesConfig
+from .dvfs_policy import DVFSComparison, evaluate_dvfs
+from .hierarchical import (
+    ExhaustiveSplitSearcher,
+    HermesSearcher,
+    HierarchicalSearcher,
+    SearchResult,
+)
+from .pipeline import HermesSystem, RAGResponse, RetrievalOutcome
+from .router import (
+    AllRouter,
+    CentroidRouter,
+    ClusterRouter,
+    LoadAwareRouter,
+    RoutingDecision,
+    SampledRouter,
+)
+from .rerank import CrossInteractionReranker, Reranker, SimilarityReranker
+from .scheduler import HermesScheduler, routing_to_batch
+from .store_io import load_datastore, save_datastore
+from .session import SessionTrace, StridedRAGSession, StrideStep
+
+__all__ = [
+    "ClusteredDatastore",
+    "IndexShard",
+    "assign_queries_to_shards",
+    "cluster_datastore",
+    "split_datastore_evenly",
+    "HermesConfig",
+    "DVFSComparison",
+    "evaluate_dvfs",
+    "ExhaustiveSplitSearcher",
+    "HermesSearcher",
+    "HierarchicalSearcher",
+    "SearchResult",
+    "HermesSystem",
+    "RAGResponse",
+    "RetrievalOutcome",
+    "AllRouter",
+    "CentroidRouter",
+    "ClusterRouter",
+    "LoadAwareRouter",
+    "RoutingDecision",
+    "SampledRouter",
+    "CrossInteractionReranker",
+    "Reranker",
+    "SimilarityReranker",
+    "HermesScheduler",
+    "routing_to_batch",
+    "load_datastore",
+    "save_datastore",
+    "SessionTrace",
+    "StridedRAGSession",
+    "StrideStep",
+]

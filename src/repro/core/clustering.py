@@ -1,0 +1,268 @@
+"""Datastore disaggregation: splitting the corpus into per-node indices.
+
+This implements §4.1 of the paper ("Distributed Retrieval Indices"):
+
+1. K-means the corpus embeddings into ``n_clusters`` semantic clusters —
+   seeding matters, so several seeds are tried on a 1-2% subset and the seed
+   with the lowest cluster-size imbalance (largest/smallest ratio) wins;
+2. build a separate IVF index per cluster, each placed on its own node;
+3. keep the global-id mapping so per-cluster search results merge back into
+   corpus document ids.
+
+The same machinery also builds the *naive equal split* (random sharding, the
+"Split" line of Fig. 11 and the distributed-baseline of Fig. 18) so the two
+strategies differ only in how documents are assigned to shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ann.distances import as_matrix, pairwise_distance
+from ..ann.ivf import IVFIndex
+from ..ann.kmeans import KMeansResult, kmeans_seed_sweep
+from ..ann.quantization import make_quantizer
+from .config import HermesConfig
+
+
+@dataclass
+class IndexShard:
+    """One cluster's search index plus its global-id mapping."""
+
+    shard_id: int
+    index: IVFIndex
+    global_ids: np.ndarray
+    centroid: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.global_ids = np.asarray(self.global_ids, dtype=np.int64)
+        if len(self.global_ids) != self.index.ntotal:
+            raise ValueError(
+                f"shard {self.shard_id}: {len(self.global_ids)} ids for "
+                f"{self.index.ntotal} indexed vectors"
+            )
+
+    def __len__(self) -> int:
+        return self.index.ntotal
+
+    def search(
+        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k within this shard, with ids translated to global ids."""
+        dists, local = self.index.search(queries, k, nprobe=nprobe)
+        global_out = np.full_like(local, -1)
+        valid = local >= 0
+        global_out[valid] = self.global_ids[local[valid]]
+        return dists, global_out
+
+    def memory_bytes(self) -> int:
+        return self.index.memory_bytes()
+
+
+def _build_shard(
+    shard_id: int,
+    embeddings: np.ndarray,
+    member_ids: np.ndarray,
+    config: HermesConfig,
+) -> IndexShard:
+    members = embeddings[member_ids]
+    dim = embeddings.shape[1]
+    nlist = config.nlist
+    if nlist is not None:
+        # Shards smaller than the requested cell count fall back to sqrt(N).
+        nlist = min(nlist, max(1, len(member_ids) // 2)) or None
+    index = IVFIndex(
+        dim,
+        config.metric,
+        nlist=nlist,
+        nprobe=config.deep_nprobe,
+        quantizer=make_quantizer(config.quantization, dim),
+        train_seed=shard_id,
+    )
+    index.train(members)
+    index.add(members)
+    return IndexShard(
+        shard_id=shard_id,
+        index=index,
+        global_ids=member_ids,
+        centroid=members.mean(axis=0).astype(np.float32),
+    )
+
+
+@dataclass
+class ClusteredDatastore:
+    """The distributed datastore: one IVF shard per K-means cluster."""
+
+    shards: list[IndexShard]
+    config: HermesConfig
+    clustering: KMeansResult | None = None
+    #: per-document shard assignment, length = corpus size
+    assignments: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        if len(self.shards) != self.config.n_clusters:
+            raise ValueError(
+                f"expected {self.config.n_clusters} shards, got {len(self.shards)}"
+            )
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.shards)
+
+    @property
+    def ntotal(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def sizes(self) -> np.ndarray:
+        """Documents per shard."""
+        return np.array([len(s) for s in self.shards], dtype=np.int64)
+
+    @property
+    def imbalance(self) -> float:
+        """Largest/smallest shard-size ratio (§4.1's imbalance proxy)."""
+        sizes = self.sizes()
+        smallest = int(sizes.min())
+        if smallest == 0:
+            return float("inf")
+        return float(sizes.max()) / float(smallest)
+
+    def centroids(self) -> np.ndarray:
+        """Per-shard mean embeddings (used by centroid-only routing)."""
+        return np.stack([s.centroid for s in self.shards])
+
+    def memory_bytes(self) -> int:
+        return sum(s.memory_bytes() for s in self.shards)
+
+    def add_documents(self, embeddings: np.ndarray) -> np.ndarray:
+        """Ingest new documents online (the RAG freshness story, §1).
+
+        The whole point of RAG is a *mutable* datastore that absorbs new
+        information without retraining; Hermes must therefore accept inserts
+        after the offline split. Each new document goes to the shard with the
+        nearest centroid (the same rule queries route by), gets appended to
+        that shard's IVF index, and nudges the shard centroid as a running
+        mean. Returns the assigned global ids.
+
+        Sustained skewed ingest grows the imbalance the seed sweep minimised;
+        callers can watch :attr:`imbalance` and re-split offline when it
+        drifts (the paper's offline/online split applies — K-means re-runs
+        are an offline maintenance action).
+        """
+        vecs = as_matrix(embeddings)
+        if vecs.shape[1] != self.shards[0].index.dim:
+            raise ValueError(
+                f"dim {vecs.shape[1]} != datastore dim {self.shards[0].index.dim}"
+            )
+        targets = pairwise_distance(vecs, self.centroids(), "l2").argmin(axis=1)
+        start = self.ntotal
+        new_ids = np.arange(start, start + len(vecs), dtype=np.int64)
+        for shard_id in np.unique(targets):
+            members = np.flatnonzero(targets == shard_id)
+            shard = self.shards[shard_id]
+            old_size = len(shard)
+            shard.index.add(vecs[members])
+            shard.global_ids = np.concatenate([shard.global_ids, new_ids[members]])
+            # Running-mean centroid update.
+            batch_mean = vecs[members].mean(axis=0)
+            total = old_size + len(members)
+            shard.centroid = (
+                (shard.centroid * old_size + batch_mean * len(members)) / total
+            ).astype(np.float32)
+        self.assignments = np.concatenate(
+            [self.assignments, targets.astype(np.int64)]
+        )
+        return new_ids
+
+    def reconstruct_vectors(self) -> np.ndarray:
+        """Decode every stored vector back into global-id order.
+
+        Returns an ``(ntotal, dim)`` matrix of the *quantized* vectors (lossy
+        for non-flat codecs) — the data an exhaustive ground-truth search
+        over the deployed datastore actually sees.
+        """
+        dim = self.shards[0].index.dim
+        out = np.empty((self.ntotal, dim), dtype=np.float32)
+        for shard in self.shards:
+            index = shard.index
+            for cell in range(index.nlist):
+                if not index._list_ids[cell]:
+                    continue
+                codes = np.concatenate(index._list_codes[cell], axis=0)
+                local = np.concatenate(index._list_ids[cell])
+                out[shard.global_ids[local]] = index.quantizer.decode(codes)
+        return out
+
+    def shard_token_sizes(self, total_tokens: float) -> list[float]:
+        """Map a nominal datastore token size onto shards by document share.
+
+        Used to drive the multi-node performance model with the measured
+        shard imbalance of a real clustering.
+        """
+        sizes = self.sizes().astype(np.float64)
+        return list(total_tokens * sizes / sizes.sum())
+
+
+def cluster_datastore(
+    embeddings: np.ndarray, config: HermesConfig | None = None
+) -> ClusteredDatastore:
+    """Hermes's semantic disaggregation: K-means split + per-cluster IVF.
+
+    Runs the paper's seed sweep on a small subset to pick the K-means seed
+    with the least cluster-size imbalance, then builds one IVF index per
+    resulting cluster.
+    """
+    config = config or HermesConfig()
+    emb = as_matrix(embeddings)
+    result = kmeans_seed_sweep(
+        emb,
+        config.n_clusters,
+        seeds=config.kmeans_seeds,
+        subset_fraction=config.kmeans_subset_fraction,
+    )
+    shards = []
+    for cid in range(config.n_clusters):
+        member_ids = np.flatnonzero(result.assignments == cid).astype(np.int64)
+        if not len(member_ids):
+            raise RuntimeError(
+                f"cluster {cid} is empty after K-means; use fewer clusters"
+            )
+        shards.append(_build_shard(cid, emb, member_ids, config))
+    return ClusteredDatastore(
+        shards=shards, config=config, clustering=result, assignments=result.assignments
+    )
+
+
+def split_datastore_evenly(
+    embeddings: np.ndarray, config: HermesConfig | None = None, *, seed: int = 0
+) -> ClusteredDatastore:
+    """Naive random equal split (the paper's "Split" baseline, Fig. 11).
+
+    Documents are shuffled and dealt into ``n_clusters`` equal shards, so no
+    shard has topical coherence — every query must search all shards to match
+    monolithic accuracy.
+    """
+    config = config or HermesConfig()
+    emb = as_matrix(embeddings)
+    n = len(emb)
+    if n < config.n_clusters:
+        raise ValueError(f"need at least {config.n_clusters} documents, got {n}")
+    order = np.random.default_rng(seed).permutation(n)
+    shards = []
+    assignments = np.empty(n, dtype=np.int64)
+    for cid, member_ids in enumerate(np.array_split(order, config.n_clusters)):
+        member_ids = np.sort(member_ids).astype(np.int64)
+        assignments[member_ids] = cid
+        shards.append(_build_shard(cid, emb, member_ids, config))
+    return ClusteredDatastore(
+        shards=shards, config=config, clustering=None, assignments=assignments
+    )
+
+
+def assign_queries_to_shards(
+    datastore: ClusteredDatastore, queries: np.ndarray
+) -> np.ndarray:
+    """Nearest-centroid shard per query (diagnostics / centroid routing)."""
+    dists = pairwise_distance(queries, datastore.centroids(), datastore.config.metric)
+    return dists.argmin(axis=1)

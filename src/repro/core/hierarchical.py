@@ -1,0 +1,162 @@
+"""Hermes hierarchical search: sample → rank → deep search → rerank (§4.2).
+
+The full online retrieval path over a :class:`ClusteredDatastore`:
+
+1. **Sample**: the router probes every cluster cheaply (low nProbe, one
+   document each) and ranks clusters per query;
+2. **Deep search**: only the top ``clusters_to_search`` clusters run the
+   expensive high-nProbe search for ``k`` documents each;
+3. **Merge + rerank**: per-query candidates from the searched clusters merge
+   into a global top-k by distance (equivalently, inner-product reranking for
+   the paper's normalised embeddings).
+
+The search result carries the routing matrix so schedulers and the
+performance model can account per-node load, and the number of
+shard-queries issued, the work metric behind Fig. 18's throughput/energy
+curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ann.distances import as_matrix
+from .clustering import ClusteredDatastore
+from .config import HermesConfig
+from .router import AllRouter, ClusterRouter, RoutingDecision, SampledRouter
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one hierarchical (or exhaustive-split) search batch."""
+
+    distances: np.ndarray
+    ids: np.ndarray
+    routing: RoutingDecision
+    #: total (query, shard) deep-search pairs issued — the work measure
+    shard_queries: int
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.ids)
+
+
+class HierarchicalSearcher:
+    """Search driver combining a router with per-shard deep searches."""
+
+    def __init__(
+        self,
+        datastore: ClusteredDatastore,
+        *,
+        router: ClusterRouter | None = None,
+        config: HermesConfig | None = None,
+    ) -> None:
+        self.datastore = datastore
+        self.config = config or datastore.config
+        self.router = router if router is not None else SampledRouter()
+
+    def search(
+        self,
+        queries: np.ndarray,
+        *,
+        k: int | None = None,
+        clusters_to_search: int | None = None,
+        deep_nprobe: int | None = None,
+        exclude_clusters: "frozenset | set | None" = None,
+        deep_patience: int | None = None,
+    ) -> SearchResult:
+        """Route then deep-search a query batch; returns global top-k.
+
+        ``exclude_clusters`` marks failed/unreachable nodes: their shards are
+        neither sampled nor deep-searched, so the system degrades to the
+        surviving clusters' coverage instead of erroring (node-failure
+        handling for the distributed deployment).
+
+        ``deep_patience`` enables adaptive early termination inside each
+        shard's deep search (the §7 complementary optimisation): probing
+        stops once the shard-local top-k has not improved for that many
+        consecutive cells.
+        """
+        q = as_matrix(queries)
+        k = k or self.config.k
+        m = clusters_to_search or self.config.clusters_to_search
+        nprobe = deep_nprobe or self.config.deep_nprobe
+        exclude = frozenset(exclude_clusters or ())
+
+        routing = self.router.route(q, self.datastore, m, exclude=exclude)
+        fanout = routing.fanout
+        nq = len(q)
+
+        # Candidate pool: k results from each of the query's routed shards.
+        cand_d = np.full((nq, fanout * k), np.inf, dtype=np.float32)
+        cand_i = np.full((nq, fanout * k), -1, dtype=np.int64)
+        shard_queries = 0
+
+        # Batch by shard: all queries routed to shard s search it together,
+        # exactly how per-node batches form in the distributed system.
+        for shard in self.datastore.shards:
+            hit_q, hit_slot = np.nonzero(routing.clusters == shard.shard_id)
+            if not len(hit_q):
+                continue
+            shard_queries += len(hit_q)
+            if deep_patience is not None:
+                from ..ann.early_termination import search_with_early_termination
+
+                result = search_with_early_termination(
+                    shard.index,
+                    q[hit_q],
+                    k,
+                    max_nprobe=nprobe,
+                    patience=deep_patience,
+                )
+                dists = result.distances
+                ids = np.full_like(result.ids, -1)
+                valid = result.ids >= 0
+                ids[valid] = shard.global_ids[result.ids[valid]]
+            else:
+                dists, ids = shard.search(q[hit_q], k, nprobe=nprobe)
+            for row, slot, d_row, i_row in zip(hit_q, hit_slot, dists, ids):
+                cand_d[row, slot * k : (slot + 1) * k] = d_row
+                cand_i[row, slot * k : (slot + 1) * k] = i_row
+
+        # Merge: global top-k by distance (the rerank step; for normalised
+        # embeddings this is the paper's inner-product rerank).
+        order = np.argsort(cand_d, axis=1)[:, :k]
+        rows = np.arange(nq)[:, np.newaxis]
+        return SearchResult(
+            distances=cand_d[rows, order],
+            ids=cand_i[rows, order],
+            routing=routing,
+            shard_queries=shard_queries,
+        )
+
+
+class HermesSearcher(HierarchicalSearcher):
+    """The paper's configuration: document-sampling router over all shards."""
+
+    def __init__(
+        self, datastore: ClusteredDatastore, *, config: HermesConfig | None = None
+    ) -> None:
+        cfg = config or datastore.config
+        super().__init__(
+            datastore,
+            router=SampledRouter(
+                sample_nprobe=cfg.sample_nprobe, sample_k=cfg.sample_k
+            ),
+            config=cfg,
+        )
+
+
+class ExhaustiveSplitSearcher(HierarchicalSearcher):
+    """Naive distributed baseline: deep-search every shard, aggregate all."""
+
+    def __init__(
+        self, datastore: ClusteredDatastore, *, config: HermesConfig | None = None
+    ) -> None:
+        super().__init__(datastore, router=AllRouter(), config=config)
+
+    def search(self, queries: np.ndarray, *, k: int | None = None, **kwargs) -> SearchResult:
+        kwargs.setdefault("clusters_to_search", self.datastore.n_clusters)
+        return super().search(queries, k=k, **kwargs)

@@ -1,0 +1,141 @@
+"""Candidate reranking: the last step before augmentation (§2.2).
+
+The paper: "the retrieved document chunks can be re-ranked for relevance,
+using either similarity scores or advanced neural methods, and then
+integrated into inference". Two rerankers implement that menu:
+
+- :class:`SimilarityReranker` — orders candidates by exact inner product with
+  the query embedding (what the evaluation pipeline uses: "obtained via
+  re-ranking using inner-product distance with the query vector", §5);
+- :class:`CrossInteractionReranker` — the "advanced neural method" stand-in:
+  a token-level interaction scorer over the candidate chunk *text* (IDF-style
+  rare-term weighting blended with embedding similarity), behaving like a
+  cross-encoder: more expensive per candidate, better at token-precise
+  relevance than the bi-encoder score alone.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections import Counter
+
+import numpy as np
+
+from ..ann.distances import as_matrix, normalize
+from ..datastore.chunkstore import ChunkStore
+
+
+class Reranker(abc.ABC):
+    """Reorders one query's candidate document ids, best first."""
+
+    @abc.abstractmethod
+    def rerank(
+        self, query_embedding: np.ndarray, candidate_ids: np.ndarray
+    ) -> np.ndarray:
+        """Return candidate ids reordered by relevance (padding -1 last)."""
+
+    def top(self, query_embedding: np.ndarray, candidate_ids: np.ndarray, n: int) -> np.ndarray:
+        """The *n* best candidates after reranking."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self.rerank(query_embedding, candidate_ids)[:n]
+
+
+class SimilarityReranker(Reranker):
+    """Exact inner-product reranking against full-precision vectors.
+
+    ``vectors`` holds the corpus embeddings in global-id order; unlike the
+    quantized index payloads, reranking uses full precision — a cheap
+    quality win the paper's pipeline exploits.
+    """
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        self.vectors = as_matrix(vectors)
+
+    def rerank(
+        self, query_embedding: np.ndarray, candidate_ids: np.ndarray
+    ) -> np.ndarray:
+        ids = np.asarray(candidate_ids, dtype=np.int64).ravel()
+        valid = ids[ids >= 0]
+        if not len(valid):
+            return ids
+        query = as_matrix(query_embedding)[0]
+        sims = self.vectors[valid] @ query
+        order = np.argsort(-sims)
+        reordered = valid[order]
+        padding = np.full(len(ids) - len(valid), -1, dtype=np.int64)
+        return np.concatenate([reordered, padding])
+
+
+class CrossInteractionReranker(Reranker):
+    """Token-interaction reranker over candidate text (cross-encoder stand-in).
+
+    Score = ``alpha * embedding_similarity + (1-alpha) * idf_weighted_token
+    overlap``. The token term rewards exact rare-term matches the embedding
+    dilutes — the behaviour that makes cross-encoders worth their cost.
+    Requires the chunk store (text) and the query's token ids.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        chunk_store: ChunkStore,
+        *,
+        alpha: float = 0.5,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self.vectors = as_matrix(vectors)
+        self.chunk_store = chunk_store
+        self.alpha = alpha
+        # Corpus-wide document frequencies for IDF weighting.
+        self._df: Counter = Counter()
+        self._n_docs = len(chunk_store)
+        for chunk_id in range(self._n_docs):
+            tokens = set(int(t) for t in chunk_store.get(chunk_id).tokens)
+            self._df.update(tokens)
+
+    def _idf(self, token: int) -> float:
+        df = self._df.get(token, 0)
+        return math.log((self._n_docs + 1) / (df + 1)) + 1.0
+
+    def _token_score(self, query_tokens: np.ndarray, chunk_tokens: np.ndarray) -> float:
+        chunk_set = set(int(t) for t in chunk_tokens)
+        q_tokens = [int(t) for t in query_tokens]
+        if not q_tokens:
+            return 0.0
+        gain = sum(self._idf(t) for t in q_tokens if t in chunk_set)
+        norm = sum(self._idf(t) for t in q_tokens)
+        return gain / norm if norm else 0.0
+
+    def rerank_with_tokens(
+        self,
+        query_embedding: np.ndarray,
+        query_tokens: np.ndarray,
+        candidate_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Full cross-interaction reranking (embedding + token evidence)."""
+        ids = np.asarray(candidate_ids, dtype=np.int64).ravel()
+        valid = ids[ids >= 0]
+        if not len(valid):
+            return ids
+        query = normalize(as_matrix(query_embedding))[0]
+        emb_scores = self.vectors[valid] @ query
+        token_scores = np.array(
+            [
+                self._token_score(query_tokens, self.chunk_store.get(int(doc)).tokens)
+                for doc in valid
+            ]
+        )
+        combined = self.alpha * emb_scores + (1 - self.alpha) * token_scores
+        order = np.argsort(-combined)
+        reordered = valid[order]
+        padding = np.full(len(ids) - len(valid), -1, dtype=np.int64)
+        return np.concatenate([reordered, padding])
+
+    def rerank(
+        self, query_embedding: np.ndarray, candidate_ids: np.ndarray
+    ) -> np.ndarray:
+        """Embedding-only fallback when query tokens are unavailable."""
+        return SimilarityReranker(self.vectors).rerank(query_embedding, candidate_ids)

@@ -1,0 +1,237 @@
+"""Cluster-routing strategies: which shards should a query deep-search?
+
+Fig. 11 of the paper compares three ways of picking clusters:
+
+- **Hermes (document sampling)**: run a cheap low-nProbe search into every
+  cluster, retrieve one real document from each, and rank clusters by that
+  document's similarity to the query. Real documents beat centroid
+  generalisations, which is the paper's key accuracy argument.
+- **Centroid-based**: rank clusters by query-to-centroid similarity only.
+- **All (naive)**: search every cluster (the naive-split baseline's only
+  option, since random shards have no routable structure).
+
+Routers return, per query, the ranked cluster ids to deep-search; Hermes's
+router also reports the sampling work so the performance model can charge
+for it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ann.distances import as_matrix, pairwise_distance, top_k
+from .clustering import ClusteredDatastore
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Routing output for one query batch.
+
+    ``clusters`` is ``(nq, m)``: ranked shard ids per query (best first).
+    ``scores`` carries the per-(query, shard) routing distances (smaller is
+    better) for all shards, useful for diagnostics and ablations.
+    """
+
+    clusters: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def fanout(self) -> int:
+        return self.clusters.shape[1]
+
+
+class ClusterRouter(abc.ABC):
+    """Strategy interface for deep-search cluster selection."""
+
+    name: str = "router"
+
+    @abc.abstractmethod
+    def route(
+        self,
+        queries: np.ndarray,
+        datastore: ClusteredDatastore,
+        m: int,
+        *,
+        exclude: frozenset = frozenset(),
+    ) -> RoutingDecision:
+        """Pick the *m* clusters each query should deep-search.
+
+        ``exclude`` lists failed/unreachable clusters (node-failure
+        handling): they are never probed nor routed to.
+        """
+
+    @staticmethod
+    def _check_fanout(m: int, datastore: ClusteredDatastore, exclude: frozenset) -> int:
+        alive = datastore.n_clusters - len(exclude)
+        if alive <= 0:
+            raise ValueError("no clusters left alive to route to")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        return min(m, alive)
+
+
+class SampledRouter(ClusterRouter):
+    """Hermes document-sampling router (§4.2).
+
+    Every cluster is probed with a low nProbe for its single most similar
+    document; clusters are ranked by that document's distance to the query.
+    """
+
+    name = "hermes-sampled"
+
+    def __init__(self, *, sample_nprobe: int | None = None, sample_k: int | None = None) -> None:
+        self.sample_nprobe = sample_nprobe
+        self.sample_k = sample_k
+
+    def route(
+        self,
+        queries: np.ndarray,
+        datastore: ClusteredDatastore,
+        m: int,
+        *,
+        exclude: frozenset = frozenset(),
+    ) -> RoutingDecision:
+        q = as_matrix(queries)
+        config = datastore.config
+        nprobe = self.sample_nprobe or config.sample_nprobe
+        sample_k = self.sample_k or config.sample_k
+        m = self._check_fanout(m, datastore, exclude)
+        scores = np.full((len(q), datastore.n_clusters), np.inf, dtype=np.float32)
+        for shard in datastore.shards:
+            if shard.shard_id in exclude:
+                continue  # a failed node cannot be sampled
+            dists, _ = shard.search(q, sample_k, nprobe=nprobe)
+            # Best (smallest) sampled distance represents the cluster.
+            scores[:, shard.shard_id] = dists[:, 0]
+        _, ranked = top_k(scores, m)
+        return RoutingDecision(clusters=ranked, scores=scores)
+
+
+class CentroidRouter(ClusterRouter):
+    """Centroid-only router (Fig. 11's "Centroid-Based" ablation)."""
+
+    name = "centroid"
+
+    def route(
+        self,
+        queries: np.ndarray,
+        datastore: ClusteredDatastore,
+        m: int,
+        *,
+        exclude: frozenset = frozenset(),
+    ) -> RoutingDecision:
+        q = as_matrix(queries)
+        m = self._check_fanout(m, datastore, exclude)
+        scores = pairwise_distance(q, datastore.centroids(), datastore.config.metric)
+        scores = scores.astype(np.float32)
+        for dead in exclude:
+            scores[:, dead] = np.inf
+        _, ranked = top_k(scores, m)
+        return RoutingDecision(clusters=ranked, scores=scores)
+
+
+class AllRouter(ClusterRouter):
+    """Search-everything router (naive distributed baseline)."""
+
+    name = "all"
+
+    def route(
+        self,
+        queries: np.ndarray,
+        datastore: ClusteredDatastore,
+        m: int,
+        *,
+        exclude: frozenset = frozenset(),
+    ) -> RoutingDecision:
+        q = as_matrix(queries)
+        del m  # the naive baseline always searches every live cluster
+        n = datastore.n_clusters
+        alive = np.array(
+            [c for c in range(n) if c not in exclude], dtype=np.int64
+        )
+        if not len(alive):
+            raise ValueError("no clusters left alive to route to")
+        clusters = np.tile(alive, (len(q), 1))
+        scores = np.zeros((len(q), n), dtype=np.float32)
+        for dead in exclude:
+            scores[:, dead] = np.inf
+        return RoutingDecision(clusters=clusters, scores=scores)
+
+
+class LoadAwareRouter(ClusterRouter):
+    """Routing extension: break near-ties toward cheaper/colder nodes.
+
+    Hermes's Fig. 13 shows hot clusters absorb >2x the deep-search traffic
+    of cold ones, which caps fleet throughput at the hottest node. Often the
+    router's choice is *nearly indifferent* — several clusters' sampled
+    documents score within a whisker of each other — and any of them would
+    satisfy the query. This wrapper exploits that: among clusters whose
+    routing score is within ``slack`` of the would-be cut-off, it prefers the
+    ones with lower ``node_costs`` (e.g. recent load, queue depth, or a
+    slower platform), flattening the access skew at bounded accuracy cost.
+
+    This is an extension beyond the paper (its scheduler routes purely by
+    similarity and reclaims the imbalance with DVFS); the test suite
+    quantifies the trade-off.
+    """
+
+    name = "load-aware"
+
+    def __init__(
+        self,
+        base: ClusterRouter,
+        node_costs: np.ndarray,
+        *,
+        slack: float = 0.05,
+    ) -> None:
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        self.base = base
+        self.node_costs = np.asarray(node_costs, dtype=np.float64)
+        self.slack = slack
+
+    def route(
+        self,
+        queries: np.ndarray,
+        datastore: ClusteredDatastore,
+        m: int,
+        *,
+        exclude: frozenset = frozenset(),
+    ) -> RoutingDecision:
+        if len(self.node_costs) != datastore.n_clusters:
+            raise ValueError(
+                f"node_costs has {len(self.node_costs)} entries for "
+                f"{datastore.n_clusters} clusters"
+            )
+        base = self.base.route(queries, datastore, m, exclude=exclude)
+        m_eff = base.fanout
+        scores = base.scores
+        nq, n = scores.shape
+        clusters = np.empty((nq, m_eff), dtype=np.int64)
+        for qi in range(nq):
+            row = scores[qi]
+            finite = np.isfinite(row)
+            order = np.argsort(row)
+            cutoff = row[order[m_eff - 1]]
+            # Tie window scoped to the local decision: the spread among the
+            # top-2m candidates, not the whole fleet — only genuinely
+            # near-equivalent clusters may swap in.
+            local = order[: min(2 * m_eff, int(finite.sum()))]
+            spread = float(row[local[-1]] - row[local[0]]) if len(local) > 1 else 0.0
+            threshold = cutoff + self.slack * max(spread, 0.0)
+            eligible = np.flatnonzero(finite & (row <= threshold))
+            # Keep m: prefer low node cost, tie-break by routing score.
+            ranked = sorted(
+                eligible, key=lambda c: (self.node_costs[c], row[c])
+            )[:m_eff]
+            # Preserve relevance order within the final pick.
+            ranked = sorted(ranked, key=lambda c: row[c])
+            clusters[qi] = np.asarray(ranked, dtype=np.int64)
+        return RoutingDecision(clusters=clusters, scores=scores)

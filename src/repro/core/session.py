@@ -1,0 +1,172 @@
+"""Token-level strided RAG sessions over a real clustered datastore.
+
+The cost models treat a stride as a fixed-price retrieval; this module runs
+the actual §2.2 loop: encode the current context, retrieve, "generate" a
+stride of tokens grounded in the retrieved chunks, fold them into the
+context, and retrieve again. Because retrieval really re-executes against the
+clustered indices with a drifting query, the session measures two quantities
+the paper only assumes:
+
+- **stride document overlap** — how often stride *i* re-retrieves stride
+  *i-1*'s documents, the quantity behind RAGCache's (assumed ideal) hit rate;
+- **routing stability** — whether the Hermes cluster choice stays put as the
+  context evolves, which determines how well per-node caches and DVFS
+  settings persist across strides.
+
+Generation is simulated deterministically: each stride emits tokens sampled
+from the top retrieved chunk mixed with the query's own tokens (a grounded
+"copy mechanism"), which preserves the topical drift real RAG generation
+exhibits without needing a language model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datastore.chunkstore import ChunkStore
+from ..datastore.encoder import SyntheticEncoder
+from .hierarchical import HierarchicalSearcher
+
+
+@dataclass
+class StrideStep:
+    """One stride's retrieval + generation record."""
+
+    stride_index: int
+    retrieved_ids: np.ndarray
+    routed_clusters: np.ndarray
+    generated_tokens: np.ndarray
+
+
+@dataclass
+class SessionTrace:
+    """Full record of one strided generation session."""
+
+    steps: list[StrideStep] = field(default_factory=list)
+
+    @property
+    def n_strides(self) -> int:
+        return len(self.steps)
+
+    def stride_results(self) -> list[np.ndarray]:
+        """Per-stride retrieved-id arrays (input to the RAGCache analyses)."""
+        return [s.retrieved_ids for s in self.steps]
+
+    def document_overlap(self) -> float:
+        """Mean consecutive-stride retrieval overlap (0..1)."""
+        from ..baselines.ragcache import stride_overlap_fraction
+
+        return stride_overlap_fraction(self.stride_results())
+
+    def routing_stability(self) -> float:
+        """Mean Jaccard similarity of consecutive strides' routed clusters."""
+        if len(self.steps) < 2:
+            raise ValueError("need at least two strides")
+        scores = []
+        for prev, cur in zip(self.steps, self.steps[1:]):
+            a = {int(c) for c in prev.routed_clusters if c >= 0}
+            b = {int(c) for c in cur.routed_clusters if c >= 0}
+            union = a | b
+            scores.append(len(a & b) / len(union) if union else 1.0)
+        return float(np.mean(scores))
+
+    def all_generated_tokens(self) -> np.ndarray:
+        if not self.steps:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([s.generated_tokens for s in self.steps])
+
+
+class StridedRAGSession:
+    """Drives the strided retrieve→generate loop for one query.
+
+    Parameters
+    ----------
+    searcher:
+        Hierarchical searcher over the clustered datastore.
+    encoder:
+        The shared deterministic encoder (query context is re-encoded every
+        stride).
+    chunk_store:
+        Id → chunk lookup for grounding the simulated generation.
+    stride_tokens:
+        Tokens generated per stride.
+    context_window:
+        Maximum context tokens kept when re-encoding (oldest dropped first),
+        mirroring a fixed input window.
+    grounding:
+        Fraction of each stride's tokens copied from the top retrieved chunk
+        (the rest repeat query-context tokens). Higher grounding drifts the
+        query toward the retrieved topic faster.
+    """
+
+    def __init__(
+        self,
+        searcher: HierarchicalSearcher,
+        encoder: SyntheticEncoder,
+        chunk_store: ChunkStore,
+        *,
+        stride_tokens: int = 16,
+        context_window: int = 512,
+        grounding: float = 0.5,
+        k: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if stride_tokens <= 0 or context_window <= 0:
+            raise ValueError("stride_tokens and context_window must be positive")
+        if not 0.0 <= grounding <= 1.0:
+            raise ValueError("grounding must be in [0, 1]")
+        self.searcher = searcher
+        self.encoder = encoder
+        self.chunk_store = chunk_store
+        self.stride_tokens = stride_tokens
+        self.context_window = context_window
+        self.grounding = grounding
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+
+    def _generate_stride(
+        self, context: np.ndarray, top_chunk_tokens: np.ndarray
+    ) -> np.ndarray:
+        """Emit one stride of grounded pseudo-generation."""
+        n_grounded = int(round(self.stride_tokens * self.grounding))
+        n_context = self.stride_tokens - n_grounded
+        parts = []
+        if n_grounded and len(top_chunk_tokens):
+            parts.append(self._rng.choice(top_chunk_tokens, size=n_grounded))
+        if n_context and len(context):
+            parts.append(self._rng.choice(context, size=n_context))
+        if not parts:
+            raise ValueError("cannot generate from empty context and chunk")
+        return np.concatenate(parts).astype(np.int64)
+
+    def run(self, query_tokens: np.ndarray, *, n_strides: int = 8) -> SessionTrace:
+        """Execute *n_strides* of the retrieve→generate loop."""
+        if n_strides <= 0:
+            raise ValueError("n_strides must be positive")
+        context = np.asarray(query_tokens, dtype=np.int64)
+        if not len(context):
+            raise ValueError("query must be non-empty")
+        trace = SessionTrace()
+        for stride in range(n_strides):
+            embedding = self.encoder.encode_tokens(context[-self.context_window:])
+            result = self.searcher.search(embedding[np.newaxis, :], k=self.k)
+            ids = result.ids[0]
+            top_id = int(ids[0]) if ids[0] >= 0 else -1
+            top_tokens = (
+                self.chunk_store.get(top_id).tokens
+                if top_id >= 0
+                else np.empty(0, dtype=np.int64)
+            )
+            generated = self._generate_stride(context, top_tokens)
+            trace.steps.append(
+                StrideStep(
+                    stride_index=stride,
+                    retrieved_ids=ids.copy(),
+                    routed_clusters=result.routing.clusters[0].copy(),
+                    generated_tokens=generated,
+                )
+            )
+            context = np.concatenate([context, generated])
+        return trace

@@ -1,0 +1,72 @@
+"""Clustered-datastore persistence: one directory per deployment.
+
+Layout::
+
+    <dir>/manifest.json        # config + shard inventory
+    <dir>/shard_<i>.npz        # one IVF index per cluster (ann.persistence)
+    <dir>/assignments.npy      # per-document shard assignment
+
+Mirrors the paper artifact's offline index-construction outputs so a built
+deployment can be constructed once and served many times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..ann.persistence import load_index, save_ivf
+from .clustering import ClusteredDatastore, IndexShard
+from .config import HermesConfig
+
+
+def save_datastore(datastore: ClusteredDatastore, directory: "str | Path") -> None:
+    """Persist a clustered datastore to *directory* (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "config": dataclasses.asdict(datastore.config),
+        "n_clusters": datastore.n_clusters,
+        "shards": [],
+    }
+    for shard in datastore.shards:
+        filename = f"shard_{shard.shard_id}.npz"
+        save_ivf(shard.index, directory / filename)
+        np.save(directory / f"ids_{shard.shard_id}.npy", shard.global_ids)
+        np.save(directory / f"centroid_{shard.shard_id}.npy", shard.centroid)
+        manifest["shards"].append(
+            {"shard_id": shard.shard_id, "file": filename, "size": len(shard)}
+        )
+    np.save(directory / "assignments.npy", datastore.assignments)
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+
+def load_datastore(directory: "str | Path") -> ClusteredDatastore:
+    """Load a datastore saved by :func:`save_datastore`."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    config_dict = dict(manifest["config"])
+    config_dict["kmeans_seeds"] = tuple(config_dict["kmeans_seeds"])
+    config = HermesConfig(**config_dict)
+    shards = []
+    for entry in manifest["shards"]:
+        shard_id = entry["shard_id"]
+        index = load_index(directory / entry["file"])
+        shards.append(
+            IndexShard(
+                shard_id=shard_id,
+                index=index,
+                global_ids=np.load(directory / f"ids_{shard_id}.npy"),
+                centroid=np.load(directory / f"centroid_{shard_id}.npy"),
+            )
+        )
+    assignments = np.load(directory / "assignments.npy")
+    return ClusteredDatastore(
+        shards=shards, config=config, clustering=None, assignments=assignments
+    )

@@ -1,0 +1,70 @@
+"""Chunk datastore: the id → document-chunk lookup of the online pipeline.
+
+In the paper's online flow (its Fig. 3) the vector search returns document
+*ids*; a separate chunk datastore maps ids to text, which is then prepended
+to the LLM prompt. This module is that lookup plus the augmentation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .corpus import Chunk
+
+
+class ChunkStore:
+    """Immutable id-addressed store of document chunks."""
+
+    def __init__(self, chunks: list[Chunk]) -> None:
+        self._chunks = list(chunks)
+        for expected, chunk in enumerate(self._chunks):
+            if chunk.chunk_id != expected:
+                raise ValueError(
+                    f"chunk ids must be contiguous from 0; got {chunk.chunk_id} at {expected}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def get(self, chunk_id: int) -> Chunk:
+        """Fetch one chunk; raises ``KeyError`` for unknown or padded (-1) ids."""
+        if not 0 <= chunk_id < len(self._chunks):
+            raise KeyError(f"unknown chunk id {chunk_id}")
+        return self._chunks[chunk_id]
+
+    def get_many(self, chunk_ids: np.ndarray) -> list[Chunk]:
+        """Fetch several chunks, silently skipping ``-1`` padding ids."""
+        return [self.get(int(cid)) for cid in np.asarray(chunk_ids).ravel() if cid >= 0]
+
+    def texts(self, chunk_ids: np.ndarray) -> list[str]:
+        """Render several chunks to text."""
+        return [chunk.text() for chunk in self.get_many(chunk_ids)]
+
+
+@dataclass(frozen=True)
+class AugmentedQuery:
+    """A query with retrieved context prepended, ready for LLM inference."""
+
+    query_text: str
+    context_texts: tuple[str, ...]
+
+    def prompt(self) -> str:
+        """Render the enhanced prompt (contexts first, then the question)."""
+        parts = list(self.context_texts) + [self.query_text]
+        return "\n".join(parts)
+
+
+def augment_query(
+    query_text: str, store: ChunkStore, chunk_ids: np.ndarray, *, top_n: int = 1
+) -> AugmentedQuery:
+    """Prepend the *top_n* retrieved chunks to the query (paper §5 uses 1).
+
+    ``chunk_ids`` must already be relevance-ordered (the pipeline reranks by
+    inner product before augmentation).
+    """
+    if top_n <= 0:
+        raise ValueError(f"top_n must be positive, got {top_n}")
+    texts = store.texts(np.asarray(chunk_ids).ravel()[:top_n])
+    return AugmentedQuery(query_text=query_text, context_texts=tuple(texts))

@@ -1,0 +1,135 @@
+"""Deterministic text encoder standing in for BGE-Large.
+
+The paper encodes queries and document chunks with the BGE-Large embedding
+model. Offline we replace it with a *hash-projection bag-of-tokens* encoder:
+every token id maps to a fixed pseudo-random unit vector (seeded by the token
+id, so the mapping is global and deterministic), and a text's embedding is
+the L2-normalised mean of its token vectors.
+
+Because :class:`repro.datastore.corpus.CorpusGenerator` gives documents
+topic-specific token pools, documents about the same topic share many token
+vectors and therefore land close together — topical cluster structure emerges
+from the encode path itself rather than being injected directly, which is the
+property Hermes's clustering exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ann.distances import normalize
+from .corpus import Chunk
+from .embeddings import DEFAULT_DIM
+
+
+class SyntheticEncoder:
+    """Hash-projection bag-of-tokens encoder.
+
+    Parameters
+    ----------
+    dim:
+        Output embedding dimensionality.
+    seed:
+        Global seed mixed into every token hash; two encoders with the same
+        ``(dim, seed)`` are bit-identical functions.
+    semantic_vocab / semantic_weight:
+        Optional distributional-similarity structure: tokens belonging to the
+        same topic pool of the given
+        :class:`~repro.datastore.corpus.TokenVocabulary` share a topic
+        direction blended into their hash vector with weight
+        ``semantic_weight``. This is what lets dense retrieval match
+        *synonymous* (same-topic, non-overlapping) text the way trained
+        embeddings do — used by the sparse-vs-dense background experiments.
+        Common and out-of-vocabulary tokens stay pure hash noise.
+    """
+
+    def __init__(
+        self,
+        dim: int = DEFAULT_DIM,
+        *,
+        seed: int = 0,
+        semantic_vocab=None,
+        semantic_weight: float = 0.0,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 0.0 <= semantic_weight < 1.0:
+            raise ValueError("semantic_weight must be in [0, 1)")
+        if semantic_weight > 0 and semantic_vocab is None:
+            raise ValueError("semantic_weight requires a semantic_vocab")
+        self.dim = dim
+        self.seed = seed
+        self.semantic_vocab = semantic_vocab
+        self.semantic_weight = semantic_weight
+        self._cache: dict[int, np.ndarray] = {}
+        self._topic_cache: dict[int, np.ndarray] = {}
+
+    # -- token-level --------------------------------------------------------
+    def _topic_direction(self, topic: int) -> np.ndarray:
+        vec = self._topic_cache.get(topic)
+        if vec is None:
+            rng = np.random.default_rng((self.seed << 16) ^ 0xA11CE ^ topic)
+            vec = normalize(rng.normal(size=self.dim))[0].astype(np.float32)
+            self._topic_cache[topic] = vec
+        return vec
+
+    def token_vector(self, token: int) -> np.ndarray:
+        """Fixed unit vector for a token id (memoised)."""
+        vec = self._cache.get(token)
+        if vec is None:
+            rng = np.random.default_rng((self.seed << 32) ^ (int(token) + 1))
+            vec = normalize(rng.normal(size=self.dim))[0].astype(np.float32)
+            if self.semantic_weight > 0 and token < self.semantic_vocab.size:
+                topic = self.semantic_vocab.topic_of_token(int(token))
+                if topic >= 0:
+                    blended = (
+                        self.semantic_weight * self._topic_direction(topic)
+                        + (1.0 - self.semantic_weight) * vec
+                    )
+                    vec = normalize(blended)[0].astype(np.float32)
+            self._cache[token] = vec
+        return vec
+
+    def encode_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        """Embed one token sequence as the normalised mean token vector."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if len(tokens) == 0:
+            raise ValueError("cannot encode an empty token sequence")
+        acc = np.zeros(self.dim, dtype=np.float32)
+        for token in tokens:
+            acc += self.token_vector(int(token))
+        return normalize(acc / len(tokens))[0]
+
+    # -- text-level -----------------------------------------------------------
+    @staticmethod
+    def tokenize(text: str) -> np.ndarray:
+        """Inverse of :meth:`Chunk.text`: parse ``tok<i>`` words to token ids.
+
+        Unknown words hash into a stable token id so free-form query text is
+        also encodable.
+        """
+        ids = []
+        for word in text.split():
+            if word.startswith("tok") and word[3:].isdigit():
+                ids.append(int(word[3:]))
+            else:
+                ids.append(hash(word) & 0x7FFFFFFF)
+        if not ids:
+            raise ValueError("cannot tokenize empty text")
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode_text(self, text: str) -> np.ndarray:
+        """Embed free-form text."""
+        return self.encode_tokens(self.tokenize(text))
+
+    def encode_chunks(self, chunks: list[Chunk]) -> np.ndarray:
+        """Embed a chunk list into an ``(n, dim)`` matrix."""
+        if not chunks:
+            return np.empty((0, self.dim), dtype=np.float32)
+        return np.stack([self.encode_tokens(c.tokens) for c in chunks])
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed a batch of texts into an ``(n, dim)`` matrix."""
+        if not texts:
+            return np.empty((0, self.dim), dtype=np.float32)
+        return np.stack([self.encode_text(t) for t in texts])

@@ -1,0 +1,48 @@
+"""Per-table/figure experiment modules.
+
+Each module regenerates one table or figure from the paper's background,
+characterisation, design, or evaluation sections (see DESIGN.md's
+per-experiment index). ``runner.run_all()`` regenerates everything.
+"""
+
+from . import (
+    common,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    table1,
+)
+
+__all__ = [
+    "common",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "table1",
+]

@@ -1,0 +1,92 @@
+"""Figure 6: TTFT and end-to-end latency vs datastore size.
+
+The paper's headline characterisation (§3 Takeaway 1): with a monolithic
+index, batch 32, Gemma2-9B, 512 in / 256 out, stride 16:
+
+- TTFT retrieval share ≈61% at 10B tokens, ≈94% at 100B;
+- E2E latency ≈12.0 s at 100M, ≈101.8 s at 100B, ≈909.1 s at 1T.
+
+Our calibrated model reproduces these within ~2% (see EXPERIMENTS.md). Both
+panels come with per-stage breakdowns (encoding / retrieval / prefill /
+decoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.generation import GenerationConfig, constant_retrieval, simulate_generation
+from ..llm.inference import InferenceModel
+from ..metrics.reporting import format_table
+from .common import monolithic_retrieval_cost
+
+#: Datastore sizes (tokens) on the figure's x axes.
+TTFT_SIZES = (10e9, 100e9)
+E2E_SIZES = (100e6, 1e9, 10e9, 100e9, 1e12)
+
+#: Paper-reported anchors for EXPERIMENTS.md comparisons.
+PAPER_E2E = {100e6: 12.0, 100e9: 101.8, 1e12: 909.1}
+PAPER_TTFT_RETRIEVAL_SHARE = {10e9: 0.6121, 100e9: 0.9398}
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One datastore size's latency decomposition."""
+
+    datastore_tokens: float
+    ttft_s: float
+    e2e_s: float
+    encoding_s: float
+    retrieval_s: float
+    prefill_s: float
+    decoding_s: float
+    retrieval_share_of_ttft: float
+
+
+def measure(
+    datastore_tokens: float,
+    *,
+    batch: int = 32,
+    config: GenerationConfig | None = None,
+) -> LatencyPoint:
+    """Simulate the monolithic baseline at one datastore size."""
+    cfg = config or GenerationConfig(batch=batch)
+    inference = InferenceModel()
+    cost = monolithic_retrieval_cost(datastore_tokens, cfg.batch)
+    result = simulate_generation(constant_retrieval(cost), inference, cfg)
+    return LatencyPoint(
+        datastore_tokens=datastore_tokens,
+        ttft_s=result.ttft_s,
+        e2e_s=result.e2e_s,
+        encoding_s=result.encode_s,
+        retrieval_s=result.retrieval_s,
+        prefill_s=result.prefill_s,
+        decoding_s=result.decode_s,
+        retrieval_share_of_ttft=result.retrieval_fraction_of_ttft,
+    )
+
+
+def run(sizes: tuple[float, ...] = E2E_SIZES, *, batch: int = 32) -> list[LatencyPoint]:
+    """The full Figure 6 sweep."""
+    return [measure(s, batch=batch) for s in sizes]
+
+
+def render(points: list[LatencyPoint]) -> str:
+    """Text rendering with paper anchors where available."""
+    rows = []
+    for p in points:
+        paper = PAPER_E2E.get(p.datastore_tokens, "-")
+        rows.append(
+            (
+                f"{p.datastore_tokens:.0e}",
+                p.ttft_s,
+                f"{p.retrieval_share_of_ttft:.1%}",
+                p.e2e_s,
+                paper,
+            )
+        )
+    return format_table(
+        ["Tokens", "TTFT (s)", "Retr % of TTFT", "E2E (s)", "Paper E2E (s)"],
+        rows,
+        title="Figure 6: latency vs datastore size (monolithic baseline)",
+    )

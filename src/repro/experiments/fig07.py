@@ -1,0 +1,71 @@
+"""Figure 7: retrieval throughput, energy, and memory scaling.
+
+For an IVF-SQ8 index on the 32-core Xeon Gold, each 10x in datastore tokens
+costs ~10x in throughput, ~10x in energy per query, and ~10x in resident
+memory (§3 Takeaway 2). The paper's anchors: at 100B tokens a single CPU
+reaches only ~5.69 QPS; index memory approaches 10 TB at 1T tokens. The GPU
+contrast: an A6000 Ada delivers 132 QPS prefill at 2.2 J/query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.inference import InferenceModel
+from ..metrics.reporting import format_table
+from ..perfmodel.measurements import RetrievalCostModel, index_memory_bytes
+
+#: Datastore sizes (tokens) on the x axis.
+SIZES = (100e6, 1e9, 10e9, 100e9, 1e12)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One datastore size's retrieval system metrics."""
+
+    datastore_tokens: float
+    throughput_qps: float
+    energy_per_query_j: float
+    memory_gb: float
+
+
+def measure(datastore_tokens: float, *, batch: int = 32) -> ScalingPoint:
+    """Throughput / energy / memory at one size (monolithic IVF-SQ8)."""
+    cost = RetrievalCostModel()
+    qps = cost.throughput_qps(datastore_tokens, batch)
+    energy = cost.batch_energy(datastore_tokens, batch) / batch
+    return ScalingPoint(
+        datastore_tokens=datastore_tokens,
+        throughput_qps=qps,
+        energy_per_query_j=energy,
+        memory_gb=index_memory_bytes(datastore_tokens) / 1e9,
+    )
+
+
+def run(sizes: tuple[float, ...] = SIZES, *, batch: int = 32) -> list[ScalingPoint]:
+    """The full Figure 7 sweep."""
+    return [measure(s, batch=batch) for s in sizes]
+
+
+def gpu_contrast(*, batch: int = 32) -> dict[str, float]:
+    """The paper's CPU-vs-GPU efficiency contrast (§3 Takeaway 2)."""
+    inference = InferenceModel()
+    prefill = inference.prefill(batch, 512)
+    decode = inference.decode(batch, 16)
+    return {
+        "gpu_prefill_qps": batch / prefill.latency_s,
+        "gpu_prefill_j_per_query": prefill.energy_j / batch,
+        "gpu_decode_stride_qps": batch / decode.latency_s,
+        "gpu_decode_j_per_query": decode.energy_j / batch,
+    }
+
+
+def render(points: list[ScalingPoint]) -> str:
+    return format_table(
+        ["Tokens", "Throughput (QPS)", "Energy/query (J)", "Memory (GB)"],
+        [
+            (f"{p.datastore_tokens:.0e}", p.throughput_qps, p.energy_per_query_j, p.memory_gb)
+            for p in points
+        ],
+        title="Figure 7: IVF-SQ8 scaling trends (Xeon Gold 6448Y)",
+    )

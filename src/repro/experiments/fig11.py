@@ -1,0 +1,96 @@
+"""Figure 11: retrieval quality vs clusters deep-searched (the key ablation).
+
+NDCG against exhaustive ground truth, sweeping how many clusters get the
+in-depth search, for four strategies:
+
+- **Monolithic**: the single big index (the iso-accuracy target line);
+- **Split**: naive random sharding + sampling router — needs nearly all 10
+  shards to recover accuracy because shards are topically incoherent;
+- **Centroid-Based**: semantic clusters routed by centroid similarity only;
+- **Hermes**: semantic clusters routed by document sampling — reaches
+  iso-accuracy with ~3 clusters and dominates centroid routing.
+
+This is a *real-search* experiment over the shared accuracy corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.hierarchical import HierarchicalSearcher
+from ..core.router import CentroidRouter, SampledRouter
+from ..metrics.ndcg import ndcg
+from ..metrics.reporting import FigureResult
+from .common import (
+    K_DOCS,
+    accuracy_queries,
+    clustered_accuracy_datastore,
+    monolithic_accuracy_retriever,
+    split_accuracy_datastore,
+)
+
+#: Deep-search fan-outs swept on the x axis.
+CLUSTER_SWEEP = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+@dataclass
+class AccuracySweep:
+    """NDCG-vs-clusters-searched curves for all strategies."""
+
+    clusters: list[int]
+    monolithic: float
+    hermes: list[float] = field(default_factory=list)
+    centroid: list[float] = field(default_factory=list)
+    split: list[float] = field(default_factory=list)
+
+    def hermes_iso_accuracy_clusters(self, tolerance: float = 0.02) -> int:
+        """Smallest fan-out where Hermes is within *tolerance* of monolithic."""
+        for m, score in zip(self.clusters, self.hermes):
+            if score >= self.monolithic - tolerance:
+                return m
+        return self.clusters[-1]
+
+
+def run(clusters: tuple[int, ...] = CLUSTER_SWEEP, *, k: int = K_DOCS) -> AccuracySweep:
+    """Run the full Figure 11 sweep with real searches."""
+    queries = accuracy_queries().embeddings
+    mono = monolithic_accuracy_retriever()
+    _, truth = mono.ground_truth(queries, k)
+    _, mono_ids = mono.search(queries, k)
+
+    clustered = clustered_accuracy_datastore()
+    split = split_accuracy_datastore()
+    hermes = HierarchicalSearcher(clustered, router=SampledRouter())
+    centroid = HierarchicalSearcher(clustered, router=CentroidRouter())
+    split_search = HierarchicalSearcher(split, router=SampledRouter())
+
+    sweep = AccuracySweep(clusters=list(clusters), monolithic=ndcg(mono_ids, truth))
+    for m in clusters:
+        sweep.hermes.append(
+            ndcg(hermes.search(queries, k=k, clusters_to_search=m).ids, truth)
+        )
+        sweep.centroid.append(
+            ndcg(centroid.search(queries, k=k, clusters_to_search=m).ids, truth)
+        )
+        sweep.split.append(
+            ndcg(split_search.search(queries, k=k, clusters_to_search=m).ids, truth)
+        )
+    return sweep
+
+
+def to_figure(sweep: AccuracySweep) -> FigureResult:
+    fig = FigureResult(
+        figure_id="fig11",
+        description="NDCG vs clusters deep-searched",
+    )
+    xs = [float(m) for m in sweep.clusters]
+    fig.add("Monolithic", xs, [sweep.monolithic] * len(xs))
+    fig.add("Split", xs, sweep.split)
+    fig.add("Centroid-Based", xs, sweep.centroid)
+    fig.add("Hermes", xs, sweep.hermes)
+    fig.notes.append(
+        f"Hermes reaches iso-accuracy at {sweep.hermes_iso_accuracy_clusters()} clusters"
+    )
+    return fig

@@ -1,0 +1,127 @@
+"""Figure 14: Hermes vs prior acceleration across serving configurations.
+
+Normalized end-to-end latency and energy for five strategies — Baseline,
+RAGCache, PipeRAG, standalone Hermes, and the Hermes/PipeRAG/RAGCache stack —
+swept along the figure's three axes (everything else at the paper defaults:
+batch 128, 10B tokens, stride 16, Gemma2-9B on an A6000 Ada):
+
+- batch size: 32, 64, 128, 256;
+- datastore size: 1B, 10B, 100B, 1T tokens;
+- stride length: 4, 16, 32, 64.
+
+Paper shapes to reproduce: Hermes latency gains of ~2.45-10.25x and energy
+gains of ~1.08-3.37x, growing with datastore size and retrieval frequency,
+shrinking when the GPU becomes the bottleneck (small stores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..llm.generation import GenerationConfig
+from ..metrics.reporting import format_table
+from .common import StrategyOutcome, compare_strategies
+
+BATCH_SWEEP = (32, 64, 128, 256)
+SIZE_SWEEP = (1e9, 10e9, 100e9, 1e12)
+STRIDE_SWEEP = (4, 16, 32, 64)
+
+#: Figure defaults (§6: "we standardize our batch size at 128 with a
+#: datastore size of 10 billion tokens and a stride length of 16").
+DEFAULT_CONFIG = GenerationConfig(batch=128, stride=16)
+DEFAULT_TOKENS = 10e9
+
+STRATEGIES = ("baseline", "ragcache", "piperag", "hermes", "hermes_combined")
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """All strategies at one configuration, with normalized metrics."""
+
+    axis: str
+    value: float
+    outcomes: dict[str, StrategyOutcome]
+
+    def normalized_latency(self) -> dict[str, float]:
+        base = self.outcomes["baseline"].e2e_s
+        return {name: o.e2e_s / base for name, o in self.outcomes.items()}
+
+    def normalized_energy(self) -> dict[str, float]:
+        base = self.outcomes["baseline"].energy_j
+        return {name: o.energy_j / base for name, o in self.outcomes.items()}
+
+    def hermes_speedup(self) -> float:
+        return self.outcomes["baseline"].e2e_s / self.outcomes["hermes_combined"].e2e_s
+
+    def hermes_energy_saving(self) -> float:
+        return (
+            self.outcomes["baseline"].energy_j
+            / self.outcomes["hermes_combined"].energy_j
+        )
+
+
+def sweep_batch(batches: tuple[int, ...] = BATCH_SWEEP) -> list[ComparisonPoint]:
+    """Left panel: vary retrieval/inference batch size."""
+    return [
+        ComparisonPoint(
+            axis="batch",
+            value=b,
+            outcomes=compare_strategies(
+                DEFAULT_TOKENS, replace(DEFAULT_CONFIG, batch=b)
+            ),
+        )
+        for b in batches
+    ]
+
+
+def sweep_datastore(sizes: tuple[float, ...] = SIZE_SWEEP) -> list[ComparisonPoint]:
+    """Center panel: vary datastore size."""
+    return [
+        ComparisonPoint(
+            axis="datastore_tokens",
+            value=s,
+            outcomes=compare_strategies(s, DEFAULT_CONFIG),
+        )
+        for s in sizes
+    ]
+
+
+def sweep_stride(strides: tuple[int, ...] = STRIDE_SWEEP) -> list[ComparisonPoint]:
+    """Right panel: vary retrieval stride."""
+    return [
+        ComparisonPoint(
+            axis="stride",
+            value=s,
+            outcomes=compare_strategies(
+                DEFAULT_TOKENS, replace(DEFAULT_CONFIG, stride=s)
+            ),
+        )
+        for s in strides
+    ]
+
+
+def run() -> dict[str, list[ComparisonPoint]]:
+    """All three panels of Figure 14."""
+    return {
+        "batch": sweep_batch(),
+        "datastore": sweep_datastore(),
+        "stride": sweep_stride(),
+    }
+
+
+def render(points: list[ComparisonPoint], *, metric: str = "latency") -> str:
+    """Text table of one panel, normalized to the baseline."""
+    getter = (
+        ComparisonPoint.normalized_latency
+        if metric == "latency"
+        else ComparisonPoint.normalized_energy
+    )
+    rows = []
+    for p in points:
+        normalized = getter(p)
+        rows.append([f"{p.value:g}"] + [normalized[s] for s in STRATEGIES])
+    return format_table(
+        [points[0].axis] + list(STRATEGIES),
+        rows,
+        title=f"Figure 14 ({points[0].axis} sweep): normalized {metric}",
+    )

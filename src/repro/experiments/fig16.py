@@ -1,0 +1,51 @@
+"""Figure 16: time-to-first-token across datastore sizes.
+
+TTFT is dominated by the *first* retrieval, which neither pipelining nor
+prefix caching can hide — so the paper's Baseline and Hermes/PipeRAG/RAGCache
+bars differ only through Hermes's distributed hierarchical retrieval. The
+headline: a 9.1x TTFT improvement at the trillion-token scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.generation import GenerationConfig
+from .common import StrategyOutcome, compare_strategies
+
+#: Datastore sizes on the x axis.
+SIZES = (1e9, 10e9, 1e12)
+
+
+@dataclass(frozen=True)
+class TTFTPoint:
+    """TTFT of each strategy at one datastore size."""
+
+    datastore_tokens: float
+    outcomes: dict[str, StrategyOutcome]
+
+    def normalized_ttft(self) -> dict[str, float]:
+        base = self.outcomes["baseline"].ttft_s
+        return {name: o.ttft_s / base for name, o in self.outcomes.items()}
+
+    def hermes_ttft_speedup(self) -> float:
+        return self.outcomes["baseline"].ttft_s / self.outcomes["hermes"].ttft_s
+
+    def pipelining_helps_ttft(self) -> bool:
+        """The paper's negative result: PipeRAG/RAGCache don't cut TTFT."""
+        base = self.outcomes["baseline"].ttft_s
+        return (
+            self.outcomes["piperag"].ttft_s < 0.99 * base
+            or self.outcomes["ragcache"].ttft_s < 0.99 * base
+        )
+
+
+def run(
+    sizes: tuple[float, ...] = SIZES, *, config: GenerationConfig | None = None
+) -> list[TTFTPoint]:
+    """The Figure 16 sweep."""
+    cfg = config or GenerationConfig(batch=128)
+    return [
+        TTFTPoint(datastore_tokens=s, outcomes=compare_strategies(s, cfg))
+        for s in sizes
+    ]

@@ -1,0 +1,81 @@
+"""Figure 18: retrieval throughput and energy vs clusters deep-searched.
+
+Hermes's advantage over the naive distributed scheme measured at the
+retrieval tier alone: batch 128, NQ-like access skew, ten clusters. The
+paper's anchors — searching 3 of 10 clusters delivers 1.81x the throughput
+and 1.77x the energy efficiency of searching all 10 (whose throughput is
+~290 QPS in their measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.reporting import FigureResult
+from .common import FleetSetup, build_fleet
+from ..perfmodel.aggregate import expected_deep_loads
+
+CLUSTER_SWEEP = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+#: Fig. 18's fleet: the paper's evaluation datastore (10B tokens) over 10
+#: nodes.
+DEFAULT_TOTAL_TOKENS = 10e9
+
+
+@dataclass(frozen=True)
+class ClusterSweepPoint:
+    """Fleet throughput/energy at one deep-search fan-out."""
+
+    clusters_searched: int
+    throughput_qps: float
+    energy_per_batch_j: float
+
+
+def run(
+    *,
+    batch: int = 128,
+    total_tokens: float = DEFAULT_TOTAL_TOKENS,
+    clusters: tuple[int, ...] = CLUSTER_SWEEP,
+    fleet: FleetSetup | None = None,
+) -> list[ClusterSweepPoint]:
+    """Sweep the number of clusters receiving the deep search."""
+    fleet = fleet or build_fleet(total_tokens)
+    points = []
+    for m in clusters:
+        loads = expected_deep_loads(batch, fleet.access_frequency, m)
+        result = fleet.model.hermes(batch, loads)
+        points.append(
+            ClusterSweepPoint(
+                clusters_searched=m,
+                throughput_qps=fleet.model.throughput_qps(batch, result),
+                energy_per_batch_j=result.energy_j,
+            )
+        )
+    return points
+
+
+def hermes_vs_naive(points: list[ClusterSweepPoint], *, at: int = 3) -> dict[str, float]:
+    """The paper's headline ratios: fan-out *at* vs searching all clusters."""
+    by = {p.clusters_searched: p for p in points}
+    hermes = by[at]
+    naive = by[max(by)]
+    return {
+        "throughput_gain": hermes.throughput_qps / naive.throughput_qps,
+        "energy_saving": naive.energy_per_batch_j / hermes.energy_per_batch_j,
+    }
+
+
+def to_figure(points: list[ClusterSweepPoint]) -> FigureResult:
+    fig = FigureResult(
+        figure_id="fig18",
+        description="Retrieval throughput and energy vs clusters searched",
+    )
+    xs = [float(p.clusters_searched) for p in points]
+    fig.add("Throughput (QPS)", xs, [p.throughput_qps for p in points])
+    fig.add("Energy (J/batch)", xs, [p.energy_per_batch_j for p in points])
+    ratios = hermes_vs_naive(points)
+    fig.notes.append(
+        f"3-of-10 clusters: {ratios['throughput_gain']:.2f}x throughput, "
+        f"{ratios['energy_saving']:.2f}x energy vs all-10 (paper: 1.81x / 1.77x)"
+    )
+    return fig

@@ -1,0 +1,136 @@
+"""Run every reproduced table/figure and print its result.
+
+``python -m repro.experiments.runner`` regenerates the whole evaluation; the
+per-figure benchmark files under ``benchmarks/`` call the same entry points
+with assertions on the paper shapes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..metrics.reporting import format_table
+from . import (
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    table1,
+)
+
+
+def run_all(*, fast: bool = False, plots: bool = False, out=sys.stdout) -> None:
+    """Regenerate every experiment and write text reports to *out*.
+
+    With ``plots=True`` the figure-shaped experiments also render Unicode
+    line charts (the artifact's matplotlib step, terminal edition).
+    """
+    w = out.write
+
+    def chart(figure, **kwargs) -> None:
+        if plots:
+            from ..viz import line_chart
+
+            w(line_chart(figure.series, title=figure.figure_id, **kwargs) + "\n\n")
+
+    w(table1.render(table1.run(n_docs=1000 if fast else 3000)) + "\n\n")
+
+    fig4 = fig04.at_scale(128)
+    w(
+        format_table(
+            ["Metric", "IVF", "HNSW", "HNSW/IVF"],
+            [
+                ("Latency (s)", fig4.ivf_latency_s, fig4.hnsw_latency_s, 1 / fig4.latency_advantage),
+                ("Throughput (QPS)", fig4.ivf_qps, fig4.hnsw_qps, fig4.hnsw_qps / fig4.ivf_qps),
+                ("Memory (GB)", fig4.ivf_memory_gb, fig4.hnsw_memory_gb, fig4.memory_overhead),
+            ],
+            title="Figure 4: HNSW vs IVF (10B tokens, batch 128)",
+        )
+        + "\n\n"
+    )
+
+    for fig in fig05.run().values():
+        w(fig.render() + "\n\n")
+        chart(fig)
+
+    w(fig06.render(fig06.run()) + "\n\n")
+    w(fig07.render(fig07.run()) + "\n\n")
+    fig8 = fig08.run()
+    w(fig8.render() + "\n\n")
+    chart(fig8, logx=True)
+    w(fig10.to_figure(fig10.run()).render() + "\n")
+    w(f"max hidden cluster: {fig10.max_hidden_cluster_tokens():.3g} tokens\n\n")
+    fig11_result = fig11.to_figure(fig11.run())
+    w(fig11_result.render() + "\n\n")
+    chart(fig11_result)
+
+    dse = fig12.run()
+    design_point = [p for p in dse["small"] + dse["large"] if p.clusters_searched == 3]
+    best = fig12.optimal_config(design_point)
+    w(
+        f"Figure 12 DSE optimum: sample nProbe {best.sample_nprobe}, "
+        f"deep nProbe {best.deep_nprobe} (NDCG {best.ndcg:.3f}, {best.latency_s:.3f}s)\n\n"
+    )
+
+    imb = fig13.run()
+    w(
+        f"Figure 13: size imbalance {imb.size_imbalance:.2f}x, "
+        f"access imbalance {imb.access_imbalance:.2f}x\n\n"
+    )
+
+    panels = fig14.run()
+    for name, points in panels.items():
+        w(fig14.render(points, metric="latency") + "\n")
+        w(fig14.render(points, metric="energy") + "\n\n")
+
+    for point in fig16.run():
+        w(
+            f"Figure 16 @{point.datastore_tokens:.0e} tokens: TTFT speedup "
+            f"{point.hermes_ttft_speedup():.2f}x\n"
+        )
+    w("\n")
+
+    for group, points in fig17.run().items():
+        for p in points:
+            w(
+                f"Figure 17 [{group}] {p.label} ({p.n_gpus} GPU): "
+                f"{p.hermes_speedup():.2f}x latency, "
+                f"{p.hermes_energy_saving():.2f}x energy\n"
+            )
+    w("\n")
+
+    fig18_result = fig18.to_figure(fig18.run())
+    w(fig18_result.render() + "\n\n")
+    chart(fig18_result)
+
+    for cell in fig19.optimal_cluster_sizes():
+        w(
+            f"Figure 19: input {cell.input_tokens} -> optimal cluster "
+            f"{cell.optimal_cluster_tokens:.3g} tokens\n"
+        )
+    w("\n")
+
+    w(f"Figure 20 best platform at 3 clusters: {fig20.best_platform(fig20.run())}\n\n")
+
+    dvfs = fig21.run()
+    avg = fig21.average_savings(dvfs)
+    w(
+        f"Figure 21: mean DVFS savings baseline {avg['baseline']:.1%}, "
+        f"enhanced {avg['enhanced']:.1%} (paper: 12.24% / 20.44%)\n"
+    )
+
+
+if __name__ == "__main__":
+    run_all(fast="--fast" in sys.argv, plots="--plots" in sys.argv)

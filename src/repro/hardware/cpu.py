@@ -1,0 +1,148 @@
+"""CPU platform models for the retrieval tier.
+
+The paper measures retrieval on four server CPUs (its Fig. 20): Intel Xeon
+Gold 6448Y (the main evaluation platform), Xeon Platinum 8380, Xeon Silver
+4316, and an ARM Neoverse-N1. We model each as a small set of parameters —
+core count, frequency range, power envelope, and a per-core search-speed
+factor relative to the Gold 6448Y — which the performance model combines
+with the calibrated measurement anchors (see ``repro.perfmodel``).
+
+``relative_speed`` captures microarchitecture + frequency differences
+observed in Fig. 20: the Platinum 8380 reaches the best latency/throughput,
+the Silver 4316 and Neoverse-N1 trail per-core but the N1's 80 cores recover
+throughput at large batch sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUPlatform:
+    """A retrieval-node CPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name used in reports.
+    cores:
+        Physical cores available to FAISS-style one-thread-per-query search.
+    min_freq_ghz / max_freq_ghz:
+        DVFS range; retrieval latency is modelled inversely proportional to
+        frequency (vector scan is compute/bandwidth bound).
+    active_power_w:
+        Package power when all cores search at ``max_freq_ghz``.
+    idle_power_w:
+        Package power when idle (uncore + DRAM refresh).
+    relative_speed:
+        Per-core search throughput relative to the Xeon Gold 6448Y at max
+        frequency (>1 is faster).
+    """
+
+    name: str
+    cores: int
+    min_freq_ghz: float
+    max_freq_ghz: float
+    active_power_w: float
+    idle_power_w: float
+    relative_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if not 0 < self.min_freq_ghz <= self.max_freq_ghz:
+            raise ValueError("require 0 < min_freq <= max_freq")
+        if self.active_power_w <= self.idle_power_w:
+            raise ValueError("active power must exceed idle power")
+        if self.relative_speed <= 0:
+            raise ValueError("relative_speed must be positive")
+
+    def frequency_fraction(self, freq_ghz: float) -> float:
+        """Clamp *freq_ghz* to the DVFS range and return f / f_max."""
+        clamped = min(max(freq_ghz, self.min_freq_ghz), self.max_freq_ghz)
+        return clamped / self.max_freq_ghz
+
+    def power_at(self, freq_ghz: float, *, utilization: float = 1.0) -> float:
+        """Package power (W) at a frequency and core utilization.
+
+        Dynamic power scales cubically with frequency (voltage tracks
+        frequency in the DVFS range), the standard model behind the paper's
+        DVFS savings estimates; idle power is frequency-independent.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        frac = self.frequency_fraction(freq_ghz)
+        dynamic = (self.active_power_w - self.idle_power_w) * utilization * frac**3
+        return self.idle_power_w + dynamic
+
+    def slowdown_at(self, freq_ghz: float) -> float:
+        """Latency multiplier relative to max frequency (>= 1)."""
+        return 1.0 / self.frequency_fraction(freq_ghz)
+
+
+# The paper's main retrieval platform (32 cores of a Gold 6448Y at 2.3 GHz,
+# Intel RAPL power). active_power is calibrated so that batch retrieval
+# energy matches the paper's Fig. 7 J-per-query figures (see perfmodel).
+XEON_GOLD_6448Y = CPUPlatform(
+    name="Intel Xeon Gold 6448Y",
+    cores=32,
+    min_freq_ghz=0.8,
+    max_freq_ghz=2.3,
+    active_power_w=200.0,
+    idle_power_w=55.0,
+    relative_speed=1.0,
+)
+
+# Latest-generation Intel in Fig. 20: best latency (0.084-0.13 s) and
+# throughput (249-379 QPS).
+XEON_PLATINUM_8380 = CPUPlatform(
+    name="Intel Xeon Platinum 8380",
+    cores=40,
+    min_freq_ghz=0.8,
+    max_freq_ghz=3.0,
+    active_power_w=270.0,
+    idle_power_w=65.0,
+    relative_speed=1.35,
+)
+
+# Mid-range Intel part: fewer, slower cores.
+XEON_SILVER_4316 = CPUPlatform(
+    name="Intel Xeon Silver 4316",
+    cores=20,
+    min_freq_ghz=0.8,
+    max_freq_ghz=2.3,
+    active_power_w=150.0,
+    idle_power_w=45.0,
+    relative_speed=0.8,
+)
+
+# ARM server CPU: weaker per-core search but 80 cores, so large batches
+# recover throughput (Fig. 20's BS=128 series).
+NEOVERSE_N1 = CPUPlatform(
+    name="Ampere Altra (Neoverse-N1)",
+    cores=80,
+    min_freq_ghz=1.0,
+    max_freq_ghz=3.0,
+    active_power_w=180.0,
+    idle_power_w=50.0,
+    relative_speed=0.45,
+)
+
+#: Registry keyed by the short names used in experiment configs.
+CPU_PLATFORMS: dict[str, CPUPlatform] = {
+    "xeon_gold_6448y": XEON_GOLD_6448Y,
+    "xeon_platinum_8380": XEON_PLATINUM_8380,
+    "xeon_silver_4316": XEON_SILVER_4316,
+    "neoverse_n1": NEOVERSE_N1,
+}
+
+
+def get_cpu(key: str) -> CPUPlatform:
+    """Look up a CPU platform by registry key."""
+    try:
+        return CPU_PLATFORMS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown CPU {key!r}; known: {sorted(CPU_PLATFORMS)}"
+        ) from None

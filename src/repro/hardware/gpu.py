@@ -1,0 +1,108 @@
+"""GPU platform models for the inference tier.
+
+The paper serves LLM inference on NVIDIA A6000 Ada and L4 GPUs (its Fig. 17),
+quoting 91 TFLOPS at 300 W for the A6000 Ada versus 31 TFLOPS at 140 W for
+the L4 — the ratio that explains why the inference-class L4 saves *less*
+energy than the general-purpose A6000 in their experiments. Multi-GPU tensor
+parallelism (needed for OPT-30B, and for Gemma2-9B on L4s) adds a
+communication overhead factor and multiplies power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUPlatform:
+    """An inference GPU.
+
+    Attributes
+    ----------
+    peak_tflops:
+        FP16 peak used for compute-bound (prefill) scaling.
+    mem_bandwidth_gbs:
+        HBM/GDDR bandwidth used for memory-bound (decode) scaling.
+    tdp_w:
+        Board power at full utilization.
+    idle_w:
+        Board power when idle.
+    mem_gb:
+        Memory capacity; decides how many GPUs a model needs (Fig. 17: OPT-30B
+        needs 2x A6000, Gemma2-9B needs 2x L4).
+    """
+
+    name: str
+    peak_tflops: float
+    mem_bandwidth_gbs: float
+    tdp_w: float
+    idle_w: float
+    mem_gb: float
+
+    def __post_init__(self) -> None:
+        if min(self.peak_tflops, self.mem_bandwidth_gbs, self.mem_gb) <= 0:
+            raise ValueError("peak_tflops, mem_bandwidth_gbs, mem_gb must be positive")
+        if self.tdp_w <= self.idle_w:
+            raise ValueError("tdp must exceed idle power")
+
+    def fits(self, model_mem_gb: float) -> bool:
+        """Whether a model's weights + activations fit on one device."""
+        return model_mem_gb <= self.mem_gb
+
+    def gpus_required(self, model_mem_gb: float) -> int:
+        """Minimum tensor-parallel degree for a model footprint."""
+        import math
+
+        return max(1, math.ceil(model_mem_gb / self.mem_gb))
+
+
+# Paper-quoted envelopes (§6 Takeaway 3 discussion).
+A6000_ADA = GPUPlatform(
+    name="NVIDIA RTX 6000 Ada",
+    peak_tflops=91.0,
+    mem_bandwidth_gbs=960.0,
+    tdp_w=300.0,
+    idle_w=25.0,
+    mem_gb=48.0,
+)
+
+L4 = GPUPlatform(
+    name="NVIDIA L4",
+    peak_tflops=31.0,
+    mem_bandwidth_gbs=300.0,
+    tdp_w=140.0,
+    idle_w=16.0,
+    mem_gb=24.0,
+)
+
+#: Registry keyed by the short names used in experiment configs.
+GPU_PLATFORMS: dict[str, GPUPlatform] = {
+    "a6000_ada": A6000_ADA,
+    "l4": L4,
+}
+
+
+def get_gpu(key: str) -> GPUPlatform:
+    """Look up a GPU platform by registry key."""
+    try:
+        return GPU_PLATFORMS[key]
+    except KeyError:
+        raise ValueError(f"unknown GPU {key!r}; known: {sorted(GPU_PLATFORMS)}") from None
+
+
+#: Efficiency lost per extra tensor-parallel GPU (all-reduce overhead); the
+#: paper observes diminishing returns adding GPUs for small models.
+TENSOR_PARALLEL_OVERHEAD = 0.15
+
+
+def tensor_parallel_speedup(n_gpus: int) -> float:
+    """Effective speedup from *n_gpus*-way tensor parallelism.
+
+    Linear scaling degraded by a per-GPU communication overhead; with the
+    default overhead 2 GPUs give ~1.74x, matching the paper's observation
+    that tensor parallelism on smaller models raises energy much faster than
+    it cuts latency.
+    """
+    if n_gpus <= 0:
+        raise ValueError(f"n_gpus must be positive, got {n_gpus}")
+    return n_gpus / (1.0 + TENSOR_PARALLEL_OVERHEAD * (n_gpus - 1))

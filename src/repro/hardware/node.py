@@ -1,0 +1,98 @@
+"""Retrieval nodes and node clusters.
+
+Hermes's deployment unit is a CPU node hosting one clustered search index
+(§4: "partitioning and distributing datastores across multiple CPU nodes").
+:class:`RetrievalNode` binds a CPU platform to the shard it hosts (size in
+tokens and resident index bytes); :class:`NodeCluster` is the fleet the
+scheduler routes query batches across, with capacity checks mirroring the
+paper's memory-capacity takeaways (a monolithic trillion-token IVF-SQ8 index
+needs ~10 TB — more than any single node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cpu import CPUPlatform, XEON_GOLD_6448Y
+
+
+@dataclass
+class RetrievalNode:
+    """One CPU machine hosting one search-index shard."""
+
+    node_id: int
+    cpu: CPUPlatform = XEON_GOLD_6448Y
+    memory_gb: float = 1024.0
+    shard_tokens: float = 0.0
+    shard_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if self.shard_tokens < 0 or self.shard_bytes < 0:
+            raise ValueError("shard size must be non-negative")
+
+    @property
+    def shard_fits(self) -> bool:
+        """Whether the hosted index fits in node memory."""
+        return self.shard_bytes <= self.memory_gb * 1e9
+
+    def host(self, shard_tokens: float, shard_bytes: float) -> None:
+        """Assign a shard to this node; raises if it exceeds memory."""
+        if shard_bytes > self.memory_gb * 1e9:
+            raise ValueError(
+                f"shard of {shard_bytes / 1e9:.1f} GB exceeds node {self.node_id} "
+                f"memory of {self.memory_gb:.0f} GB"
+            )
+        self.shard_tokens = float(shard_tokens)
+        self.shard_bytes = float(shard_bytes)
+
+
+@dataclass
+class NodeCluster:
+    """A fleet of retrieval nodes, one per datastore cluster."""
+
+    nodes: list[RetrievalNode] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, idx: int) -> RetrievalNode:
+        return self.nodes[idx]
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_nodes: int,
+        *,
+        cpu: CPUPlatform = XEON_GOLD_6448Y,
+        memory_gb: float = 1024.0,
+    ) -> "NodeCluster":
+        """Build *n_nodes* identical nodes (the paper's evaluation fleet)."""
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        return cls(
+            nodes=[
+                RetrievalNode(node_id=i, cpu=cpu, memory_gb=memory_gb)
+                for i in range(n_nodes)
+            ]
+        )
+
+    def host_shards(self, shard_tokens: list[float], shard_bytes: list[float]) -> None:
+        """Place shard *i* on node *i*; sizes must match the fleet."""
+        if len(shard_tokens) != len(self.nodes) or len(shard_bytes) != len(self.nodes):
+            raise ValueError(
+                f"expected {len(self.nodes)} shard sizes, got "
+                f"{len(shard_tokens)} tokens / {len(shard_bytes)} bytes entries"
+            )
+        for node, tokens, nbytes in zip(self.nodes, shard_tokens, shard_bytes):
+            node.host(tokens, nbytes)
+
+    def total_tokens(self) -> float:
+        return sum(n.shard_tokens for n in self.nodes)
+
+    def total_bytes(self) -> float:
+        return sum(n.shard_bytes for n in self.nodes)

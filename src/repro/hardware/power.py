@@ -1,0 +1,70 @@
+"""RAPL-style energy accounting.
+
+The paper measures CPU power with Intel RAPL and GPU power with pynvml, then
+integrates over stage durations. :class:`EnergyMeter` is the offline
+equivalent: stages report ``(device, power_w, seconds)`` intervals and the
+meter accumulates joules per device and in total, supporting the per-stage
+energy breakdowns of Figs. 7, 14, 17, 18, and 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyInterval:
+    """One recorded interval of constant power draw."""
+
+    device: str
+    power_w: float
+    seconds: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ValueError(f"power must be non-negative, got {self.power_w}")
+        if self.seconds < 0:
+            raise ValueError(f"duration must be non-negative, got {self.seconds}")
+
+    @property
+    def joules(self) -> float:
+        return self.power_w * self.seconds
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates energy intervals across devices and pipeline stages."""
+
+    intervals: list[EnergyInterval] = field(default_factory=list)
+
+    def record(self, device: str, power_w: float, seconds: float, *, label: str = "") -> None:
+        """Add one constant-power interval."""
+        self.intervals.append(
+            EnergyInterval(device=device, power_w=power_w, seconds=seconds, label=label)
+        )
+
+    def merge(self, other: "EnergyMeter") -> None:
+        """Fold another meter's intervals into this one."""
+        self.intervals.extend(other.intervals)
+
+    def total_joules(self) -> float:
+        """Total energy across all devices."""
+        return sum(i.joules for i in self.intervals)
+
+    def joules_by_device(self) -> dict[str, float]:
+        """Energy grouped by device name."""
+        out: dict[str, float] = {}
+        for interval in self.intervals:
+            out[interval.device] = out.get(interval.device, 0.0) + interval.joules
+        return out
+
+    def joules_by_label(self) -> dict[str, float]:
+        """Energy grouped by stage label (empty labels grouped under '')."""
+        out: dict[str, float] = {}
+        for interval in self.intervals:
+            out[interval.label] = out.get(interval.label, 0.0) + interval.joules
+        return out
+
+    def reset(self) -> None:
+        self.intervals.clear()

@@ -1,0 +1,97 @@
+"""Key-value / prefix cache model (the RAGCache substrate).
+
+RAGCache [Jin et al. 2024] caches the KV tensors of previously prefilled
+document chunks so that re-retrieving overlapping documents across strides
+skips their prefill computation. The paper's comparison assumes an *ideal
+100% hit rate* for subsequent strides (§3 Takeaway 3), which this module
+supports as the default policy while also providing a real LRU cache with
+document-id keys for non-ideal studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class PrefixCache:
+    """LRU cache of per-document KV prefixes.
+
+    Keys are document (chunk) ids; values are the token counts whose prefill
+    is saved on a hit. ``capacity`` is in cached documents (a KV-byte budget
+    maps linearly onto it for fixed chunk lengths).
+    """
+
+    capacity: int = 1024
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, doc_id: int) -> bool:
+        """Probe for a document's KV prefix; updates LRU order and stats."""
+        if doc_id in self._entries:
+            self._entries.move_to_end(doc_id)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(self, doc_id: int, token_count: int) -> None:
+        """Cache a document's prefix, evicting the LRU entry if full."""
+        if token_count <= 0:
+            raise ValueError(f"token_count must be positive, got {token_count}")
+        if doc_id in self._entries:
+            self._entries.move_to_end(doc_id)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[doc_id] = token_count
+
+    def saved_tokens(self, doc_ids: list[int]) -> int:
+        """Total prefill tokens skipped for the hitting subset of *doc_ids*."""
+        return sum(self._entries[d] for d in doc_ids if d in self._entries)
+
+
+@dataclass(frozen=True)
+class IdealPrefixCache:
+    """The paper's RAGCache assumption: every re-prefill after the first hits.
+
+    ``prefill_fraction(stride_index)`` returns the fraction of prefill work
+    that must still run at a given stride: the full prompt on stride 0, then
+    only the newly generated tokens afterwards.
+    """
+
+    input_tokens: int = 512
+    stride_tokens: int = 16
+
+    def prefill_fraction(self, stride_index: int) -> float:
+        if stride_index < 0:
+            raise ValueError("stride_index must be non-negative")
+        if stride_index == 0:
+            return 1.0
+        return self.stride_tokens / (self.input_tokens + self.stride_tokens)

@@ -1,0 +1,52 @@
+"""Inference model zoo.
+
+The paper serves three open models (its §5): Phi-1.5 (1.3B), Gemma2-9B (the
+default), and OPT-30B, plus the BGE-Large encoder. Each is described by the
+parameters the inference cost model needs: parameter count, FP16 memory
+footprint (which fixes the tensor-parallel degree per GPU — Fig. 17's OPT
+needs 2x A6000 Ada, Gemma2 needs 2x L4), and the reference operating points
+measured in the paper for Gemma2-9B on the A6000 Ada.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A servable LLM.
+
+    ``min_mem_gb`` includes weights, activations, and KV cache at the paper's
+    batch sizes; it decides ``GPUPlatform.gpus_required``.
+    """
+
+    name: str
+    params_b: float
+    min_mem_gb: float
+
+    def __post_init__(self) -> None:
+        if self.params_b <= 0:
+            raise ValueError("params_b must be positive")
+        if self.min_mem_gb <= 0:
+            raise ValueError("min_mem_gb must be positive")
+
+
+PHI_1_5 = ModelSpec(name="Phi-1.5 (1.3B)", params_b=1.3, min_mem_gb=6.0)
+GEMMA2_9B = ModelSpec(name="Gemma2 (9B)", params_b=9.0, min_mem_gb=26.0)
+OPT_30B = ModelSpec(name="OPT (30B)", params_b=30.0, min_mem_gb=70.0)
+
+#: Registry keyed by the short names used in experiment configs.
+MODELS: dict[str, ModelSpec] = {
+    "phi_1_5": PHI_1_5,
+    "gemma2_9b": GEMMA2_9B,
+    "opt_30b": OPT_30B,
+}
+
+
+def get_model(key: str) -> ModelSpec:
+    """Look up a model by registry key."""
+    try:
+        return MODELS[key]
+    except KeyError:
+        raise ValueError(f"unknown model {key!r}; known: {sorted(MODELS)}") from None

@@ -1,0 +1,24 @@
+"""Evaluation metrics: NDCG, recall, and report formatting."""
+
+from .ndcg import dcg, ndcg, ndcg_single
+from .recall import recall_at_k, recall_curve
+from .reporting import (
+    FigureResult,
+    Series,
+    format_table,
+    normalize_to_baseline,
+    speedup,
+)
+
+__all__ = [
+    "dcg",
+    "ndcg",
+    "ndcg_single",
+    "recall_at_k",
+    "recall_curve",
+    "FigureResult",
+    "Series",
+    "format_table",
+    "normalize_to_baseline",
+    "speedup",
+]

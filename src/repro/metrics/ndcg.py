@@ -1,0 +1,59 @@
+"""Normalized Discounted Cumulative Gain (NDCG) against brute-force truth.
+
+The paper's retrieval-quality metric (§5): ground truth is the ranked result
+of an exhaustive Flat search; a candidate system's ranked ids are scored by
+graded relevance with log2 position discounting, normalised by the ideal
+ordering. A system that returns exactly the brute-force top-k in order scores
+1.0; missing or misordered documents lower the score.
+
+Relevance grading follows the standard convention for ANN evaluation: the
+ground-truth rank-``r`` document (0-indexed) has relevance ``k - r`` and
+anything outside the true top-k has relevance 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dcg(relevances: np.ndarray) -> float:
+    """Discounted cumulative gain of a relevance sequence (best first)."""
+    rel = np.asarray(relevances, dtype=np.float64)
+    if rel.ndim != 1:
+        raise ValueError(f"relevances must be 1-D, got shape {rel.shape}")
+    discounts = 1.0 / np.log2(np.arange(2, len(rel) + 2))
+    return float((rel * discounts).sum())
+
+
+def ndcg_single(retrieved_ids: np.ndarray, truth_ids: np.ndarray) -> float:
+    """NDCG of one ranked retrieval against one ranked ground truth.
+
+    Both inputs are id sequences ordered best-first; ``-1`` padding in the
+    retrieved list is treated as a miss.
+    """
+    retrieved = np.asarray(retrieved_ids).ravel()
+    truth = np.asarray(truth_ids).ravel()
+    k = len(truth)
+    if k == 0:
+        raise ValueError("ground truth must be non-empty")
+    relevance_of = {int(doc): k - rank for rank, doc in enumerate(truth)}
+    gains = np.array(
+        [relevance_of.get(int(doc), 0) if doc >= 0 else 0 for doc in retrieved],
+        dtype=np.float64,
+    )
+    ideal = dcg(np.arange(k, 0, -1, dtype=np.float64))
+    if ideal <= 0:
+        return 0.0
+    return dcg(gains) / ideal
+
+
+def ndcg(retrieved_ids: np.ndarray, truth_ids: np.ndarray) -> float:
+    """Mean NDCG over a batch: both args are ``(nq, k)`` ranked id matrices."""
+    retrieved = np.atleast_2d(np.asarray(retrieved_ids))
+    truth = np.atleast_2d(np.asarray(truth_ids))
+    if len(retrieved) != len(truth):
+        raise ValueError(
+            f"batch sizes differ: retrieved {len(retrieved)} vs truth {len(truth)}"
+        )
+    scores = [ndcg_single(r, t) for r, t in zip(retrieved, truth)]
+    return float(np.mean(scores))

@@ -1,0 +1,99 @@
+"""Plain-text tables and series for experiment output.
+
+Every experiment module renders its result through these helpers so the
+benchmark harness prints rows/series in the same shape as the paper's tables
+and figures (EXPERIMENTS.md records the side-by-side values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an aligned monospace table."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One named (x, y) series of a figure."""
+
+    name: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+
+
+@dataclass
+class FigureResult:
+    """All the series of one reproduced figure, with provenance."""
+
+    figure_id: str
+    description: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, name: str, x: Sequence[float], y: Sequence[float]) -> None:
+        self.series.append(Series(name=name, x=list(x), y=list(y)))
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.figure_id}")
+
+    def render(self) -> str:
+        """Render the figure's data as aligned text blocks."""
+        lines = [f"== {self.figure_id}: {self.description} =="]
+        for s in self.series:
+            lines.append(f"-- {s.name}")
+            lines.append(
+                format_table(["x", "y"], list(zip(s.x, s.y)))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Ratio ``baseline / improved`` (>1 means *improved* is better/lower)."""
+    if improved <= 0:
+        raise ValueError(f"improved value must be positive, got {improved}")
+    return baseline / improved
+
+
+def normalize_to_baseline(values: Sequence[float], baseline: float) -> list[float]:
+    """Scale a series so the baseline maps to 1.0 (paper's normalised plots)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return [v / baseline for v in values]

@@ -1,0 +1,200 @@
+"""Calibrated on-device measurement anchors (the paper's Fig. 15 tables).
+
+The paper's multi-node analysis tool measures latency/power/energy of single
+index clusters and inference stages on real hardware across batch sizes,
+strides, and sequence lengths, builds a lookup table, and aggregates it to
+model multi-node behaviour. This module is that lookup table, with entries
+*calibrated to the paper's reported operating points* instead of live
+measurements:
+
+- **Retrieval** (IVF-SQ8, nProbe 128, 32-core Xeon Gold 6448Y): per-batch
+  latency 5.62 s at a 100B-token datastore, scaling linearly with datastore
+  tokens. This single anchor reproduces the paper's E2E numbers exactly:
+  101.8 s at 100B and 909.1 s at 1T (16 strides), and its TTFT retrieval
+  shares (61% @10B, 94% @100B).
+- **Encoding** (BGE-Large-like): 0.115 s per batch of 32.
+- **Inference** (Gemma2-9B on A6000 Ada, FP16): prefill 132 QPS at batch 32
+  with 512 input tokens (2.2 J/query); decode 67 QPS per 16-token stride
+  (2.2 J/query/stride).
+
+Everything else is derived by scaling laws around these anchors (see each
+function's docstring). Note on the paper's internal units: its Fig. 6 quotes
+retrieval "5.62 s at 10B", but its own E2E latencies (12.0 s @100M, 101.8 s
+@100B, 909.1 s @1T with 16 strides) are only mutually consistent if 5.62 s is
+the per-stride retrieval at **100B**; we calibrate to the E2E-consistent
+interpretation and record the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hardware.cpu import CPUPlatform, XEON_GOLD_6448Y
+
+#: Anchor: per-batch retrieval latency (s) at the reference configuration.
+REF_RETRIEVAL_LATENCY_S = 5.62
+#: Reference datastore size (tokens) for the retrieval anchor.
+REF_DATASTORE_TOKENS = 100e9
+#: Reference nProbe of the anchor (the paper's production setting).
+REF_NPROBE = 128
+#: Reference batch size of the anchor.
+REF_BATCH = 32
+#: Sub-linear exponent of latency in nProbe (centroid scan amortisation).
+NPROBE_EXPONENT = 0.8
+#: Mild super-unit exponent on extra scheduling waves (work-stealing slack).
+WAVE_EFFICIENCY_EXPONENT = 0.97
+
+#: Bytes per stored vector for IVF-SQ8 (Table 1) plus int64 ids.
+SQ8_BYTES_PER_VECTOR = 768 + 8
+#: Tokens per chunk in the paper's token accounting: a 10B-token index over
+#: 100M documents (Fig. 4) implies 100 tokens per stored vector.
+TOKENS_PER_VECTOR = 100
+
+#: Encoder (BGE-Large-like) anchor: seconds per batch of 32 queries.
+REF_ENCODE_LATENCY_S = 0.115
+#: Encoder runs on the inference GPU at this power (W).
+ENCODE_POWER_W = 180.0
+
+
+def vectors_for_tokens(tokens: float) -> float:
+    """Datastore vectors (chunks) for a size in tokens."""
+    if tokens < 0:
+        raise ValueError(f"tokens must be non-negative, got {tokens}")
+    return tokens / TOKENS_PER_VECTOR
+
+
+def index_memory_bytes(tokens: float) -> float:
+    """Resident bytes of an IVF-SQ8 index over *tokens* of text.
+
+    Linear in datastore size (Fig. 7 right): ~76 GB at 10B tokens, ~7.7 TB at
+    1T tokens ("nearly 10 TB" in the paper).
+    """
+    n_vec = vectors_for_tokens(tokens)
+    centroid_bytes = math.sqrt(max(n_vec, 1.0)) * 768 * 4  # fp32 nlist centroids
+    return n_vec * SQ8_BYTES_PER_VECTOR + centroid_bytes
+
+
+@dataclass(frozen=True)
+class RetrievalCostModel:
+    """Latency/energy model for one IVF-SQ8 shard on one CPU node.
+
+    The FAISS execution model the paper describes (§6 Takeaway 1) schedules
+    one thread per query with work stealing: a batch no larger than the core
+    count finishes in one "wave" whose latency equals the single-query
+    latency; larger batches take ``ceil(batch / cores)`` waves with a small
+    efficiency gain from overlap.
+    """
+
+    platform: CPUPlatform = XEON_GOLD_6448Y
+
+    def single_query_latency(
+        self, datastore_tokens: float, *, nprobe: int = REF_NPROBE, freq_ghz: float | None = None
+    ) -> float:
+        """Latency (s) of one query against one shard at full parallelism."""
+        if datastore_tokens < 0:
+            raise ValueError("datastore_tokens must be non-negative")
+        if nprobe <= 0:
+            raise ValueError(f"nprobe must be positive, got {nprobe}")
+        base = REF_RETRIEVAL_LATENCY_S * (datastore_tokens / REF_DATASTORE_TOKENS)
+        base *= (nprobe / REF_NPROBE) ** NPROBE_EXPONENT
+        base /= self.platform.relative_speed
+        if freq_ghz is not None:
+            base *= self.platform.slowdown_at(freq_ghz)
+        return base
+
+    def waves(self, batch: int) -> float:
+        """Scheduling waves for a batch on this platform's cores.
+
+        One-thread-per-query work stealing: a batch no larger than the core
+        count completes in one single-query latency; beyond that, occupancy
+        grows continuously (queries interleave rather than marching in strict
+        waves), with a small efficiency gain from overlap.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        occupancy = max(1.0, batch / self.platform.cores)
+        return occupancy**WAVE_EFFICIENCY_EXPONENT
+
+    def batch_latency(
+        self,
+        datastore_tokens: float,
+        batch: int,
+        *,
+        nprobe: int = REF_NPROBE,
+        freq_ghz: float | None = None,
+    ) -> float:
+        """Latency (s) for a batch of queries against one shard."""
+        if batch == 0:
+            return 0.0
+        single = self.single_query_latency(
+            datastore_tokens, nprobe=nprobe, freq_ghz=freq_ghz
+        )
+        return single * self.waves(batch)
+
+    def utilization(self, batch: int) -> float:
+        """Fraction of cores busy during the batch (last wave may be partial)."""
+        if batch <= 0:
+            return 0.0
+        per_wave = min(batch, self.platform.cores)
+        return per_wave / self.platform.cores
+
+    def batch_energy(
+        self,
+        datastore_tokens: float,
+        batch: int,
+        *,
+        nprobe: int = REF_NPROBE,
+        freq_ghz: float | None = None,
+    ) -> float:
+        """Energy (J) for a batch against one shard at the given frequency."""
+        latency = self.batch_latency(
+            datastore_tokens, batch, nprobe=nprobe, freq_ghz=freq_ghz
+        )
+        freq = self.platform.max_freq_ghz if freq_ghz is None else freq_ghz
+        power = self.platform.power_at(freq, utilization=self.utilization(batch))
+        return power * latency
+
+    def throughput_qps(
+        self, datastore_tokens: float, batch: int, *, nprobe: int = REF_NPROBE
+    ) -> float:
+        """Steady-state queries/s of back-to-back batches on one shard."""
+        latency = self.batch_latency(datastore_tokens, batch, nprobe=nprobe)
+        if latency <= 0:
+            return math.inf
+        return batch / latency
+
+
+@dataclass(frozen=True)
+class EncoderCostModel:
+    """Query-encoding (BGE-Large-like) latency/energy on the inference GPU."""
+
+    ref_latency_s: float = REF_ENCODE_LATENCY_S
+    ref_batch: int = REF_BATCH
+    power_w: float = ENCODE_POWER_W
+
+    def batch_latency(self, batch: int) -> float:
+        """Encoding latency per batch; near-linear above the reference batch."""
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        if batch <= self.ref_batch:
+            # Small batches underutilise the GPU; latency is nearly flat.
+            return self.ref_latency_s * (0.5 + 0.5 * batch / self.ref_batch)
+        return self.ref_latency_s * (batch / self.ref_batch) ** 0.9
+
+    def batch_energy(self, batch: int) -> float:
+        return self.power_w * self.batch_latency(batch)
+
+
+# Fig. 4-specific measured entries: a 10B-token (100M-doc) index at batch
+# sizes 32 and 128, comparing HNSW vs IVF. These reproduce the figure's
+# reported ratios (HNSW ~2.4x faster, ~2.3x more memory).
+FIG4_MEASUREMENTS = {
+    # (index_type, batch): (latency_s, throughput_qps)
+    ("ivf", 32): (0.58, 55.0),
+    ("ivf", 128): (0.97, 131.0),
+    ("hnsw", 32): (0.24, 133.0),
+    ("hnsw", 128): (0.40, 321.0),
+}
+#: Fig. 4 memory footprints (GB) for the 10B-token index.
+FIG4_MEMORY_GB = {"ivf": 71.0, "hnsw": 166.0}

@@ -1,0 +1,127 @@
+"""Load generation and cluster-access traces.
+
+The paper's multi-node tool pairs per-node measurements with "a trace of the
+top clusters accessed during the deep search based on TriviaQA" (its Fig. 15)
+to model end-to-end behaviour, and analyses access-frequency imbalance on
+Natural Questions queries (its Fig. 13). This module provides both artefacts:
+batched query traces from a :class:`~repro.datastore.queries.QuerySet`, and
+the per-cluster access bookkeeping derived from routing decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchRouting:
+    """Deep-search routing of one query batch.
+
+    ``clusters`` is an ``(batch, m)`` int matrix: the clusters each query
+    deep-searches (``-1`` entries are ignored, supporting variable fan-out).
+    """
+
+    clusters: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.clusters)
+        if arr.ndim != 2:
+            raise ValueError(f"clusters must be 2-D (batch, m), got shape {arr.shape}")
+        object.__setattr__(self, "clusters", arr.astype(np.int64))
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.clusters)
+
+    def node_loads(self, n_clusters: int) -> np.ndarray:
+        """Queries routed to each cluster in this batch (length n_clusters)."""
+        flat = self.clusters.ravel()
+        valid = flat[flat >= 0]
+        if valid.size and valid.max() >= n_clusters:
+            raise ValueError(
+                f"routing references cluster {valid.max()} but only {n_clusters} exist"
+            )
+        return np.bincount(valid, minlength=n_clusters).astype(np.int64)
+
+
+@dataclass
+class ClusterAccessTrace:
+    """Accumulated routing decisions across many batches (Fig. 13/15 traces)."""
+
+    n_clusters: int
+    batches: list[BatchRouting] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_clusters <= 0:
+            raise ValueError(f"n_clusters must be positive, got {self.n_clusters}")
+
+    def record(self, routing: BatchRouting) -> None:
+        self.batches.append(routing)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def access_counts(self) -> np.ndarray:
+        """Total deep-search accesses per cluster across the trace."""
+        counts = np.zeros(self.n_clusters, dtype=np.int64)
+        for batch in self.batches:
+            counts += batch.node_loads(self.n_clusters)
+        return counts
+
+    def access_frequency(self) -> np.ndarray:
+        """Access counts normalised to probabilities."""
+        counts = self.access_counts().astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            return counts
+        return counts / total
+
+    def imbalance(self) -> float:
+        """Hottest/coldest cluster access ratio (the paper reports >2x)."""
+        counts = self.access_counts()
+        coldest = counts.min()
+        if coldest == 0:
+            return float("inf")
+        return float(counts.max()) / float(coldest)
+
+    def mean_loads(self) -> np.ndarray:
+        """Average per-batch queries routed to each cluster."""
+        if not self.batches:
+            return np.zeros(self.n_clusters)
+        return self.access_counts() / len(self.batches)
+
+
+class LoadGenerator:
+    """Cycles a query set into fixed-size batches (the Fig. 15 load source)."""
+
+    def __init__(self, embeddings: np.ndarray, *, batch_size: int, seed: int = 0) -> None:
+        emb = np.asarray(embeddings, dtype=np.float32)
+        if emb.ndim != 2 or not len(emb):
+            raise ValueError("embeddings must be a non-empty (n, d) matrix")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.embeddings = emb
+        self.batch_size = batch_size
+        self._order = np.random.default_rng(seed).permutation(len(emb))
+        self._cursor = 0
+
+    def next_batch(self) -> np.ndarray:
+        """Return the next ``(batch_size, d)`` batch, recycling the pool."""
+        picks = []
+        remaining = self.batch_size
+        while remaining > 0:
+            take = min(remaining, len(self._order) - self._cursor)
+            picks.append(self._order[self._cursor : self._cursor + take])
+            self._cursor += take
+            remaining -= take
+            if self._cursor >= len(self._order):
+                self._cursor = 0
+        return self.embeddings[np.concatenate(picks)]
+
+    def batches(self, n_batches: int) -> list[np.ndarray]:
+        """Generate *n_batches* consecutive batches."""
+        if n_batches <= 0:
+            raise ValueError(f"n_batches must be positive, got {n_batches}")
+        return [self.next_batch() for _ in range(n_batches)]

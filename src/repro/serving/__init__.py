@@ -1,0 +1,28 @@
+"""Online serving simulator: event-driven execution of the Hermes pipeline.
+
+Complements the closed-form multi-node model with a discrete-event simulation
+of batches contending for the GPU and the retrieval fleet.
+"""
+
+from .events import EventLoop, Resource
+from .node_sim import NodeScheduleResult, schedule_batch, waves_approximation_error
+from .simulator import (
+    BatchRecord,
+    PipelineSimulator,
+    ServingReport,
+    StagePlan,
+    plan_from_models,
+)
+
+__all__ = [
+    "EventLoop",
+    "Resource",
+    "NodeScheduleResult",
+    "schedule_batch",
+    "waves_approximation_error",
+    "BatchRecord",
+    "PipelineSimulator",
+    "ServingReport",
+    "StagePlan",
+    "plan_from_models",
+]

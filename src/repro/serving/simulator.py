@@ -1,0 +1,315 @@
+"""Discrete-event simulation of the online Hermes serving pipeline.
+
+The analytical model (:mod:`repro.perfmodel`) computes closed-form
+steady-state numbers; this simulator *executes* the serving system instead:
+batches flow through encode → (sample → deep → prefill → decode) x strides,
+contending for one GPU and one retrieval node per cluster. With several
+batches in flight the retrieval fleet and the GPU overlap across batches —
+the behaviour the paper's "max of stage times" throughput analysis
+approximates — and the simulator reports where the approximation holds and
+where queueing skews it.
+
+Stage durations come from the same calibrated cost models as the analytical
+path, so simulated and closed-form results are directly comparable (see
+``tests/serving/test_simulator.py`` for the cross-validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..llm.generation import GenerationConfig
+from ..llm.inference import InferenceModel
+from ..perfmodel.measurements import EncoderCostModel, RetrievalCostModel
+from .events import EventLoop, Resource
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Per-batch stage durations driving the simulation.
+
+    ``sample_seconds[i]`` / ``deep_seconds[i]`` are node *i*'s busy time for
+    one batch's sampling / deep-search phase (0 when the node is not
+    involved); GPU stages are scalars.
+    """
+
+    encode_s: float
+    sample_seconds: np.ndarray
+    deep_seconds: np.ndarray
+    first_prefill_s: float
+    later_prefill_s: float
+    decode_stride_s: float
+    n_strides: int
+
+    def __post_init__(self) -> None:
+        if self.n_strides <= 0:
+            raise ValueError("n_strides must be positive")
+        if len(self.sample_seconds) != len(self.deep_seconds):
+            raise ValueError("sample and deep vectors must have equal length")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.sample_seconds)
+
+
+def plan_from_models(
+    config: GenerationConfig,
+    *,
+    shard_tokens: list[float],
+    deep_loads: np.ndarray,
+    inference: InferenceModel | None = None,
+    encoder: EncoderCostModel | None = None,
+    sample_nprobe: int = 8,
+    deep_nprobe: int = 128,
+) -> StagePlan:
+    """Build a stage plan from the calibrated cost models.
+
+    ``deep_loads[i]`` is the number of the batch's queries deep-searching
+    cluster *i* (e.g. from :func:`repro.perfmodel.aggregate.expected_deep_loads`).
+    """
+    inference = inference or InferenceModel()
+    encoder = encoder or EncoderCostModel()
+    cost = RetrievalCostModel()
+    loads = np.asarray(deep_loads, dtype=np.int64)
+    if len(loads) != len(shard_tokens):
+        raise ValueError("deep_loads and shard_tokens must have equal length")
+    sample = np.array(
+        [
+            cost.batch_latency(tokens, config.batch, nprobe=sample_nprobe)
+            for tokens in shard_tokens
+        ]
+    )
+    deep = np.array(
+        [
+            cost.batch_latency(tokens, int(load), nprobe=deep_nprobe) if load else 0.0
+            for tokens, load in zip(shard_tokens, loads)
+        ]
+    )
+    from ..llm.kvcache import IdealPrefixCache
+
+    cache = IdealPrefixCache(input_tokens=config.input_tokens, stride_tokens=config.stride)
+    later_fraction = cache.prefill_fraction(1) if config.prefix_cached else 1.0
+    later_tokens = max(1, int(round(config.input_tokens * later_fraction)))
+    return StagePlan(
+        encode_s=encoder.batch_latency(config.batch),
+        sample_seconds=sample,
+        deep_seconds=deep,
+        first_prefill_s=inference.prefill(config.batch, config.input_tokens).latency_s,
+        later_prefill_s=inference.prefill(config.batch, later_tokens).latency_s,
+        decode_stride_s=inference.decode(config.batch, config.stride).latency_s,
+        n_strides=config.n_strides,
+    )
+
+
+@dataclass
+class BatchRecord:
+    """Lifecycle timestamps of one simulated batch."""
+
+    batch_id: int
+    submitted_at: float
+    started_at: float = 0.0
+    first_token_at: float = 0.0
+    completed_at: float = 0.0
+
+    @property
+    def ttft_s(self) -> float:
+        return self.first_token_at - self.submitted_at
+
+    @property
+    def latency_s(self) -> float:
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of a simulation run."""
+
+    batches: list[BatchRecord]
+    batch_size: int
+    makespan_s: float
+    gpu_utilization: float
+    node_utilization: np.ndarray
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return len(self.batches) * self.batch_size / self.makespan_s
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean([b.latency_s for b in self.batches]))
+
+    @property
+    def mean_ttft_s(self) -> float:
+        return float(np.mean([b.ttft_s for b in self.batches]))
+
+    def latency_percentile(self, q: float) -> float:
+        return float(np.percentile([b.latency_s for b in self.batches], q))
+
+    def slo_attainment(self, latency_slo_s: float) -> float:
+        """Fraction of batches completing within a latency SLO.
+
+        The production-systems lens the paper motivates TTFT work with
+        ("minimizing TTFT is crucial for ... quality of service").
+        """
+        if latency_slo_s <= 0:
+            raise ValueError("latency_slo_s must be positive")
+        met = sum(1 for b in self.batches if b.latency_s <= latency_slo_s)
+        return met / len(self.batches)
+
+    def ttft_slo_attainment(self, ttft_slo_s: float) -> float:
+        """Fraction of batches whose first token arrives within the SLO."""
+        if ttft_slo_s <= 0:
+            raise ValueError("ttft_slo_s must be positive")
+        met = sum(1 for b in self.batches if b.ttft_s <= ttft_slo_s)
+        return met / len(self.batches)
+
+
+class PipelineSimulator:
+    """Executes a batch stream against one GPU and a retrieval fleet.
+
+    Each batch runs its stages in order; stages contend for their resource,
+    so concurrent batches pipeline naturally (batch *k+1* retrieves while
+    batch *k* occupies the GPU). A retrieval phase holds **all** of its
+    participating nodes and completes when the slowest finishes, matching
+    the synchronous scatter-gather of the paper's distributed search.
+    """
+
+    def __init__(self, plan: StagePlan, *, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.plan = plan
+        self.batch_size = batch_size
+        self.loop = EventLoop()
+        self.gpu = Resource(self.loop, "gpu")
+        self.nodes = [
+            Resource(self.loop, f"node{i}") for i in range(plan.n_nodes)
+        ]
+        self._records: list[BatchRecord] = []
+
+    # -- batch state machine -----------------------------------------------
+    def submit(self, delay: float = 0.0) -> None:
+        """Enqueue one batch *delay* seconds from now."""
+        record = BatchRecord(batch_id=len(self._records), submitted_at=0.0)
+        self._records.append(record)
+
+        def arrive() -> None:
+            record.submitted_at = self.loop.now
+            self._start_encode(record)
+
+        self.loop.schedule(delay, arrive)
+
+    def _start_encode(self, record: BatchRecord) -> None:
+        def begin() -> None:
+            record.started_at = self.loop.now
+
+            def done() -> None:
+                self.gpu.release()
+                self._start_stride(record, stride=0)
+
+            self.loop.schedule(self.plan.encode_s, done)
+
+        self.gpu.acquire(begin)
+
+    def _retrieval_phase(
+        self, durations: np.ndarray, then_continue
+    ) -> None:
+        """Scatter a phase to all involved nodes; continue when all finish."""
+        involved = [i for i, d in enumerate(durations) if d > 0]
+        if not involved:
+            then_continue()
+            return
+        remaining = {"count": len(involved)}
+
+        def node_done() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                then_continue()
+
+        for i in involved:
+            self.nodes[i].hold_for(float(durations[i]), then=node_done)
+
+    def _start_stride(self, record: BatchRecord, stride: int) -> None:
+        plan = self.plan
+
+        def after_deep() -> None:
+            prefill = plan.first_prefill_s if stride == 0 else plan.later_prefill_s
+
+            def begin_gpu() -> None:
+                def prefill_done() -> None:
+                    if stride == 0:
+                        record.first_token_at = self.loop.now
+
+                    def decode_done() -> None:
+                        self.gpu.release()
+                        if stride + 1 < plan.n_strides:
+                            self._start_stride(record, stride + 1)
+                        else:
+                            record.completed_at = self.loop.now
+
+                    self.loop.schedule(plan.decode_stride_s, decode_done)
+
+                self.loop.schedule(prefill, prefill_done)
+
+            self.gpu.acquire(begin_gpu)
+
+        def after_sample() -> None:
+            self._retrieval_phase(plan.deep_seconds, after_deep)
+
+        self._retrieval_phase(plan.sample_seconds, after_sample)
+
+    # -- driving ---------------------------------------------------------------
+    def run(
+        self, n_batches: int, *, arrival_interval_s: float = 0.0
+    ) -> ServingReport:
+        """Simulate *n_batches* arrivals and return the aggregate report.
+
+        ``arrival_interval_s`` of 0 is a closed burst (everything queued at
+        t=0, maximal pipelining); positive values model an open arrival
+        process.
+        """
+        if n_batches <= 0:
+            raise ValueError("n_batches must be positive")
+        for k in range(n_batches):
+            self.submit(delay=k * arrival_interval_s)
+        self.loop.run()
+        return self._report()
+
+    def run_poisson(
+        self, n_batches: int, *, mean_interval_s: float, seed: int = 0
+    ) -> ServingReport:
+        """Simulate a Poisson (memoryless) open arrival process.
+
+        The open-loop counterpart of :meth:`run`: batch inter-arrival times
+        are exponential with the given mean, the standard model for
+        independent user traffic. Queueing bursts emerge naturally, which is
+        what SLO attainment under load actually measures.
+        """
+        if n_batches <= 0:
+            raise ValueError("n_batches must be positive")
+        if mean_interval_s <= 0:
+            raise ValueError("mean_interval_s must be positive")
+        rng = np.random.default_rng(seed)
+        arrival = 0.0
+        for _ in range(n_batches):
+            self.submit(delay=arrival)
+            arrival += float(rng.exponential(mean_interval_s))
+        self.loop.run()
+        return self._report()
+
+    def _report(self) -> ServingReport:
+        makespan = max(r.completed_at for r in self._records)
+        gpu_util = self.gpu.busy_seconds / makespan if makespan else 0.0
+        node_util = np.array(
+            [n.busy_seconds / makespan if makespan else 0.0 for n in self.nodes]
+        )
+        return ServingReport(
+            batches=list(self._records),
+            batch_size=self.batch_size,
+            makespan_s=makespan,
+            gpu_utilization=gpu_util,
+            node_utilization=node_util,
+        )

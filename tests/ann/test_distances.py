@@ -1,0 +1,165 @@
+"""Unit and property tests for the distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ann.distances import (
+    as_matrix,
+    inner_product,
+    normalize,
+    pairwise_distance,
+    squared_l2,
+    top_k,
+    validate_metric,
+)
+
+
+def small_matrices(max_rows=8, max_dim=6):
+    return hnp.arrays(
+        np.float32,
+        st.tuples(
+            st.integers(1, max_rows), st.integers(1, max_dim)
+        ),
+        elements=st.floats(-10, 10, width=32),
+    )
+
+
+class TestValidateMetric:
+    def test_accepts_l2(self):
+        assert validate_metric("l2") == "l2"
+
+    def test_accepts_ip(self):
+        assert validate_metric("ip") == "ip"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            validate_metric("cosine")
+
+
+class TestAsMatrix:
+    def test_promotes_vector_to_row(self):
+        out = as_matrix(np.zeros(4))
+        assert out.shape == (1, 4)
+
+    def test_passes_through_matrix(self):
+        out = as_matrix(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+    def test_casts_to_float32(self):
+        out = as_matrix(np.zeros((2, 2), dtype=np.float64))
+        assert out.dtype == np.float32
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            as_matrix(np.zeros((2, 2, 2)))
+
+
+class TestSquaredL2:
+    def test_zero_distance_to_self(self):
+        x = np.random.default_rng(0).normal(size=(5, 8)).astype(np.float32)
+        d = squared_l2(x, x)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-4)
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(1)
+        q = rng.normal(size=(4, 6)).astype(np.float32)
+        p = rng.normal(size=(7, 6)).astype(np.float32)
+        expected = ((q[:, None, :] - p[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(squared_l2(q, p), expected, atol=1e-3)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(10, 4)).astype(np.float32) * 100
+        d = squared_l2(q, q)
+        assert (d >= 0).all()
+
+    @given(small_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_symmetric_on_same_set(self, x):
+        d = squared_l2(x, x)
+        assert np.allclose(d, d.T, atol=1e-2)
+
+
+class TestInnerProduct:
+    def test_matches_matmul(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(3, 5)).astype(np.float32)
+        p = rng.normal(size=(4, 5)).astype(np.float32)
+        assert np.allclose(inner_product(q, p), q @ p.T)
+
+
+class TestPairwiseDistance:
+    def test_ip_is_negated_similarity(self):
+        rng = np.random.default_rng(4)
+        q = rng.normal(size=(3, 5)).astype(np.float32)
+        p = rng.normal(size=(4, 5)).astype(np.float32)
+        assert np.allclose(pairwise_distance(q, p, "ip"), -(q @ p.T))
+
+    def test_smaller_is_closer_for_both_metrics(self):
+        # A point and its near-duplicate should beat a far point.
+        anchor = np.ones((1, 4), dtype=np.float32)
+        near = anchor * 1.01
+        far = -anchor
+        points = np.concatenate([near, far])
+        for metric in ("l2", "ip"):
+            d = pairwise_distance(anchor, points, metric)
+            assert d[0, 0] < d[0, 1]
+
+    def test_rejects_bad_metric(self):
+        with pytest.raises(ValueError):
+            pairwise_distance(np.zeros((1, 2)), np.zeros((1, 2)), "hamming")
+
+
+class TestTopK:
+    def test_returns_sorted_ascending(self):
+        d = np.array([[3.0, 1.0, 2.0]])
+        dists, ids = top_k(d, 3)
+        assert list(ids[0]) == [1, 2, 0]
+        assert list(dists[0]) == [1.0, 2.0, 3.0]
+
+    def test_partial_selection_matches_full_sort(self):
+        rng = np.random.default_rng(5)
+        d = rng.normal(size=(6, 50))
+        dists, ids = top_k(d, 5)
+        full = np.sort(d, axis=1)[:, :5]
+        assert np.allclose(dists, full)
+
+    def test_pads_when_k_exceeds_columns(self):
+        d = np.array([[1.0, 2.0]])
+        dists, ids = top_k(d, 4)
+        assert list(ids[0, 2:]) == [-1, -1]
+        assert np.isinf(dists[0, 2:]).all()
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            top_k(np.zeros((1, 3)), 0)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(1, 20)),
+            elements=st.floats(-1e3, 1e3),
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_values_are_row_minima(self, d, k):
+        dists, ids = top_k(d, k)
+        kk = min(k, d.shape[1])
+        expected = np.sort(d, axis=1)[:, :kk]
+        assert np.allclose(dists[:, :kk], expected)
+
+
+class TestNormalize:
+    def test_unit_norm_rows(self):
+        rng = np.random.default_rng(6)
+        v = rng.normal(size=(10, 8)).astype(np.float32)
+        n = normalize(v)
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0, atol=1e-5)
+
+    def test_zero_vector_survives(self):
+        n = normalize(np.zeros((1, 4)))
+        assert np.isfinite(n).all()

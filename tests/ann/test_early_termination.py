@@ -1,0 +1,108 @@
+"""Tests for adaptive early-termination IVF search."""
+
+import numpy as np
+import pytest
+
+from repro.ann.early_termination import search_with_early_termination
+from repro.ann.flat import FlatIndex
+from repro.ann.ivf import IVFIndex
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=5, size=(10, 24))
+    data = np.concatenate(
+        [centers[i] + rng.normal(size=(120, 24)) for i in range(10)]
+    ).astype(np.float32)
+    index = IVFIndex(24, nlist=32, nprobe=32)
+    index.train(data)
+    index.add(data)
+    flat = FlatIndex(24)
+    flat.add(data)
+    queries = data[rng.choice(len(data), 16, replace=False)] + 0.01
+    _, truth = flat.search(queries, 5)
+    return index, queries, truth
+
+
+class TestCorrectness:
+    def test_matches_full_search_with_infinite_patience(self, setup):
+        index, queries, truth = setup
+        result = search_with_early_termination(
+            index, queries, 5, max_nprobe=32, patience=32
+        )
+        _, full = index.search(queries, 5, nprobe=32)
+        assert np.array_equal(result.ids, full)
+
+    def test_high_recall_with_moderate_patience(self, setup):
+        index, queries, truth = setup
+        result = search_with_early_termination(
+            index, queries, 5, max_nprobe=32, patience=4
+        )
+        assert recall_at_k(result.ids, truth) > 0.9
+
+    def test_results_sorted(self, setup):
+        index, queries, _ = setup
+        result = search_with_early_termination(index, queries, 5, patience=3)
+        finite = np.where(np.isfinite(result.distances), result.distances, np.inf)
+        assert (np.diff(finite, axis=1) >= -1e-6).all()
+
+
+class TestEffort:
+    def test_early_termination_probes_fewer_cells(self, setup):
+        index, queries, _ = setup
+        eager = search_with_early_termination(
+            index, queries, 5, max_nprobe=32, patience=2
+        )
+        assert eager.mean_cells_probed < 32
+
+    def test_patience_controls_effort(self, setup):
+        index, queries, _ = setup
+        impatient = search_with_early_termination(
+            index, queries, 5, max_nprobe=32, patience=2
+        )
+        patient = search_with_early_termination(
+            index, queries, 5, max_nprobe=32, patience=16
+        )
+        assert impatient.mean_cells_probed <= patient.mean_cells_probed
+
+    def test_pruning_cuts_effort_further(self, setup):
+        index, queries, _ = setup
+        unpruned = search_with_early_termination(
+            index, queries, 5, max_nprobe=32, patience=32
+        )
+        pruned = search_with_early_termination(
+            index, queries, 5, max_nprobe=32, patience=32, prune_ratio=1.5
+        )
+        assert pruned.mean_cells_probed <= unpruned.mean_cells_probed
+
+    def test_effort_vs_recall_tradeoff_monotone(self, setup):
+        index, queries, truth = setup
+        recalls, efforts = [], []
+        for patience in (1, 4, 16):
+            result = search_with_early_termination(
+                index, queries, 5, max_nprobe=32, patience=patience
+            )
+            recalls.append(recall_at_k(result.ids, truth))
+            efforts.append(result.mean_cells_probed)
+        assert efforts == sorted(efforts)
+        assert recalls[-1] >= recalls[0]
+
+
+class TestValidation:
+    def test_bad_patience(self, setup):
+        index, queries, _ = setup
+        with pytest.raises(ValueError):
+            search_with_early_termination(index, queries, 5, patience=0)
+
+    def test_bad_prune_ratio(self, setup):
+        index, queries, _ = setup
+        with pytest.raises(ValueError):
+            search_with_early_termination(index, queries, 5, prune_ratio=0.5)
+
+    def test_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            search_with_early_termination(
+                IVFIndex(8, nlist=4), np.zeros((1, 8), dtype=np.float32), 3
+            )

@@ -1,0 +1,81 @@
+"""Tests for the exact brute-force index."""
+
+import numpy as np
+import pytest
+
+from repro.ann.flat import FlatIndex
+
+
+@pytest.fixture()
+def index_and_data():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(200, 16)).astype(np.float32)
+    index = FlatIndex(16)
+    index.add(data)
+    return index, data
+
+
+class TestLifecycle:
+    def test_trained_by_default(self):
+        assert FlatIndex(8).is_trained
+
+    def test_add_returns_contiguous_ids(self):
+        index = FlatIndex(4)
+        first = index.add(np.zeros((3, 4), dtype=np.float32))
+        second = index.add(np.ones((2, 4), dtype=np.float32))
+        assert list(first) == [0, 1, 2]
+        assert list(second) == [3, 4]
+        assert index.ntotal == 5
+
+    def test_rejects_wrong_dim(self):
+        index = FlatIndex(4)
+        with pytest.raises(ValueError, match="dim"):
+            index.add(np.zeros((2, 5), dtype=np.float32))
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            FlatIndex(0)
+
+
+class TestSearch:
+    def test_self_query_returns_self_first(self, index_and_data):
+        index, data = index_and_data
+        _, ids = index.search(data[:10], 1)
+        assert list(ids[:, 0]) == list(range(10))
+
+    def test_exactness_vs_numpy(self, index_and_data):
+        index, data = index_and_data
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(5, 16)).astype(np.float32)
+        _, ids = index.search(queries, 3)
+        dists = ((queries[:, None, :] - data[None, :, :]) ** 2).sum(axis=2)
+        expected = np.argsort(dists, axis=1)[:, :3]
+        assert np.array_equal(ids, expected)
+
+    def test_empty_index_pads(self):
+        index = FlatIndex(4)
+        dists, ids = index.search(np.zeros((2, 4), dtype=np.float32), 3)
+        assert (ids == -1).all()
+        assert np.isinf(dists).all()
+
+    def test_single_vector_query_shape(self, index_and_data):
+        index, _ = index_and_data
+        dists, ids = index.search(np.zeros(16, dtype=np.float32), 2)
+        assert ids.shape == (1, 2)
+
+    def test_inner_product_metric_prefers_aligned(self):
+        index = FlatIndex(3, metric="ip")
+        index.add(np.array([[1, 0, 0], [0, 1, 0]], dtype=np.float32))
+        _, ids = index.search(np.array([[2.0, 0.1, 0.0]], dtype=np.float32), 1)
+        assert ids[0, 0] == 0
+
+
+class TestReconstructAndMemory:
+    def test_reconstruct_roundtrips(self, index_and_data):
+        index, data = index_and_data
+        rec = index.reconstruct(np.array([5, 7]))
+        assert np.allclose(rec, data[[5, 7]])
+
+    def test_memory_accounts_fp32(self, index_and_data):
+        index, data = index_and_data
+        assert index.memory_bytes() == data.size * 4

@@ -1,0 +1,104 @@
+"""Tests for the HNSW graph index."""
+
+import numpy as np
+import pytest
+
+from repro.ann.flat import FlatIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(600, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def built(data):
+    index = HNSWIndex(16, m=8, ef_construction=48, ef_search=48, seed=0)
+    index.add(data)
+    return index
+
+
+@pytest.fixture(scope="module")
+def truth(data):
+    flat = FlatIndex(16)
+    flat.add(data)
+    rng = np.random.default_rng(1)
+    queries = data[rng.choice(len(data), 20, replace=False)]
+    return queries, flat.search(queries, 5)[1]
+
+
+class TestConstruction:
+    def test_entry_point_set(self, built):
+        assert built._entry >= 0
+        assert built._max_level >= 0
+
+    def test_layer0_degree_bounded(self, built):
+        for links in built._links:
+            assert len(links[0]) <= built.m0
+
+    def test_upper_layer_degree_bounded(self, built):
+        for links in built._links:
+            for level_links in links[1:]:
+                assert len(level_links) <= built.m
+
+    def test_links_are_valid_nodes(self, built):
+        n = built.ntotal
+        for links in built._links:
+            for level_links in links:
+                assert all(0 <= nb < n for nb in level_links)
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ValueError, match="m must be"):
+            HNSWIndex(8, m=1)
+
+
+class TestSearch:
+    def test_high_recall_at_ef48(self, built, truth):
+        queries, expected = truth
+        _, ids = built.search(queries, 5)
+        assert recall_at_k(ids, expected) > 0.9
+
+    def test_recall_improves_with_ef(self, built, truth):
+        queries, expected = truth
+        _, low = built.search(queries, 5, ef=8)
+        _, high = built.search(queries, 5, ef=96)
+        assert recall_at_k(high, expected) >= recall_at_k(low, expected)
+
+    def test_self_query_finds_self(self, built, data):
+        _, ids = built.search(data[:5], 1, ef=64)
+        assert list(ids[:, 0]) == [0, 1, 2, 3, 4]
+
+    def test_empty_index_pads(self):
+        index = HNSWIndex(8)
+        dists, ids = index.search(np.zeros((1, 8), dtype=np.float32), 3)
+        assert (ids == -1).all()
+
+    def test_single_element_index(self):
+        index = HNSWIndex(4, m=4)
+        index.add(np.ones((1, 4), dtype=np.float32))
+        _, ids = index.search(np.ones((1, 4), dtype=np.float32), 1)
+        assert ids[0, 0] == 0
+
+    def test_results_sorted_by_distance(self, built, data):
+        dists, _ = built.search(data[:3], 5)
+        for row in dists:
+            finite = row[np.isfinite(row)]
+            assert (np.diff(finite) >= -1e-6).all()
+
+
+class TestMemory:
+    def test_memory_exceeds_raw_vectors(self, built):
+        # The figure-4 point: the graph links cost real memory on top of the
+        # raw fp32 payload.
+        raw = built.ntotal * built.dim * 4
+        assert built.memory_bytes() > raw
+
+    def test_memory_grows_with_m(self, data):
+        small = HNSWIndex(16, m=4, ef_construction=24, seed=0)
+        small.add(data[:200])
+        big = HNSWIndex(16, m=16, ef_construction=24, seed=0)
+        big.add(data[:200])
+        assert big.memory_bytes() > small.memory_bytes()

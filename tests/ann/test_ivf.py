@@ -1,0 +1,140 @@
+"""Tests for the IVF index."""
+
+import numpy as np
+import pytest
+
+from repro.ann.base import build_index
+from repro.ann.flat import FlatIndex
+from repro.ann.ivf import IVFIndex, default_nlist
+from repro.ann.quantization import make_quantizer
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=4, size=(8, 24))
+    return np.concatenate(
+        [centers[i] + rng.normal(size=(150, 24)) for i in range(8)]
+    ).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    rng = np.random.default_rng(1)
+    return data[rng.choice(len(data), 16, replace=False)] + 0.01
+
+
+@pytest.fixture(scope="module")
+def truth(data, queries):
+    flat = FlatIndex(24)
+    flat.add(data)
+    return flat.search(queries, 5)[1]
+
+
+def trained_ivf(data, **kwargs):
+    index = IVFIndex(24, **kwargs)
+    index.train(data)
+    index.add(data)
+    return index
+
+
+class TestDefaults:
+    def test_default_nlist_sqrt(self):
+        assert default_nlist(10000) == 100
+
+    def test_default_nlist_minimum_one(self):
+        assert default_nlist(0) == 1
+
+    def test_nlist_inferred_at_train(self, data):
+        index = trained_ivf(data)
+        assert index.nlist == default_nlist(len(data))
+
+
+class TestLifecycle:
+    def test_search_before_train_raises(self, data):
+        with pytest.raises(RuntimeError, match="train"):
+            IVFIndex(24).search(data[:1], 1)
+
+    def test_add_before_train_raises(self, data):
+        with pytest.raises(RuntimeError, match="train"):
+            IVFIndex(24).add(data)
+
+    def test_train_smaller_than_nlist_raises(self):
+        index = IVFIndex(4, nlist=100)
+        with pytest.raises(ValueError, match="smaller than nlist"):
+            index.train(np.zeros((10, 4), dtype=np.float32))
+
+    def test_list_sizes_sum_to_ntotal(self, data):
+        index = trained_ivf(data, nlist=16)
+        assert index.list_sizes().sum() == index.ntotal == len(data)
+
+    def test_incremental_add_preserves_ids(self, data):
+        index = IVFIndex(24, nlist=16, nprobe=16)
+        index.train(data)
+        index.add(data[:100])
+        ids = index.add(data[100:200])
+        assert ids[0] == 100
+        _, found = index.search(data[150:151], 1)
+        assert found[0, 0] == 150
+
+
+class TestSearchQuality:
+    def test_full_probe_matches_exact(self, data, queries, truth):
+        index = trained_ivf(data, nlist=16)
+        _, ids = index.search(queries, 5, nprobe=16)
+        assert recall_at_k(ids, truth) > 0.99
+
+    def test_recall_increases_with_nprobe(self, data, queries, truth):
+        index = trained_ivf(data, nlist=32)
+        recalls = []
+        for nprobe in (1, 4, 16, 32):
+            _, ids = index.search(queries, 5, nprobe=nprobe)
+            recalls.append(recall_at_k(ids, truth))
+        assert recalls == sorted(recalls)
+        assert recalls[-1] > recalls[0]
+
+    def test_nprobe_override_beats_default(self, data, queries, truth):
+        index = trained_ivf(data, nlist=32, nprobe=1)
+        _, low = index.search(queries, 5)
+        _, high = index.search(queries, 5, nprobe=32)
+        assert recall_at_k(high, truth) >= recall_at_k(low, truth)
+
+    def test_sq8_payload_keeps_recall(self, data, queries, truth):
+        index = trained_ivf(
+            data, nlist=16, quantizer=make_quantizer("sq8", 24)
+        )
+        _, ids = index.search(queries, 5, nprobe=16)
+        assert recall_at_k(ids, truth) > 0.95
+
+    def test_k_larger_than_candidates_pads(self, data):
+        index = trained_ivf(data, nlist=16)
+        dists, ids = index.search(data[:1], len(data) + 10, nprobe=1)
+        assert (ids[0] == -1).any()
+
+    def test_invalid_nprobe_rejected(self, data):
+        index = trained_ivf(data, nlist=16)
+        with pytest.raises(ValueError):
+            index.search(data[:1], 1, nprobe=0)
+
+
+class TestMemory:
+    def test_sq8_smaller_than_flat_payload(self, data):
+        flat_payload = trained_ivf(data, nlist=16)
+        sq8 = trained_ivf(data, nlist=16, quantizer=make_quantizer("sq8", 24))
+        assert sq8.memory_bytes() < flat_payload.memory_bytes()
+
+    def test_memory_grows_with_vectors(self, data):
+        small = trained_ivf(data[:200], nlist=8)
+        large = trained_ivf(data, nlist=8)
+        assert large.memory_bytes() > small.memory_bytes()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("key", ["ivf_flat", "ivf_sq8", "ivf_sq4", "ivf_pq"])
+    def test_registered_variants_build(self, key, data):
+        index = build_index(key, 24, nlist=16)
+        index.train(data)
+        index.add(data[:100])
+        _, ids = index.search(data[:2], 3, )
+        assert ids.shape == (2, 3)

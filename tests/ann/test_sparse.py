@@ -1,0 +1,193 @@
+"""Tests for the BM25 sparse index and hybrid fusion."""
+
+import numpy as np
+import pytest
+
+from repro.ann.flat import FlatIndex
+from repro.ann.sparse import BM25Index, HybridRetriever, reciprocal_rank_fusion
+
+
+def doc(*tokens):
+    return np.array(tokens, dtype=np.int64)
+
+
+@pytest.fixture()
+def index():
+    idx = BM25Index()
+    idx.add([
+        doc(1, 2, 3, 3),        # 0: about 3
+        doc(1, 2, 4),           # 1: about 4
+        doc(5, 5, 5, 6),        # 2: about 5
+        doc(1, 2, 7, 7, 7, 7),  # 3: about 7, longer
+    ])
+    return idx
+
+
+class TestBM25:
+    def test_ids_contiguous(self):
+        idx = BM25Index()
+        ids = idx.add([doc(1), doc(2)])
+        assert list(ids) == [0, 1]
+        ids = idx.add([doc(3)])
+        assert list(ids) == [2]
+
+    def test_exact_term_match_wins(self, index):
+        result = index.search(doc(5), 2)
+        assert result.ids[0] == 2
+
+    def test_rare_term_outweighs_common(self, index):
+        # Token 1 appears in 3 docs (common), token 4 in 1 (rare).
+        result = index.search(doc(1, 4), 1)
+        assert result.ids[0] == 1
+
+    def test_term_frequency_saturates(self, index):
+        # Doc 3 has tf=4 for token 7; still ranked first but the score is
+        # bounded by (k1+1) * idf.
+        result = index.search(doc(7), 1)
+        assert result.ids[0] == 3
+        idf_bound = (index.k1 + 1) * index._idf(7)
+        assert result.scores[0] <= idf_bound * 1.01
+
+    def test_unknown_token_scores_nothing(self, index):
+        result = index.search(doc(999), 3)
+        assert (result.ids == -1).all()
+
+    def test_padding_when_few_matches(self, index):
+        result = index.search(doc(6), 3)
+        assert result.ids[0] == 2
+        assert (result.ids[1:] == -1).all()
+
+    def test_batch_shape(self, index):
+        result = index.search_batch([doc(1), doc(5)], 2)
+        assert result.ids.shape == (2, 2)
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.search(doc(), 1)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValueError):
+            BM25Index().add([doc()])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BM25Index(k1=0)
+        with pytest.raises(ValueError):
+            BM25Index(b=1.5)
+
+
+class TestRRF:
+    def test_agreement_ranks_first(self):
+        fused = reciprocal_rank_fusion(
+            [np.array([1, 2, 3]), np.array([1, 3, 2])], 3
+        )
+        assert fused[0] == 1
+
+    def test_single_list_passthrough_order(self):
+        fused = reciprocal_rank_fusion([np.array([5, 9, 2])], 3)
+        assert list(fused) == [5, 9, 2]
+
+    def test_padding_ignored(self):
+        fused = reciprocal_rank_fusion([np.array([4, -1, -1])], 3)
+        assert fused[0] == 4
+        assert (fused[1:] == -1).all()
+
+    def test_rrf_k_validated(self):
+        with pytest.raises(ValueError):
+            reciprocal_rank_fusion([np.array([1])], 1, rrf_k=0)
+
+
+class TestHybrid:
+    @pytest.fixture()
+    def hybrid(self):
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(4, 8)).astype(np.float32)
+        dense = FlatIndex(8)
+        dense.add(embeddings)
+        sparse = BM25Index()
+        sparse.add([doc(1, 2), doc(3, 4), doc(5, 6), doc(7, 8)])
+        return embeddings, HybridRetriever(dense, sparse, candidates=4)
+
+    def test_fused_search_shape(self, hybrid):
+        embeddings, retriever = hybrid
+        ids = retriever.search(embeddings[:2], [doc(1), doc(3)], 3)
+        assert ids.shape == (2, 3)
+
+    def test_agreeing_document_ranks_first(self, hybrid):
+        embeddings, retriever = hybrid
+        # Query 0's embedding is exactly doc 0's and its tokens match doc 0.
+        ids = retriever.search(embeddings[:1], [doc(1, 2)], 2)
+        assert ids[0, 0] == 0
+
+    def test_mismatched_coverage_rejected(self):
+        dense = FlatIndex(4)
+        dense.add(np.zeros((2, 4), dtype=np.float32))
+        sparse = BM25Index()
+        sparse.add([doc(1)])
+        with pytest.raises(ValueError, match="same documents"):
+            HybridRetriever(dense, sparse)
+
+    def test_query_count_mismatch_rejected(self, hybrid):
+        embeddings, retriever = hybrid
+        with pytest.raises(ValueError):
+            retriever.search(embeddings[:2], [doc(1)], 2)
+
+
+class TestZScoreFusion:
+    def test_confident_retriever_outvotes_indifferent(self):
+        from repro.ann.sparse import zscore_fusion
+
+        # Retriever A: flat scores (no confidence); B: one standout.
+        a = (np.array([1.0, 0.99, 0.98]), np.array([10, 11, 12]))
+        b = (np.array([9.0, 1.0, 0.9]), np.array([20, 11, 12]))
+        fused = zscore_fusion([a, b], 2)
+        assert fused[0] == 20
+
+    def test_empty_retriever_ignored(self):
+        from repro.ann.sparse import zscore_fusion
+
+        a = (np.array([2.0, 1.0]), np.array([1, 2]))
+        b = (np.array([-np.inf, -np.inf]), np.array([-1, -1]))
+        fused = zscore_fusion([a, b], 2)
+        assert list(fused) == [1, 2]
+
+    def test_agreement_accumulates(self):
+        from repro.ann.sparse import zscore_fusion
+
+        a = (np.array([2.0, 1.0, 0.0]), np.array([5, 6, 7]))
+        b = (np.array([2.0, 1.0, 0.0]), np.array([5, 7, 6]))
+        fused = zscore_fusion([a, b], 1)
+        assert fused[0] == 5
+
+    def test_zero_variance_contributes_nothing(self):
+        from repro.ann.sparse import zscore_fusion
+
+        a = (np.array([1.0, 1.0]), np.array([1, 2]))
+        b = (np.array([3.0, 0.0]), np.array([9, 1]))
+        fused = zscore_fusion([a, b], 1)
+        assert fused[0] == 9
+
+    def test_rrf_mode_still_available(self):
+        from repro.ann.flat import FlatIndex
+        from repro.ann.sparse import BM25Index, HybridRetriever
+
+        rng = np.random.default_rng(1)
+        emb = rng.normal(size=(3, 4)).astype(np.float32)
+        dense = FlatIndex(4)
+        dense.add(emb)
+        sparse = BM25Index()
+        sparse.add([doc(1), doc(2), doc(3)])
+        hybrid = HybridRetriever(dense, sparse, candidates=3, fusion="rrf")
+        ids = hybrid.search(emb[:1], [doc(1)], 2)
+        assert ids.shape == (1, 2)
+
+    def test_unknown_fusion_rejected(self):
+        from repro.ann.flat import FlatIndex
+        from repro.ann.sparse import BM25Index, HybridRetriever
+
+        dense = FlatIndex(4)
+        dense.add(np.zeros((1, 4), dtype=np.float32))
+        sparse = BM25Index()
+        sparse.add([doc(1)])
+        with pytest.raises(ValueError, match="fusion"):
+            HybridRetriever(dense, sparse, fusion="borda")

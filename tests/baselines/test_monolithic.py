@@ -1,0 +1,45 @@
+"""Tests for the monolithic retrieval baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.monolithic import MonolithicRetriever
+from repro.metrics.ndcg import ndcg
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def retriever(small_corpus):
+    return MonolithicRetriever(small_corpus.embeddings)
+
+
+class TestConstruction:
+    def test_indexes_everything(self, retriever, small_corpus):
+        assert retriever.ntotal == len(small_corpus)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MonolithicRetriever(np.empty((0, 8), dtype=np.float32))
+
+    def test_memory_reported(self, retriever):
+        assert retriever.memory_bytes() > 0
+
+
+class TestQuality:
+    def test_high_ndcg_at_production_nprobe(self, retriever, small_queries):
+        q = small_queries.embeddings
+        _, truth = retriever.ground_truth(q, 5)
+        _, ids = retriever.search(q, 5)
+        assert ndcg(ids, truth) > 0.95
+
+    def test_ground_truth_is_exact(self, retriever, small_corpus):
+        # Querying with stored vectors returns themselves first.
+        _, ids = retriever.ground_truth(small_corpus.embeddings[:10], 1)
+        assert list(ids[:, 0]) == list(range(10))
+
+    def test_nprobe_override_trades_recall(self, retriever, small_queries):
+        q = small_queries.embeddings
+        _, truth = retriever.ground_truth(q, 5)
+        _, shallow = retriever.search(q, 5, nprobe=1)
+        _, deep = retriever.search(q, 5, nprobe=128)
+        assert recall_at_k(deep, truth) >= recall_at_k(shallow, truth)

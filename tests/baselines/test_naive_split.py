@@ -1,0 +1,51 @@
+"""Tests for the naive broadcast-split baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.monolithic import MonolithicRetriever
+from repro.baselines.naive_split import NaiveSplitRetriever
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def split(small_corpus):
+    return NaiveSplitRetriever(small_corpus.embeddings)
+
+
+class TestStructure:
+    def test_default_ten_shards(self, split):
+        assert split.n_shards == 10
+
+    def test_shards_nearly_equal(self, split):
+        sizes = split.datastore.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_random_shards_mix_topics(self, split, small_corpus):
+        # Each shard should contain documents from many latent topics.
+        for shard in split.datastore.shards:
+            topics = small_corpus.topics[shard.global_ids]
+            assert len(np.unique(topics)) >= 8
+
+
+class TestBroadcastSearch:
+    def test_matches_monolithic_recall(self, split, small_corpus, small_queries):
+        # Searching all shards recovers near-exact quality.
+        mono = MonolithicRetriever(small_corpus.embeddings)
+        q = small_queries.embeddings
+        _, truth = mono.ground_truth(q, 5)
+        result = split.search(q, 5)
+        assert recall_at_k(result.ids, truth) > 0.9
+
+    def test_search_touches_all_shards(self, split, small_queries):
+        result = split.search(small_queries.embeddings, 5)
+        assert result.routing.fanout == split.n_shards
+
+    def test_shard_queries_counts_broadcast(self, split, small_queries):
+        result = split.search(small_queries.embeddings, 5)
+        assert result.shard_queries == len(small_queries) * split.n_shards
+
+    def test_global_ids_valid(self, split, small_corpus, small_queries):
+        result = split.search(small_queries.embeddings, 5)
+        assert (result.ids >= 0).all()
+        assert (result.ids < len(small_corpus)).all()

@@ -1,0 +1,73 @@
+"""Tests for the PipeRAG baseline helpers."""
+
+import pytest
+
+from repro.baselines.piperag import adaptive_nprobe, piperag_config, quality_proxy
+from repro.llm.generation import GenerationConfig
+from repro.perfmodel.measurements import RetrievalCostModel
+
+
+class TestConfig:
+    def test_sets_pipelining_only(self):
+        cfg = piperag_config(GenerationConfig())
+        assert cfg.pipelined and not cfg.prefix_cached
+
+    def test_preserves_other_fields(self):
+        cfg = piperag_config(GenerationConfig(batch=64, stride=8))
+        assert cfg.batch == 64 and cfg.stride == 8
+
+
+class TestAdaptiveNprobe:
+    def test_full_depth_when_retrieval_fits(self):
+        cost = RetrievalCostModel()
+        nprobe = adaptive_nprobe(cost, 100e6, 32, inference_window_s=0.7)
+        assert nprobe == 128
+
+    def test_shrinks_on_large_datastores(self):
+        # The paper's criticism: at scale PipeRAG must sacrifice nProbe.
+        cost = RetrievalCostModel()
+        nprobe = adaptive_nprobe(cost, 1e12, 32, inference_window_s=0.7)
+        assert nprobe < 128
+
+    def test_monotone_in_datastore_size(self):
+        cost = RetrievalCostModel()
+        values = [
+            adaptive_nprobe(cost, tokens, 32, inference_window_s=0.7)
+            for tokens in (1e9, 10e9, 100e9, 1e12)
+        ]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_floors_at_min_nprobe(self):
+        cost = RetrievalCostModel()
+        nprobe = adaptive_nprobe(cost, 1e15, 32, inference_window_s=0.1)
+        assert nprobe == 1
+
+    def test_chosen_nprobe_actually_fits_when_above_floor(self):
+        cost = RetrievalCostModel()
+        window = 0.7
+        nprobe = adaptive_nprobe(cost, 1e12, 32, inference_window_s=window)
+        if nprobe > 1:
+            assert cost.batch_latency(1e12, 32, nprobe=nprobe) <= window * 1.05
+
+    def test_validation(self):
+        cost = RetrievalCostModel()
+        with pytest.raises(ValueError):
+            adaptive_nprobe(cost, 1e9, 32, inference_window_s=0)
+        with pytest.raises(ValueError):
+            adaptive_nprobe(cost, 1e9, 32, inference_window_s=1, min_nprobe=0)
+
+
+class TestQualityProxy:
+    def test_monotone(self):
+        values = [quality_proxy(n) for n in (1, 8, 32, 128)]
+        assert values == sorted(values)
+
+    def test_reference_is_one(self):
+        assert quality_proxy(128) == pytest.approx(1.0)
+
+    def test_capped_above_reference(self):
+        assert quality_proxy(512) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quality_proxy(0)

@@ -1,0 +1,62 @@
+"""Tests for the RAGCache baseline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ragcache import (
+    combined_config,
+    ragcache_config,
+    simulate_cache_hit_rate,
+    stride_overlap_fraction,
+)
+from repro.llm.generation import GenerationConfig
+
+
+class TestConfigs:
+    def test_ragcache_sets_caching_only(self):
+        cfg = ragcache_config(GenerationConfig())
+        assert cfg.prefix_cached and not cfg.pipelined
+
+    def test_combined_sets_both(self):
+        cfg = combined_config(GenerationConfig())
+        assert cfg.prefix_cached and cfg.pipelined
+
+
+class TestStrideOverlap:
+    def test_identical_strides_full_overlap(self):
+        strides = [np.array([1, 2, 3])] * 3
+        assert stride_overlap_fraction(strides) == 1.0
+
+    def test_disjoint_strides_zero_overlap(self):
+        strides = [np.array([1, 2]), np.array([3, 4]), np.array([5, 6])]
+        assert stride_overlap_fraction(strides) == 0.0
+
+    def test_partial_overlap(self):
+        strides = [np.array([1, 2]), np.array([2, 3])]
+        assert stride_overlap_fraction(strides) == 0.5
+
+    def test_padding_ignored(self):
+        strides = [np.array([1, -1]), np.array([1, -1])]
+        assert stride_overlap_fraction(strides) == 1.0
+
+    def test_needs_two_strides(self):
+        with pytest.raises(ValueError):
+            stride_overlap_fraction([np.array([1])])
+
+
+class TestSimulatedHitRate:
+    def test_repeated_docs_hit(self):
+        strides = [np.array([1, 2, 3])] * 4
+        rate = simulate_cache_hit_rate(strides)
+        # 3 cold misses, 9 hits.
+        assert rate == pytest.approx(9 / 12)
+
+    def test_capacity_limits_hits(self):
+        strides = [np.arange(100), np.arange(100)]
+        unlimited = simulate_cache_hit_rate(strides, capacity=200)
+        tiny = simulate_cache_hit_rate(strides, capacity=10)
+        assert unlimited > tiny
+
+    def test_fresh_docs_never_hit(self):
+        strides = [np.arange(10), np.arange(10, 20)]
+        assert simulate_cache_hit_rate(strides) == 0.0

@@ -1,0 +1,61 @@
+"""Shared fixtures: small corpora, clusterings, and fleets built once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_datastore, split_datastore_evenly
+from repro.core.config import HermesConfig
+from repro.datastore.embeddings import make_corpus
+from repro.datastore.queries import trivia_queries
+from repro.hardware.node import NodeCluster
+from repro.perfmodel.aggregate import MultiNodeModel
+from repro.perfmodel.measurements import index_memory_bytes
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A 3000-doc, 10-topic corpus shared by retrieval tests."""
+    return make_corpus(3000, n_topics=10, dim=32, spread=0.35, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_corpus):
+    """32 TriviaQA-like queries over the shared corpus."""
+    return trivia_queries(small_corpus.topic_model, 32)
+
+
+@pytest.fixture(scope="session")
+def hermes_config():
+    return HermesConfig()
+
+
+@pytest.fixture(scope="session")
+def clustered(small_corpus, hermes_config):
+    """Hermes K-means clustering of the shared corpus (built once)."""
+    return cluster_datastore(small_corpus.embeddings, hermes_config)
+
+
+@pytest.fixture(scope="session")
+def even_split(small_corpus, hermes_config):
+    """Naive random split of the shared corpus (built once)."""
+    return split_datastore_evenly(small_corpus.embeddings, hermes_config)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def ten_node_fleet():
+    """Ten Xeon Gold nodes hosting equal 10B-token shards."""
+    cluster = NodeCluster.homogeneous(10)
+    cluster.host_shards([10e9] * 10, [index_memory_bytes(10e9)] * 10)
+    return cluster
+
+
+@pytest.fixture()
+def fleet_model(ten_node_fleet):
+    return MultiNodeModel(ten_node_fleet)

@@ -1,0 +1,101 @@
+"""Tests for datastore disaggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import assign_queries_to_shards
+from repro.core.config import HermesConfig
+from repro.core.clustering import cluster_datastore, split_datastore_evenly
+
+
+class TestClusteredDatastore:
+    def test_all_documents_covered_once(self, clustered, small_corpus):
+        all_ids = np.concatenate([s.global_ids for s in clustered.shards])
+        assert len(all_ids) == len(small_corpus)
+        assert len(np.unique(all_ids)) == len(small_corpus)
+
+    def test_ten_shards(self, clustered):
+        assert clustered.n_clusters == 10
+
+    def test_shards_topically_pure(self, clustered, small_corpus):
+        # Semantic clustering should make each shard mostly one latent topic.
+        purities = []
+        for shard in clustered.shards:
+            topics = small_corpus.topics[shard.global_ids]
+            purities.append(np.bincount(topics).max() / len(topics))
+        assert np.mean(purities) > 0.8
+
+    def test_imbalance_near_paper_2x(self, clustered):
+        assert clustered.imbalance < 3.0
+
+    def test_assignments_match_shards(self, clustered):
+        for shard in clustered.shards:
+            assert (clustered.assignments[shard.global_ids] == shard.shard_id).all()
+
+    def test_memory_sums_shards(self, clustered):
+        assert clustered.memory_bytes() == sum(
+            s.memory_bytes() for s in clustered.shards
+        )
+
+    def test_shard_token_sizes_proportional(self, clustered):
+        tokens = clustered.shard_token_sizes(1e12)
+        assert sum(tokens) == pytest.approx(1e12)
+        sizes = clustered.sizes()
+        assert tokens[0] / tokens[1] == pytest.approx(
+            sizes[0] / sizes[1], rel=1e-6
+        )
+
+
+class TestShardSearch:
+    def test_returns_global_ids(self, clustered, small_corpus):
+        shard = clustered.shards[0]
+        _, ids = shard.search(small_corpus.embeddings[shard.global_ids[:2]], 3)
+        valid = ids[ids >= 0]
+        assert set(valid).issubset(set(shard.global_ids))
+
+    def test_self_query_finds_self(self, clustered, small_corpus):
+        shard = clustered.shards[0]
+        probe = small_corpus.embeddings[shard.global_ids[:5]]
+        _, ids = shard.search(probe, 1, nprobe=shard.index.nlist)
+        assert list(ids[:, 0]) == list(shard.global_ids[:5])
+
+    def test_padding_for_oversized_k(self, clustered, small_corpus):
+        shard = min(clustered.shards, key=len)
+        _, ids = shard.search(small_corpus.embeddings[:1], len(shard) + 5)
+        assert (ids == -1).any()
+
+
+class TestEvenSplit:
+    def test_equal_sizes(self, even_split):
+        sizes = even_split.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_no_clustering_metadata(self, even_split):
+        assert even_split.clustering is None
+
+    def test_split_shards_not_topical(self, even_split, small_corpus):
+        purities = []
+        for shard in even_split.shards:
+            topics = small_corpus.topics[shard.global_ids]
+            purities.append(np.bincount(topics, minlength=10).max() / len(topics))
+        assert np.mean(purities) < 0.4
+
+    def test_rejects_too_few_documents(self):
+        with pytest.raises(ValueError, match="at least"):
+            split_datastore_evenly(np.zeros((3, 4), dtype=np.float32))
+
+
+class TestQueryAssignment:
+    def test_queries_route_to_topic_shard(self, clustered, small_corpus, small_queries):
+        assigned = assign_queries_to_shards(clustered, small_queries.embeddings)
+        assert assigned.shape == (len(small_queries),)
+        assert (assigned >= 0).all() and (assigned < 10).all()
+
+
+class TestErrorPaths:
+    def test_too_many_clusters_for_tiny_corpus(self):
+        emb = np.random.default_rng(0).normal(size=(30, 8)).astype(np.float32)
+        emb /= np.linalg.norm(emb, axis=1, keepdims=True)
+        config = HermesConfig(n_clusters=3, clusters_to_search=2)
+        ds = cluster_datastore(emb, config)
+        assert ds.ntotal == 30

@@ -1,0 +1,138 @@
+"""Tests for the hierarchical sample→deep→rerank search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.monolithic import MonolithicRetriever
+from repro.core.hierarchical import (
+    ExhaustiveSplitSearcher,
+    HermesSearcher,
+    HierarchicalSearcher,
+)
+from repro.core.router import CentroidRouter
+from repro.metrics.ndcg import ndcg
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def truth(small_corpus, small_queries):
+    mono = MonolithicRetriever(small_corpus.embeddings)
+    return mono.ground_truth(small_queries.embeddings, 5)[1]
+
+
+@pytest.fixture(scope="module")
+def hermes(clustered):
+    return HermesSearcher(clustered)
+
+
+class TestSearchMechanics:
+    def test_result_shapes(self, hermes, small_queries):
+        result = hermes.search(small_queries.embeddings)
+        assert result.ids.shape == (len(small_queries), 5)
+        assert result.distances.shape == (len(small_queries), 5)
+        assert result.batch_size == len(small_queries)
+
+    def test_results_sorted_by_distance(self, hermes, small_queries):
+        result = hermes.search(small_queries.embeddings)
+        finite = np.where(np.isfinite(result.distances), result.distances, np.inf)
+        assert (np.diff(finite, axis=1) >= -1e-5).all()
+
+    def test_ids_unique_per_query(self, hermes, small_queries):
+        result = hermes.search(small_queries.embeddings)
+        for row in result.ids:
+            valid = row[row >= 0]
+            assert len(valid) == len(set(valid.tolist()))
+
+    def test_shard_queries_equals_batch_times_fanout(self, hermes, small_queries):
+        result = hermes.search(small_queries.embeddings, clusters_to_search=3)
+        assert result.shard_queries == len(small_queries) * 3
+
+    def test_results_come_from_routed_shards(self, hermes, clustered, small_queries):
+        result = hermes.search(small_queries.embeddings, clusters_to_search=2)
+        for qi, row in enumerate(result.ids):
+            allowed = set()
+            for cid in result.routing.clusters[qi]:
+                allowed.update(clustered.shards[int(cid)].global_ids.tolist())
+            assert all(int(doc) in allowed for doc in row if doc >= 0)
+
+
+class TestAccuracy:
+    def test_iso_accuracy_at_three_clusters(self, hermes, small_queries, truth):
+        # The paper's headline accuracy claim (Fig. 11).
+        result = hermes.search(small_queries.embeddings, clusters_to_search=3)
+        assert ndcg(result.ids, truth) > 0.93
+
+    def test_accuracy_monotone_in_fanout(self, hermes, small_queries, truth):
+        scores = [
+            ndcg(hermes.search(small_queries.embeddings, clusters_to_search=m).ids, truth)
+            for m in (1, 3, 10)
+        ]
+        assert scores[0] <= scores[1] + 0.02
+        assert scores[1] <= scores[2] + 0.02
+
+    def test_sampling_beats_centroid_routing(self, clustered, small_queries, truth):
+        sampled = HermesSearcher(clustered)
+        centroid = HierarchicalSearcher(clustered, router=CentroidRouter())
+        m = 2
+        s_score = ndcg(
+            sampled.search(small_queries.embeddings, clusters_to_search=m).ids, truth
+        )
+        c_score = ndcg(
+            centroid.search(small_queries.embeddings, clusters_to_search=m).ids, truth
+        )
+        assert s_score >= c_score - 0.01
+
+    def test_semantic_clusters_beat_random_split(
+        self, clustered, even_split, small_queries, truth
+    ):
+        m = 3
+        semantic = HermesSearcher(clustered).search(
+            small_queries.embeddings, clusters_to_search=m
+        )
+        random_split = HermesSearcher(even_split).search(
+            small_queries.embeddings, clusters_to_search=m
+        )
+        assert ndcg(semantic.ids, truth) > ndcg(random_split.ids, truth)
+
+    def test_deep_nprobe_improves_recall(self, hermes, small_queries, truth):
+        shallow = hermes.search(
+            small_queries.embeddings, clusters_to_search=3, deep_nprobe=1
+        )
+        deep = hermes.search(
+            small_queries.embeddings, clusters_to_search=3, deep_nprobe=128
+        )
+        assert recall_at_k(deep.ids, truth) >= recall_at_k(shallow.ids, truth)
+
+
+class TestExhaustiveSplit:
+    def test_searches_all_clusters(self, even_split, small_queries):
+        searcher = ExhaustiveSplitSearcher(even_split)
+        result = searcher.search(small_queries.embeddings)
+        assert result.shard_queries == len(small_queries) * even_split.n_clusters
+
+    def test_recovers_monolithic_quality(self, even_split, small_queries, truth):
+        searcher = ExhaustiveSplitSearcher(even_split)
+        result = searcher.search(small_queries.embeddings)
+        assert ndcg(result.ids, truth) > 0.93
+
+
+class TestEarlyTerminationComposition:
+    def test_deep_patience_preserves_quality(self, hermes, small_queries, truth):
+        """§7 composition: adaptive termination inside the Hermes deep search
+        keeps near-full NDCG."""
+        full = hermes.search(small_queries.embeddings, clusters_to_search=3)
+        eager = hermes.search(
+            small_queries.embeddings, clusters_to_search=3, deep_patience=8
+        )
+        assert ndcg(eager.ids, truth) > ndcg(full.ids, truth) - 0.05
+
+    def test_deep_patience_ids_remain_global(self, hermes, clustered, small_queries):
+        result = hermes.search(
+            small_queries.embeddings, clusters_to_search=2, deep_patience=4
+        )
+        assert (result.ids < clustered.ntotal).all()
+        for qi, row in enumerate(result.ids):
+            allowed = set()
+            for cid in result.routing.clusters[qi]:
+                allowed.update(clustered.shards[int(cid)].global_ids.tolist())
+            assert all(int(d) in allowed for d in row if d >= 0)

@@ -1,0 +1,68 @@
+"""Tests for the load-aware routing extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.monolithic import MonolithicRetriever
+from repro.core.hierarchical import HierarchicalSearcher
+from repro.core.router import LoadAwareRouter, SampledRouter
+from repro.metrics.ndcg import ndcg
+from repro.perfmodel.trace import BatchRouting
+
+
+def node_loads(decision, n):
+    return BatchRouting(clusters=decision.clusters).node_loads(n)
+
+
+class TestLoadAwareRouting:
+    def test_zero_slack_matches_base(self, clustered, small_queries):
+        base = SampledRouter()
+        aware = LoadAwareRouter(base, np.zeros(10), slack=0.0)
+        a = base.route(small_queries.embeddings, clustered, 3)
+        b = aware.route(small_queries.embeddings, clustered, 3)
+        assert set(map(tuple, a.clusters.tolist())) == set(
+            map(tuple, b.clusters.tolist())
+        )
+
+    def test_costly_node_avoided_when_ties_allow(self, clustered, small_queries):
+        base = SampledRouter()
+        plain = base.route(small_queries.embeddings, clustered, 3)
+        hot = int(np.bincount(plain.clusters.ravel(), minlength=10).argmax())
+        costs = np.zeros(10)
+        costs[hot] = 1.0
+        aware = LoadAwareRouter(base, costs, slack=0.2)
+        shifted = aware.route(small_queries.embeddings, clustered, 3)
+        before = node_loads(plain, 10)[hot]
+        after = node_loads(shifted, 10)[hot]
+        assert after < before
+
+    def test_excluded_clusters_respected(self, clustered, small_queries):
+        aware = LoadAwareRouter(SampledRouter(), np.zeros(10), slack=0.2)
+        decision = aware.route(
+            small_queries.embeddings, clustered, 3, exclude=frozenset({1, 4})
+        )
+        assert not np.isin(decision.clusters, [1, 4]).any()
+
+    def test_accuracy_cost_bounded(self, clustered, small_corpus, small_queries):
+        mono = MonolithicRetriever(small_corpus.embeddings)
+        _, truth = mono.ground_truth(small_queries.embeddings, 5)
+        plain = HierarchicalSearcher(clustered, router=SampledRouter())
+        rng = np.random.default_rng(0)
+        aware = HierarchicalSearcher(
+            clustered,
+            router=LoadAwareRouter(SampledRouter(), rng.uniform(size=10), slack=0.05),
+        )
+        base_score = ndcg(
+            plain.search(small_queries.embeddings, clusters_to_search=3).ids, truth
+        )
+        aware_score = ndcg(
+            aware.search(small_queries.embeddings, clusters_to_search=3).ids, truth
+        )
+        assert aware_score > base_score - 0.05
+
+    def test_validation(self, clustered, small_queries):
+        with pytest.raises(ValueError):
+            LoadAwareRouter(SampledRouter(), np.zeros(10), slack=-0.1)
+        bad = LoadAwareRouter(SampledRouter(), np.zeros(3))
+        with pytest.raises(ValueError, match="node_costs"):
+            bad.route(small_queries.embeddings, clustered, 3)

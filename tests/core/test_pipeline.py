@@ -1,0 +1,131 @@
+"""Tests for the HermesSystem end-to-end facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import HermesSystem
+from repro.datastore.chunkstore import ChunkStore
+from repro.datastore.corpus import CorpusGenerator, TokenVocabulary, chunk_documents
+from repro.datastore.encoder import SyntheticEncoder
+from repro.llm.generation import GenerationConfig
+from repro.perfmodel.aggregate import DVFSPolicy
+
+
+@pytest.fixture(scope="module")
+def system(small_corpus, clustered):
+    return HermesSystem(
+        small_corpus.embeddings,
+        total_tokens=100e9,
+        datastore=clustered,
+        generation=GenerationConfig(batch=32),
+    )
+
+
+class TestRetrieve:
+    def test_real_ids_with_modelled_cost(self, system, small_queries):
+        outcome = system.retrieve(small_queries.embeddings[:8], k=5)
+        assert outcome.search.ids.shape == (8, 5)
+        assert outcome.latency_s > 0
+        assert outcome.energy_j > 0
+
+    def test_cost_conversion(self, system, small_queries):
+        outcome = system.retrieve(small_queries.embeddings[:4])
+        cost = outcome.cost()
+        assert cost.latency_s == outcome.latency_s
+
+    def test_text_queries_need_encoder(self, system):
+        with pytest.raises(ValueError, match="encoder"):
+            system.retrieve(["what is tok5?"])
+
+
+class TestServe:
+    def test_generation_attached(self, system, small_queries):
+        response = system.serve(small_queries.embeddings[:8])
+        assert response.generation.e2e_s > response.generation.ttft_s
+        assert response.generation.config.batch == 8
+
+    def test_retrieval_cost_flows_into_timeline(self, system, small_queries):
+        response = system.serve(small_queries.embeddings[:8])
+        n_strides = response.generation.config.n_strides
+        assert response.generation.retrieval_s == pytest.approx(
+            response.retrieval.latency_s * n_strides
+        )
+
+
+class TestDescribe:
+    def test_fields(self, system):
+        info = system.describe()
+        assert info["clusters"] == 10
+        assert info["clusters_to_search"] == 3
+        assert "Gemma2" in info["inference_model"]
+
+    def test_memory_positive(self, system):
+        assert system.memory_bytes() > 0
+
+
+class TestTextPath:
+    def test_full_text_pipeline(self):
+        """Raw text in, augmented prompt out — the complete Fig. 3 flow."""
+        vocab = TokenVocabulary(n_topics=4, pool_size=150, common_size=60)
+        gen = CorpusGenerator(vocab, doc_tokens=96, topical_fraction=0.8, seed=0)
+        docs = gen.generate(150)
+        chunks = chunk_documents(docs, chunk_tokens=48)
+        encoder = SyntheticEncoder(dim=32, seed=0)
+        embeddings = encoder.encode_chunks(chunks)
+
+        from repro.core.config import HermesConfig
+
+        system = HermesSystem(
+            embeddings,
+            total_tokens=1e9,
+            config=HermesConfig(n_clusters=4, clusters_to_search=2),
+            chunk_store=ChunkStore(chunks),
+            encoder=encoder,
+        )
+        query_text = " ".join(f"tok{t}" for t in vocab.topic_pool(1)[:6])
+        response = system.serve([query_text] * 4)
+        assert response.augmented is not None
+        prompt = response.augmented[0].prompt()
+        assert prompt.endswith(query_text)
+        # The retrieved context should be topically aligned: mostly topic-1
+        # pool tokens.
+        context = response.augmented[0].context_texts[0]
+        context_topics = [
+            vocab.topic_of_token(int(w[3:])) for w in context.split()
+        ]
+        topical = [t for t in context_topics if t >= 0]
+        assert topical and (np.bincount(topical, minlength=4).argmax() == 1)
+
+
+class TestDVFSIntegration:
+    def test_enhanced_dvfs_system(self, small_corpus, clustered, small_queries):
+        system = HermesSystem(
+            small_corpus.embeddings,
+            total_tokens=20e9,
+            datastore=clustered,
+            dvfs=DVFSPolicy.ENHANCED,
+        )
+        outcome = system.retrieve(small_queries.embeddings[:8])
+        assert outcome.latency_s > 0
+
+
+class TestSystemPersistence:
+    def test_save_load_roundtrip(self, small_corpus, clustered, small_queries, tmp_path):
+        system = HermesSystem(
+            small_corpus.embeddings, total_tokens=50e9, datastore=clustered
+        )
+        system.save(tmp_path / "deploy")
+        loaded = HermesSystem.load(tmp_path / "deploy")
+        q = small_queries.embeddings[:8]
+        assert np.array_equal(
+            system.retrieve(q).search.ids, loaded.retrieve(q).search.ids
+        )
+        assert loaded.scheduler.total_tokens == 50e9
+
+    def test_load_with_overrides(self, small_corpus, clustered, tmp_path):
+        system = HermesSystem(
+            small_corpus.embeddings, total_tokens=50e9, datastore=clustered
+        )
+        system.save(tmp_path / "deploy")
+        loaded = HermesSystem.load(tmp_path / "deploy", total_tokens=1e12)
+        assert loaded.scheduler.total_tokens == 1e12

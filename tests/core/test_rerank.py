@@ -1,0 +1,94 @@
+"""Tests for candidate reranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.rerank import CrossInteractionReranker, SimilarityReranker
+from repro.datastore.chunkstore import ChunkStore
+from repro.datastore.corpus import Chunk
+
+
+@pytest.fixture()
+def vectors():
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=(20, 8)).astype(np.float32)
+    return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+
+class TestSimilarityReranker:
+    def test_orders_by_inner_product(self, vectors):
+        reranker = SimilarityReranker(vectors)
+        query = vectors[3]
+        out = reranker.rerank(query, np.array([7, 3, 11]))
+        assert out[0] == 3  # the query's own vector wins
+
+    def test_padding_kept_last(self, vectors):
+        reranker = SimilarityReranker(vectors)
+        out = reranker.rerank(vectors[0], np.array([5, -1, 2, -1]))
+        assert list(out[-2:]) == [-1, -1]
+        assert set(out[:2]) == {5, 2}
+
+    def test_all_padding_passthrough(self, vectors):
+        reranker = SimilarityReranker(vectors)
+        out = reranker.rerank(vectors[0], np.array([-1, -1]))
+        assert (out == -1).all()
+
+    def test_top_n(self, vectors):
+        reranker = SimilarityReranker(vectors)
+        out = reranker.top(vectors[1], np.array([1, 2, 3]), 1)
+        assert len(out) == 1 and out[0] == 1
+        with pytest.raises(ValueError):
+            reranker.top(vectors[1], np.array([1]), 0)
+
+
+class TestCrossInteractionReranker:
+    @pytest.fixture()
+    def setup(self, vectors):
+        chunks = [
+            Chunk(chunk_id=i, doc_id=i, topic=0,
+                  tokens=np.array([i * 10, i * 10 + 1, 500]))
+            for i in range(20)
+        ]
+        store = ChunkStore(chunks)
+        return vectors, store
+
+    def test_exact_token_match_promotes(self, setup):
+        vectors, store = setup
+        reranker = CrossInteractionReranker(vectors, store, alpha=0.3)
+        # Candidates 4 and 9 are embedding-equidistant (we use candidate 4's
+        # rare tokens in the query, so token evidence should decide).
+        query_emb = (vectors[4] + vectors[9]) / 2
+        query_tokens = np.array([40, 41])  # candidate 4's rare tokens
+        out = reranker.rerank_with_tokens(query_emb, query_tokens, np.array([9, 4]))
+        assert out[0] == 4
+
+    def test_common_token_carries_little_weight(self, setup):
+        vectors, store = setup
+        reranker = CrossInteractionReranker(vectors, store, alpha=0.0)
+        # Token 500 appears in every chunk: matching it should not break the
+        # tie meaningfully vs a rare-token match.
+        query_tokens_rare = np.array([70, 71])
+        out = reranker.rerank_with_tokens(
+            vectors[0] * 0, query_tokens_rare, np.array([3, 7])
+        )
+        assert out[0] == 7
+
+    def test_alpha_one_equals_similarity(self, setup):
+        vectors, store = setup
+        cross = CrossInteractionReranker(vectors, store, alpha=1.0)
+        sim = SimilarityReranker(vectors)
+        cands = np.array([2, 5, 8])
+        a = cross.rerank_with_tokens(vectors[5], np.array([999]), cands)
+        b = sim.rerank(vectors[5], cands)
+        assert np.array_equal(a, b)
+
+    def test_alpha_validated(self, setup):
+        vectors, store = setup
+        with pytest.raises(ValueError):
+            CrossInteractionReranker(vectors, store, alpha=1.5)
+
+    def test_fallback_without_tokens(self, setup):
+        vectors, store = setup
+        reranker = CrossInteractionReranker(vectors, store)
+        out = reranker.rerank(vectors[2], np.array([1, 2]))
+        assert out[0] == 2

@@ -1,0 +1,107 @@
+"""Tests for token-level strided RAG sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_datastore
+from repro.core.config import HermesConfig
+from repro.core.hierarchical import HermesSearcher
+from repro.core.session import StridedRAGSession
+from repro.datastore.chunkstore import ChunkStore
+from repro.datastore.corpus import CorpusGenerator, TokenVocabulary, chunk_documents
+from repro.datastore.encoder import SyntheticEncoder
+
+
+@pytest.fixture(scope="module")
+def stack():
+    vocab = TokenVocabulary(n_topics=5, pool_size=150, common_size=80)
+    gen = CorpusGenerator(vocab, doc_tokens=96, topical_fraction=0.8, seed=2)
+    docs = gen.generate(250)
+    chunks = chunk_documents(docs, chunk_tokens=48)
+    encoder = SyntheticEncoder(dim=64, seed=0)
+    embeddings = encoder.encode_chunks(chunks)
+    datastore = cluster_datastore(
+        embeddings, HermesConfig(n_clusters=5, clusters_to_search=2)
+    )
+    searcher = HermesSearcher(datastore)
+    store = ChunkStore(chunks)
+    return vocab, searcher, encoder, store
+
+
+@pytest.fixture()
+def session(stack):
+    _, searcher, encoder, store = stack
+    return StridedRAGSession(searcher, encoder, store, stride_tokens=16, seed=1)
+
+
+def topic_query(vocab, topic, n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.choice(vocab.topic_pool(topic), size=n, replace=False)
+
+
+class TestSessionMechanics:
+    def test_runs_requested_strides(self, stack, session):
+        vocab = stack[0]
+        trace = session.run(topic_query(vocab, 0), n_strides=6)
+        assert trace.n_strides == 6
+        assert all(len(s.generated_tokens) == 16 for s in trace.steps)
+
+    def test_deterministic_for_seed(self, stack):
+        vocab, searcher, encoder, store = stack
+        a = StridedRAGSession(searcher, encoder, store, seed=3).run(
+            topic_query(vocab, 1), n_strides=4
+        )
+        b = StridedRAGSession(searcher, encoder, store, seed=3).run(
+            topic_query(vocab, 1), n_strides=4
+        )
+        for sa, sb in zip(a.steps, b.steps):
+            assert np.array_equal(sa.retrieved_ids, sb.retrieved_ids)
+            assert np.array_equal(sa.generated_tokens, sb.generated_tokens)
+
+    def test_validation(self, stack, session):
+        vocab = stack[0]
+        with pytest.raises(ValueError):
+            session.run(np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            session.run(topic_query(vocab, 0), n_strides=0)
+        _, searcher, encoder, store = stack
+        with pytest.raises(ValueError):
+            StridedRAGSession(searcher, encoder, store, grounding=1.5)
+
+
+class TestSessionAnalyses:
+    def test_topical_queries_retrieve_stably(self, stack, session):
+        vocab = stack[0]
+        trace = session.run(topic_query(vocab, 2), n_strides=8)
+        # Grounded generation keeps the query in-topic, so consecutive
+        # strides mostly re-route to the same clusters...
+        assert trace.routing_stability() > 0.6
+        # ...and RAGCache's overlap premise holds to a substantial degree.
+        assert trace.document_overlap() > 0.3
+
+    def test_high_grounding_increases_overlap(self, stack):
+        vocab, searcher, encoder, store = stack
+        drifty = StridedRAGSession(
+            searcher, encoder, store, grounding=0.1, seed=5
+        ).run(topic_query(vocab, 3), n_strides=8)
+        grounded = StridedRAGSession(
+            searcher, encoder, store, grounding=0.9, seed=5
+        ).run(topic_query(vocab, 3), n_strides=8)
+        assert grounded.document_overlap() >= drifty.document_overlap() - 0.1
+
+    def test_generated_tokens_stay_topical(self, stack, session):
+        vocab = stack[0]
+        trace = session.run(topic_query(vocab, 4), n_strides=8)
+        tokens = trace.all_generated_tokens()
+        topics = [vocab.topic_of_token(int(t)) for t in tokens]
+        topical = [t for t in topics if t >= 0]
+        assert topical
+        assert np.bincount(topical, minlength=5).argmax() == 4
+
+    def test_overlap_requires_two_strides(self, stack, session):
+        vocab = stack[0]
+        trace = session.run(topic_query(vocab, 0), n_strides=1)
+        with pytest.raises(ValueError):
+            trace.document_overlap()
+        with pytest.raises(ValueError):
+            trace.routing_stability()

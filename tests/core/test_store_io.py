@@ -1,0 +1,35 @@
+"""Tests for clustered-datastore persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.store_io import load_datastore, save_datastore
+from repro.core.hierarchical import HermesSearcher
+
+
+class TestDatastoreRoundTrip:
+    def test_structure_preserved(self, clustered, tmp_path):
+        save_datastore(clustered, tmp_path / "store")
+        loaded = load_datastore(tmp_path / "store")
+        assert loaded.n_clusters == clustered.n_clusters
+        assert loaded.ntotal == clustered.ntotal
+        assert np.array_equal(loaded.assignments, clustered.assignments)
+        assert np.array_equal(loaded.sizes(), clustered.sizes())
+        assert loaded.config == clustered.config
+
+    def test_search_identical(self, clustered, small_queries, tmp_path):
+        save_datastore(clustered, tmp_path / "store")
+        loaded = load_datastore(tmp_path / "store")
+        original = HermesSearcher(clustered).search(small_queries.embeddings[:8])
+        reloaded = HermesSearcher(loaded).search(small_queries.embeddings[:8])
+        assert np.array_equal(original.ids, reloaded.ids)
+        assert np.allclose(original.distances, reloaded.distances, atol=1e-5)
+
+    def test_centroids_preserved(self, clustered, tmp_path):
+        save_datastore(clustered, tmp_path / "store")
+        loaded = load_datastore(tmp_path / "store")
+        assert np.allclose(loaded.centroids(), clustered.centroids())
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_datastore(tmp_path / "nothing")

@@ -1,0 +1,68 @@
+"""Tests for the chunk datastore and prompt augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datastore.chunkstore import ChunkStore, augment_query
+from repro.datastore.corpus import Chunk
+
+
+def make_chunks(n=5):
+    return [
+        Chunk(chunk_id=i, doc_id=i, topic=0, tokens=np.array([i * 10, i * 10 + 1]))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def store():
+    return ChunkStore(make_chunks())
+
+
+class TestChunkStore:
+    def test_len(self, store):
+        assert len(store) == 5
+
+    def test_get(self, store):
+        assert store.get(3).chunk_id == 3
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get(99)
+
+    def test_get_negative_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get(-1)
+
+    def test_get_many_skips_padding(self, store):
+        chunks = store.get_many(np.array([0, -1, 2]))
+        assert [c.chunk_id for c in chunks] == [0, 2]
+
+    def test_texts_render(self, store):
+        assert store.texts(np.array([1])) == ["tok10 tok11"]
+
+    def test_noncontiguous_ids_rejected(self):
+        bad = make_chunks()
+        bad[2] = Chunk(chunk_id=7, doc_id=2, topic=0, tokens=np.array([1]))
+        with pytest.raises(ValueError, match="contiguous"):
+            ChunkStore(bad)
+
+
+class TestAugmentation:
+    def test_prepends_top_context(self, store):
+        aug = augment_query("what is tok10?", store, np.array([1, 2, 3]), top_n=1)
+        assert aug.context_texts == ("tok10 tok11",)
+        assert aug.prompt().endswith("what is tok10?")
+        assert aug.prompt().startswith("tok10 tok11")
+
+    def test_top_n_contexts(self, store):
+        aug = augment_query("q", store, np.array([0, 1, 2]), top_n=2)
+        assert len(aug.context_texts) == 2
+
+    def test_padding_ids_skipped(self, store):
+        aug = augment_query("q", store, np.array([-1, 4]), top_n=2)
+        assert aug.context_texts == ("tok40 tok41",)
+
+    def test_rejects_nonpositive_top_n(self, store):
+        with pytest.raises(ValueError):
+            augment_query("q", store, np.array([0]), top_n=0)

@@ -1,0 +1,113 @@
+"""Tests for the topic-mixture embedding generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann.kmeans import kmeans
+from repro.datastore.embeddings import TopicModel, make_corpus, zipf_weights
+
+
+class TestZipfWeights:
+    def test_sums_to_one(self):
+        assert np.isclose(zipf_weights(10).sum(), 1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(10)
+        assert (np.diff(w) <= 0).all()
+
+    def test_default_imbalance_is_paper_2x(self):
+        w = zipf_weights(10)
+        assert w.max() / w.min() == pytest.approx(2.0, rel=0.01)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    @given(st.integers(1, 50), st.floats(0.0, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_distribution_for_any_exponent(self, n, exponent):
+        w = zipf_weights(n, exponent=exponent)
+        assert np.isclose(w.sum(), 1.0)
+        assert (w > 0).all()
+
+
+class TestTopicModel:
+    def test_centers_unit_norm(self):
+        model = TopicModel.create(n_topics=6, dim=32)
+        assert np.allclose(np.linalg.norm(model.centers, axis=1), 1.0, atol=1e-5)
+
+    def test_documents_unit_norm(self):
+        model = TopicModel.create(n_topics=6, dim=32)
+        emb, _ = model.sample_documents(100)
+        assert np.allclose(np.linalg.norm(emb, axis=1), 1.0, atol=1e-5)
+
+    def test_documents_closer_to_own_topic(self):
+        model = TopicModel.create(n_topics=8, dim=64, spread=0.3, seed=3)
+        emb, topics = model.sample_documents(300)
+        sims = emb @ model.centers.T
+        assigned = sims.argmax(axis=1)
+        assert (assigned == topics).mean() > 0.9
+
+    def test_topic_distribution_follows_weights(self):
+        model = TopicModel.create(n_topics=5, dim=16, weight_exponent=1.0, seed=4)
+        _, topics = model.sample_documents(5000)
+        counts = np.bincount(topics, minlength=5)
+        assert counts[0] > counts[4] * 1.5
+
+    def test_query_spread_override(self):
+        model = TopicModel.create(n_topics=4, dim=32, seed=5)
+        tight, t_topics = model.sample_queries(200, query_spread=0.05)
+        loose, l_topics = model.sample_queries(200, query_spread=0.8)
+        tight_sim = (tight @ model.centers.T)[np.arange(200), t_topics].mean()
+        loose_sim = (loose @ model.centers.T)[np.arange(200), l_topics].mean()
+        assert tight_sim > loose_sim
+
+    def test_custom_topic_weights_validated(self):
+        model = TopicModel.create(n_topics=4, dim=8)
+        with pytest.raises(ValueError, match="sum to 1"):
+            model.sample_queries(10, topic_weights=np.array([0.5, 0.5, 0.5, 0.5]))
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError, match="matching length"):
+            TopicModel(
+                centers=np.zeros((3, 4), dtype=np.float32),
+                weights=np.array([0.5, 0.5]),
+                spread=0.1,
+            )
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError, match="spread"):
+            TopicModel.create(n_topics=2, dim=4, spread=-0.1)
+
+
+class TestMakeCorpus:
+    def test_shapes(self):
+        corpus = make_corpus(500, n_topics=5, dim=24)
+        assert corpus.embeddings.shape == (500, 24)
+        assert corpus.topics.shape == (500,)
+        assert len(corpus) == 500
+        assert corpus.dim == 24
+
+    def test_deterministic_per_seed(self):
+        a = make_corpus(100, seed=9)
+        b = make_corpus(100, seed=9)
+        assert np.array_equal(a.embeddings, b.embeddings)
+
+    def test_different_seeds_differ(self):
+        a = make_corpus(100, seed=1)
+        b = make_corpus(100, seed=2)
+        assert not np.array_equal(a.embeddings, b.embeddings)
+
+    def test_kmeans_recovers_topic_structure(self):
+        # The property Hermes depends on: K-means clusters ≈ latent topics.
+        corpus = make_corpus(2000, n_topics=6, dim=48, spread=0.3, seed=10)
+        result = kmeans(corpus.embeddings, 6, seed=0)
+        # Each K-means cluster should be dominated by one latent topic.
+        dominant = []
+        for cid in range(6):
+            members = corpus.topics[result.assignments == cid]
+            if len(members):
+                dominant.append(np.bincount(members).max() / len(members))
+        assert np.mean(dominant) > 0.8

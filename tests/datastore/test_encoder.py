@@ -1,0 +1,102 @@
+"""Tests for the deterministic bag-of-tokens encoder."""
+
+import numpy as np
+import pytest
+
+from repro.ann.kmeans import kmeans
+from repro.datastore.corpus import CorpusGenerator, TokenVocabulary, chunk_documents
+from repro.datastore.encoder import SyntheticEncoder
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return SyntheticEncoder(dim=32, seed=0)
+
+
+class TestTokenVectors:
+    def test_unit_norm(self, encoder):
+        assert np.isclose(np.linalg.norm(encoder.token_vector(42)), 1.0, atol=1e-5)
+
+    def test_deterministic_across_instances(self):
+        a = SyntheticEncoder(dim=32, seed=0)
+        b = SyntheticEncoder(dim=32, seed=0)
+        assert np.array_equal(a.token_vector(7), b.token_vector(7))
+
+    def test_seed_changes_mapping(self):
+        a = SyntheticEncoder(dim=32, seed=0)
+        b = SyntheticEncoder(dim=32, seed=1)
+        assert not np.array_equal(a.token_vector(7), b.token_vector(7))
+
+    def test_distinct_tokens_nearly_orthogonal(self, encoder):
+        sims = [
+            abs(float(encoder.token_vector(i) @ encoder.token_vector(i + 1)))
+            for i in range(20)
+        ]
+        assert np.mean(sims) < 0.3
+
+
+class TestEncoding:
+    def test_output_unit_norm(self, encoder):
+        emb = encoder.encode_tokens(np.array([1, 2, 3]))
+        assert np.isclose(np.linalg.norm(emb), 1.0, atol=1e-5)
+
+    def test_empty_sequence_rejected(self, encoder):
+        with pytest.raises(ValueError, match="empty"):
+            encoder.encode_tokens(np.array([], dtype=np.int64))
+
+    def test_shared_tokens_increase_similarity(self, encoder):
+        a = encoder.encode_tokens(np.array([1, 2, 3, 4]))
+        b = encoder.encode_tokens(np.array([1, 2, 3, 5]))
+        c = encoder.encode_tokens(np.array([100, 101, 102, 103]))
+        assert float(a @ b) > float(a @ c)
+
+    def test_order_invariant(self, encoder):
+        a = encoder.encode_tokens(np.array([1, 2, 3]))
+        b = encoder.encode_tokens(np.array([3, 1, 2]))
+        assert np.allclose(a, b, atol=1e-6)
+
+
+class TestTextInterface:
+    def test_tokenize_parses_tok_words(self):
+        ids = SyntheticEncoder.tokenize("tok5 tok70 tok9")
+        assert list(ids) == [5, 70, 9]
+
+    def test_tokenize_hashes_free_text(self):
+        ids = SyntheticEncoder.tokenize("hello world")
+        assert len(ids) == 2 and (ids >= 0).all()
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticEncoder.tokenize("   ")
+
+    def test_encode_text_matches_encode_tokens(self, encoder):
+        via_text = encoder.encode_text("tok1 tok2 tok3")
+        via_tokens = encoder.encode_tokens(np.array([1, 2, 3]))
+        assert np.allclose(via_text, via_tokens)
+
+    def test_encode_batch_shape(self, encoder):
+        out = encoder.encode_batch(["tok1 tok2", "tok3"])
+        assert out.shape == (2, 32)
+
+    def test_encode_batch_empty(self, encoder):
+        assert encoder.encode_batch([]).shape == (0, 32)
+
+
+class TestEndToEndTopicStructure:
+    def test_chunk_embeddings_cluster_by_topic(self):
+        """The full offline path: tokens -> chunks -> encoder -> K-means
+        recovers the latent topics (the property Hermes's clustering uses)."""
+        vocab = TokenVocabulary(n_topics=4, pool_size=200, common_size=100)
+        gen = CorpusGenerator(vocab, doc_tokens=128, topical_fraction=0.8, seed=1)
+        docs = gen.generate(120)
+        chunks = chunk_documents(docs, chunk_tokens=64)
+        encoder = SyntheticEncoder(dim=48, seed=0)
+        emb = encoder.encode_chunks(chunks)
+        result = kmeans(emb, 4, seed=0)
+        purity = []
+        labels = np.array([c.topic for c in chunks])
+        for cid in range(4):
+            members = labels[result.assignments == cid]
+            if len(members):
+                purity.append(np.bincount(members).max() / len(members))
+        assert np.mean(purity) > 0.85

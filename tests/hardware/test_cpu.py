@@ -1,0 +1,92 @@
+"""Tests for CPU platform models."""
+
+import pytest
+
+from repro.hardware.cpu import (
+    CPU_PLATFORMS,
+    NEOVERSE_N1,
+    XEON_GOLD_6448Y,
+    XEON_PLATINUM_8380,
+    CPUPlatform,
+    get_cpu,
+)
+
+
+class TestRegistry:
+    def test_four_platforms(self):
+        assert len(CPU_PLATFORMS) == 4
+
+    def test_lookup(self):
+        assert get_cpu("xeon_gold_6448y") is XEON_GOLD_6448Y
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown CPU"):
+            get_cpu("epyc")
+
+
+class TestPlatformInvariants:
+    def test_gold_matches_paper_setup(self):
+        # The paper's main platform: 32 cores at 2.3 GHz.
+        assert XEON_GOLD_6448Y.cores == 32
+        assert XEON_GOLD_6448Y.max_freq_ghz == pytest.approx(2.3)
+
+    def test_platinum_fastest_per_core(self):
+        others = [p for p in CPU_PLATFORMS.values() if p is not XEON_PLATINUM_8380]
+        assert all(XEON_PLATINUM_8380.relative_speed > p.relative_speed for p in others)
+
+    def test_arm_has_most_cores(self):
+        assert NEOVERSE_N1.cores == max(p.cores for p in CPU_PLATFORMS.values())
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            CPUPlatform("x", cores=0, min_freq_ghz=1, max_freq_ghz=2,
+                        active_power_w=100, idle_power_w=10)
+        with pytest.raises(ValueError):
+            CPUPlatform("x", cores=4, min_freq_ghz=3, max_freq_ghz=2,
+                        active_power_w=100, idle_power_w=10)
+        with pytest.raises(ValueError):
+            CPUPlatform("x", cores=4, min_freq_ghz=1, max_freq_ghz=2,
+                        active_power_w=10, idle_power_w=100)
+
+
+class TestPowerModel:
+    def test_max_freq_full_util_is_active_power(self):
+        p = XEON_GOLD_6448Y
+        assert p.power_at(p.max_freq_ghz) == pytest.approx(p.active_power_w)
+
+    def test_power_cubic_in_frequency(self):
+        p = XEON_GOLD_6448Y
+        half = p.power_at(p.max_freq_ghz / 2)
+        dyn = p.active_power_w - p.idle_power_w
+        assert half == pytest.approx(p.idle_power_w + dyn / 8)
+
+    def test_idle_at_zero_utilization(self):
+        p = XEON_GOLD_6448Y
+        assert p.power_at(p.max_freq_ghz, utilization=0.0) == p.idle_power_w
+
+    def test_frequency_clamped_to_range(self):
+        p = XEON_GOLD_6448Y
+        assert p.power_at(100.0) == pytest.approx(p.active_power_w)
+        assert p.power_at(0.01) == pytest.approx(
+            p.power_at(p.min_freq_ghz)
+        )
+
+    def test_utilization_validated(self):
+        with pytest.raises(ValueError):
+            XEON_GOLD_6448Y.power_at(2.0, utilization=1.5)
+
+
+class TestSlowdown:
+    def test_no_slowdown_at_max(self):
+        assert XEON_GOLD_6448Y.slowdown_at(XEON_GOLD_6448Y.max_freq_ghz) == 1.0
+
+    def test_half_freq_doubles_latency(self):
+        p = XEON_GOLD_6448Y
+        assert p.slowdown_at(p.max_freq_ghz / 2) == pytest.approx(2.0)
+
+    def test_energy_win_despite_longer_runtime(self):
+        # The DVFS premise: E(f) = P(f)/f decreases as f drops (cubic power).
+        p = XEON_GOLD_6448Y
+        e_fast = p.power_at(p.max_freq_ghz) * 1.0
+        e_slow = p.power_at(p.max_freq_ghz / 2) * 2.0
+        assert e_slow < e_fast

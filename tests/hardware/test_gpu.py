@@ -1,0 +1,70 @@
+"""Tests for GPU platform models."""
+
+import pytest
+
+from repro.hardware.gpu import (
+    A6000_ADA,
+    L4,
+    GPUPlatform,
+    get_gpu,
+    tensor_parallel_speedup,
+)
+
+
+class TestPlatforms:
+    def test_paper_quoted_envelopes(self):
+        # §6: "91 TFLOPS at 300 watts vs. 31 TFLOPS at 140 watts".
+        assert A6000_ADA.peak_tflops == 91.0
+        assert A6000_ADA.tdp_w == 300.0
+        assert L4.peak_tflops == 31.0
+        assert L4.tdp_w == 140.0
+
+    def test_lookup(self):
+        assert get_gpu("l4") is L4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_gpu("h100")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUPlatform("x", peak_tflops=0, mem_bandwidth_gbs=1, tdp_w=10,
+                        idle_w=1, mem_gb=1)
+
+
+class TestMemoryFit:
+    def test_gemma2_fits_one_a6000(self):
+        assert A6000_ADA.gpus_required(26.0) == 1
+
+    def test_gemma2_needs_two_l4(self):
+        # Fig. 17: "the Gemma 2 model requires 2 L4 GPUs".
+        assert L4.gpus_required(26.0) == 2
+
+    def test_opt30b_needs_two_a6000(self):
+        # Fig. 17: "the OPT model requires two A6000 Ada GPUs".
+        assert A6000_ADA.gpus_required(70.0) == 2
+
+    def test_fits_predicate(self):
+        assert A6000_ADA.fits(40.0)
+        assert not L4.fits(40.0)
+
+
+class TestTensorParallel:
+    def test_single_gpu_no_overhead(self):
+        assert tensor_parallel_speedup(1) == 1.0
+
+    def test_two_gpus_sublinear(self):
+        s = tensor_parallel_speedup(2)
+        assert 1.0 < s < 2.0
+
+    def test_diminishing_returns(self):
+        # Marginal speedup per added GPU shrinks (the paper's energy point).
+        gains = [
+            tensor_parallel_speedup(n + 1) - tensor_parallel_speedup(n)
+            for n in range(1, 5)
+        ]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tensor_parallel_speedup(0)

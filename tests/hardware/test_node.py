@@ -1,0 +1,52 @@
+"""Tests for retrieval nodes and fleets."""
+
+import pytest
+
+from repro.hardware.cpu import NEOVERSE_N1
+from repro.hardware.node import NodeCluster, RetrievalNode
+
+
+class TestNode:
+    def test_host_within_memory(self):
+        node = RetrievalNode(node_id=0, memory_gb=100)
+        node.host(shard_tokens=1e9, shard_bytes=50e9)
+        assert node.shard_fits
+        assert node.shard_tokens == 1e9
+
+    def test_host_exceeding_memory_rejected(self):
+        node = RetrievalNode(node_id=0, memory_gb=10)
+        with pytest.raises(ValueError, match="exceeds"):
+            node.host(shard_tokens=1e9, shard_bytes=50e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetrievalNode(node_id=0, memory_gb=0)
+        with pytest.raises(ValueError):
+            RetrievalNode(node_id=0, shard_tokens=-1)
+
+
+class TestCluster:
+    def test_homogeneous(self):
+        fleet = NodeCluster.homogeneous(5)
+        assert len(fleet) == 5
+        assert [n.node_id for n in fleet] == list(range(5))
+
+    def test_custom_cpu(self):
+        fleet = NodeCluster.homogeneous(2, cpu=NEOVERSE_N1)
+        assert all(n.cpu is NEOVERSE_N1 for n in fleet)
+
+    def test_host_shards(self):
+        fleet = NodeCluster.homogeneous(3)
+        fleet.host_shards([1e9, 2e9, 3e9], [1e9, 2e9, 3e9])
+        assert fleet.total_tokens() == 6e9
+        assert fleet.total_bytes() == 6e9
+        assert fleet[1].shard_tokens == 2e9
+
+    def test_host_shards_length_mismatch(self):
+        fleet = NodeCluster.homogeneous(3)
+        with pytest.raises(ValueError, match="expected 3"):
+            fleet.host_shards([1e9], [1e9])
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            NodeCluster.homogeneous(0)

@@ -1,0 +1,54 @@
+"""Tests for the RAPL-style energy meter."""
+
+import pytest
+
+from repro.hardware.power import EnergyInterval, EnergyMeter
+
+
+class TestInterval:
+    def test_joules(self):
+        assert EnergyInterval("cpu", 100.0, 2.0).joules == 200.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyInterval("cpu", -1.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyInterval("cpu", 1.0, -1.0)
+
+
+class TestMeter:
+    def test_total(self):
+        meter = EnergyMeter()
+        meter.record("cpu", 100.0, 1.0)
+        meter.record("gpu", 200.0, 0.5)
+        assert meter.total_joules() == 200.0
+
+    def test_by_device(self):
+        meter = EnergyMeter()
+        meter.record("cpu", 100.0, 1.0)
+        meter.record("cpu", 100.0, 1.0)
+        meter.record("gpu", 50.0, 1.0)
+        by = meter.joules_by_device()
+        assert by == {"cpu": 200.0, "gpu": 50.0}
+
+    def test_by_label(self):
+        meter = EnergyMeter()
+        meter.record("cpu", 100.0, 1.0, label="retrieval")
+        meter.record("gpu", 100.0, 1.0, label="prefill")
+        meter.record("gpu", 100.0, 2.0, label="prefill")
+        assert meter.joules_by_label()["prefill"] == 300.0
+
+    def test_merge(self):
+        a, b = EnergyMeter(), EnergyMeter()
+        a.record("cpu", 1.0, 1.0)
+        b.record("cpu", 2.0, 1.0)
+        a.merge(b)
+        assert a.total_joules() == 3.0
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.record("cpu", 1.0, 1.0)
+        meter.reset()
+        assert meter.total_joules() == 0.0

@@ -1,0 +1,88 @@
+"""The paper's headline claims, asserted end to end.
+
+Each test names the claim and the paper location it comes from; tolerances
+reflect that our substrate is a calibrated model, not the authors' testbed
+(EXPERIMENTS.md records the exact measured values).
+"""
+
+import pytest
+
+from repro.experiments import common, fig14, fig16, fig18, fig21
+from repro.llm.generation import GenerationConfig
+
+
+class TestAbstractClaims:
+    def test_trillion_token_latency_speedup(self):
+        """Abstract / §6: 'up to 9.33x speedup in latency' at 1T tokens."""
+        point = fig14.sweep_datastore((1e12,))[0]
+        assert point.hermes_speedup() > 8.0
+
+    def test_trillion_token_energy_saving(self):
+        """Abstract / §6: '2.10x energy efficiency improvements'."""
+        point = fig14.sweep_datastore((1e12,))[0]
+        assert point.hermes_energy_saving() > 1.8
+
+    def test_no_accuracy_sacrifice(self):
+        """Abstract: 'without sacrificing retrieval quality'."""
+        from repro.experiments import fig11
+
+        sweep = fig11.run(clusters=(3,))
+        assert sweep.hermes[0] >= sweep.monolithic - 0.03
+
+
+class TestTakeaway2TTFT:
+    def test_ttft_speedup_9x_at_1t(self):
+        """§6 Takeaway 2 / Fig. 16: '9.1x improvements in latency during
+        TTFT at the trillion token scale'."""
+        points = fig16.run(sizes=(1e12,))
+        assert points[0].hermes_ttft_speedup() == pytest.approx(9.1, rel=0.25)
+
+
+class TestTakeaway4Throughput:
+    def test_three_cluster_ratios(self):
+        """§6 Takeaway 4 / Fig. 18: 1.81x throughput, 1.77x energy at 3 of
+        10 clusters (naive distributed baseline)."""
+        ratios = fig18.hermes_vs_naive(fig18.run())
+        assert ratios["throughput_gain"] == pytest.approx(1.81, rel=0.25)
+        assert ratios["energy_saving"] == pytest.approx(1.77, rel=0.25)
+
+
+class TestDVFSClaims:
+    def test_average_savings(self):
+        """Fig. 21: 12.24% average baseline DVFS, 20.44% enhanced."""
+        avg = fig21.average_savings(fig21.run())
+        assert avg["baseline"] == pytest.approx(0.1224, abs=0.05)
+        assert avg["enhanced"] == pytest.approx(0.2044, abs=0.06)
+
+
+class TestScalingBehaviour:
+    def test_gains_less_pronounced_for_small_datastores(self):
+        """§6 Takeaway 1: at 1B tokens the GPU is the bottleneck, so Hermes
+        gains shrink."""
+        small = fig14.sweep_datastore((1e9,))[0]
+        large = fig14.sweep_datastore((1e12,))[0]
+        assert small.hermes_speedup() < large.hermes_speedup() / 2
+
+    def test_stride4_cumulative_gains(self):
+        """§6 Takeaway 1: stride 4 reaches ~10.12x latency / ~2.37x energy."""
+        point = fig14.sweep_stride((4,))[0]
+        assert point.hermes_speedup() > 6.0
+        assert point.hermes_energy_saving() > 1.8
+
+    def test_hermes_shifts_critical_path_to_gpu(self):
+        """Intro: Hermes shifts the critical path from CPU retrieval to GPU
+        inference (at the evaluation's 10B default)."""
+        outcomes = common.compare_strategies(10e9, GenerationConfig(batch=128))
+        hermes = outcomes["hermes"].result
+        per_stride_retrieval = hermes.retrieval_s / hermes.config.n_strides
+        per_stride_inference = (
+            hermes.prefill_s + hermes.decode_s
+        ) / hermes.config.n_strides
+        assert per_stride_retrieval < per_stride_inference
+
+        baseline = outcomes["baseline"].result
+        base_retrieval = baseline.retrieval_s / baseline.config.n_strides
+        base_inference = (
+            baseline.prefill_s + baseline.decode_s
+        ) / baseline.config.n_strides
+        assert base_retrieval > base_inference

@@ -1,0 +1,187 @@
+"""Tests for the strided-generation timeline."""
+
+import pytest
+
+from repro.llm.generation import (
+    GenerationConfig,
+    RetrievalCost,
+    constant_retrieval,
+    simulate_generation,
+    steady_state_throughput_qps,
+)
+from repro.llm.inference import InferenceModel
+
+
+@pytest.fixture()
+def inference():
+    return InferenceModel()
+
+
+def run(retrieval_s, inference, **cfg):
+    provider = constant_retrieval(RetrievalCost(latency_s=retrieval_s, energy_j=100.0))
+    return simulate_generation(provider, inference, GenerationConfig(**cfg))
+
+
+class TestConfig:
+    def test_n_strides(self):
+        assert GenerationConfig(output_tokens=256, stride=16).n_strides == 16
+        assert GenerationConfig(output_tokens=250, stride=16).n_strides == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(batch=0)
+        with pytest.raises(ValueError):
+            GenerationConfig(stride=0)
+
+    def test_retrieval_cost_validation(self):
+        with pytest.raises(ValueError):
+            RetrievalCost(latency_s=-1.0, energy_j=0.0)
+
+
+class TestSequentialTimeline:
+    def test_e2e_is_sum_of_stages(self, inference):
+        result = run(1.0, inference)
+        assert result.e2e_s == pytest.approx(
+            result.encode_s + result.retrieval_s + result.prefill_s + result.decode_s
+        )
+
+    def test_retrieval_total_is_per_stride_times_strides(self, inference):
+        result = run(1.0, inference)
+        assert result.retrieval_s == pytest.approx(result.config.n_strides * 1.0)
+
+    def test_ttft_contains_one_retrieval_and_prefill(self, inference):
+        result = run(2.0, inference)
+        assert result.ttft_s == pytest.approx(
+            result.encode_s + 2.0 + result.first_prefill_s
+        )
+
+    def test_paper_e2e_calibration(self, inference):
+        # The paper's Fig. 6 anchors, through the full timeline.
+        for tokens_latency, expected in ((0.00562, 12.0), (5.62, 101.8), (56.2, 909.1)):
+            result = run(tokens_latency, inference)
+            assert result.e2e_s == pytest.approx(expected, rel=0.03)
+
+    def test_ttft_retrieval_share_calibration(self, inference):
+        # ~61% at 10B (0.562 s retrieval), ~94% at 100B (5.62 s).
+        assert run(0.562, inference).retrieval_fraction_of_ttft == pytest.approx(
+            0.612, abs=0.02
+        )
+        assert run(5.62, inference).retrieval_fraction_of_ttft == pytest.approx(
+            0.94, abs=0.01
+        )
+
+
+class TestPrefixCaching:
+    def test_cached_faster_than_baseline(self, inference):
+        base = run(0.5, inference)
+        cached = run(0.5, inference, prefix_cached=True)
+        assert cached.e2e_s < base.e2e_s
+
+    def test_cache_only_skips_prefill(self, inference):
+        base = run(0.5, inference)
+        cached = run(0.5, inference, prefix_cached=True)
+        assert cached.retrieval_s == base.retrieval_s
+        assert cached.decode_s == base.decode_s
+        assert cached.prefill_s < base.prefill_s
+
+    def test_ttft_unchanged(self, inference):
+        # First stride always prefills in full — caching can't cut TTFT.
+        base = run(0.5, inference)
+        cached = run(0.5, inference, prefix_cached=True)
+        assert cached.ttft_s == pytest.approx(base.ttft_s)
+
+
+class TestPipelining:
+    def test_pipelined_not_slower(self, inference):
+        base = run(0.5, inference)
+        piped = run(0.5, inference, pipelined=True)
+        assert piped.e2e_s <= base.e2e_s
+
+    def test_full_overlap_when_retrieval_small(self, inference):
+        result = run(0.001, inference, pipelined=True)
+        # E2E ~ encode + first retrieval + all inference.
+        inference_only = result.prefill_s + result.decode_s
+        assert result.e2e_s == pytest.approx(
+            result.encode_s + 0.001 + inference_only, rel=0.01
+        )
+
+    def test_retrieval_bound_when_retrieval_large(self, inference):
+        result = run(100.0, inference, pipelined=True)
+        n = result.config.n_strides
+        # All but the last stride are gated by retrieval.
+        assert result.e2e_s >= 100.0 * n
+
+    def test_pipelining_helps_most_at_crossover(self, inference):
+        # The Fig. 8 shape: speedup peaks where retrieval ~ inference block.
+        speedups = []
+        for retr in (0.01, 0.7, 100.0):
+            base = run(retr, inference)
+            piped = run(retr, inference, pipelined=True)
+            speedups.append(base.e2e_s / piped.e2e_s)
+        assert speedups[1] > speedups[0]
+        assert speedups[1] > speedups[2]
+
+    def test_energy_unaffected_by_pipelining(self, inference):
+        base = run(0.7, inference)
+        piped = run(0.7, inference, pipelined=True)
+        assert piped.total_energy_j == pytest.approx(base.total_energy_j)
+
+
+class TestEnergyAccounting:
+    def test_cpu_energy_is_retrieval(self, inference):
+        result = run(1.0, inference)
+        assert result.cpu_energy_j == pytest.approx(result.config.n_strides * 100.0)
+
+    def test_gpu_energy_positive(self, inference):
+        assert run(1.0, inference).gpu_energy_j > 0
+
+    def test_stage_seconds_keys(self, inference):
+        stages = run(1.0, inference).stage_seconds
+        assert set(stages) == {"encoding", "retrieval", "prefill", "decoding"}
+
+
+class TestThroughput:
+    def test_bottleneck_is_retrieval_when_large(self, inference):
+        cfg = GenerationConfig()
+        qps = steady_state_throughput_qps(10.0, inference, cfg)
+        assert qps == pytest.approx(cfg.batch / 10.0)
+
+    def test_bottleneck_is_inference_when_retrieval_hidden(self, inference):
+        cfg = GenerationConfig()
+        block = (
+            inference.prefill(cfg.batch, cfg.input_tokens).latency_s
+            + inference.decode(cfg.batch, cfg.stride).latency_s
+        )
+        qps = steady_state_throughput_qps(0.001, inference, cfg)
+        assert qps == pytest.approx(cfg.batch / block)
+
+
+class TestMeterIntegration:
+    def test_meter_totals_match_result(self, inference):
+        from repro.hardware.power import EnergyMeter
+
+        meter = EnergyMeter()
+        provider = constant_retrieval(RetrievalCost(latency_s=1.0, energy_j=150.0))
+        result = simulate_generation(
+            provider, inference, GenerationConfig(), meter=meter
+        )
+        assert meter.total_joules() == pytest.approx(result.total_energy_j, rel=1e-6)
+
+    def test_meter_labels_cover_stages(self, inference):
+        from repro.hardware.power import EnergyMeter
+
+        meter = EnergyMeter()
+        provider = constant_retrieval(RetrievalCost(latency_s=0.5, energy_j=50.0))
+        simulate_generation(provider, inference, GenerationConfig(), meter=meter)
+        by_label = meter.joules_by_label()
+        assert set(by_label) == {"encoding", "retrieval", "prefill", "decoding"}
+        by_device = meter.joules_by_device()
+        assert by_device["cpu"] == pytest.approx(50.0 * 16)
+
+    def test_zero_latency_retrieval_recorded_safely(self, inference):
+        from repro.hardware.power import EnergyMeter
+
+        meter = EnergyMeter()
+        provider = constant_retrieval(RetrievalCost(latency_s=0.0, energy_j=0.0))
+        simulate_generation(provider, inference, GenerationConfig(), meter=meter)
+        assert meter.joules_by_label()["retrieval"] == 0.0

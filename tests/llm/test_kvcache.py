@@ -1,0 +1,61 @@
+"""Tests for the prefix-cache models."""
+
+import pytest
+
+from repro.llm.kvcache import CacheStats, IdealPrefixCache, PrefixCache
+
+
+class TestPrefixCache:
+    def test_miss_then_hit(self):
+        cache = PrefixCache(capacity=4)
+        assert not cache.lookup(1)
+        cache.insert(1, 100)
+        assert cache.lookup(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = PrefixCache(capacity=2)
+        cache.insert(1, 10)
+        cache.insert(2, 10)
+        cache.lookup(1)       # 1 becomes MRU
+        cache.insert(3, 10)   # evicts 2
+        assert cache.lookup(1)
+        assert not cache.lookup(2)
+        assert cache.lookup(3)
+
+    def test_reinsert_refreshes_not_grows(self):
+        cache = PrefixCache(capacity=2)
+        cache.insert(1, 10)
+        cache.insert(1, 10)
+        assert len(cache) == 1
+
+    def test_saved_tokens(self):
+        cache = PrefixCache(capacity=4)
+        cache.insert(1, 100)
+        cache.insert(2, 50)
+        assert cache.saved_tokens([1, 2, 9]) == 150
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixCache(capacity=0)
+        with pytest.raises(ValueError):
+            PrefixCache(capacity=1).insert(1, 0)
+
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+
+class TestIdealCache:
+    def test_first_stride_full_prefill(self):
+        cache = IdealPrefixCache(input_tokens=512, stride_tokens=16)
+        assert cache.prefill_fraction(0) == 1.0
+
+    def test_later_strides_tiny(self):
+        cache = IdealPrefixCache(input_tokens=512, stride_tokens=16)
+        frac = cache.prefill_fraction(3)
+        assert frac == pytest.approx(16 / 528)
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(ValueError):
+            IdealPrefixCache().prefill_fraction(-1)

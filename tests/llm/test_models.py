@@ -1,0 +1,31 @@
+"""Tests for the model zoo."""
+
+import pytest
+
+from repro.llm.models import GEMMA2_9B, MODELS, OPT_30B, PHI_1_5, ModelSpec, get_model
+
+
+class TestZoo:
+    def test_three_models(self):
+        assert len(MODELS) == 3
+
+    def test_paper_parameter_counts(self):
+        assert PHI_1_5.params_b == pytest.approx(1.3)
+        assert GEMMA2_9B.params_b == pytest.approx(9.0)
+        assert OPT_30B.params_b == pytest.approx(30.0)
+
+    def test_memory_ordering_follows_size(self):
+        assert PHI_1_5.min_mem_gb < GEMMA2_9B.min_mem_gb < OPT_30B.min_mem_gb
+
+    def test_lookup(self):
+        assert get_model("gemma2_9b") is GEMMA2_9B
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            get_model("llama")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="x", params_b=0, min_mem_gb=1)
+        with pytest.raises(ValueError):
+            ModelSpec(name="x", params_b=1, min_mem_gb=0)

@@ -1,0 +1,59 @@
+"""Tests for the stride-perplexity model."""
+
+import pytest
+
+from repro.llm.perplexity import (
+    GPT2_762M,
+    GPT2_1_5B,
+    PERPLEXITY_CURVES,
+    RETRO_578M,
+    PerplexityCurve,
+    perplexity_vs_stride,
+)
+
+
+class TestCurveShape:
+    def test_monotone_in_stride(self):
+        for curve in PERPLEXITY_CURVES.values():
+            ppl = perplexity_vs_stride(curve, [1, 2, 4, 8, 16, 32, 64])
+            assert all(b >= a for a, b in zip(ppl, ppl[1:]))
+
+    def test_bounded_by_no_retrieval_ceiling(self):
+        for curve in PERPLEXITY_CURVES.values():
+            assert curve.perplexity(4096) < curve.ppl_no_retrieval
+            assert curve.perplexity(1) < curve.ppl_no_retrieval
+
+    def test_bigger_gpt2_always_better(self):
+        for stride in (1, 4, 16, 64):
+            assert GPT2_1_5B.perplexity(stride) < GPT2_762M.perplexity(stride)
+
+
+class TestPaperClaims:
+    def test_retro_at_optimal_stride_matches_larger_model(self):
+        # Fig. 5's point: frequent retrieval lets RETRO-578M rival a model
+        # with ~2.6x the parameters.
+        retro_frequent = RETRO_578M.perplexity(4)
+        gpt2_large_typical = GPT2_1_5B.perplexity(16)
+        assert abs(retro_frequent - gpt2_large_typical) < 3.0
+
+    def test_retro_loses_advantage_at_long_strides(self):
+        assert RETRO_578M.perplexity(64) > GPT2_762M.perplexity(64)
+
+    def test_retrieval_trained_model_more_stride_sensitive(self):
+        retro_swing = RETRO_578M.perplexity(64) - RETRO_578M.perplexity(2)
+        gpt2_swing = GPT2_762M.perplexity(64) - GPT2_762M.perplexity(2)
+        assert retro_swing > gpt2_swing
+
+
+class TestValidation:
+    def test_rejects_nonpositive_stride(self):
+        with pytest.raises(ValueError):
+            GPT2_762M.perplexity(0)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ValueError):
+            PerplexityCurve(name="x", ppl_no_retrieval=0.5, retrieval_gain=1,
+                            stride_sensitivity=0.1)
+        with pytest.raises(ValueError):
+            PerplexityCurve(name="x", ppl_no_retrieval=10, retrieval_gain=-1,
+                            stride_sensitivity=0.1)

@@ -1,0 +1,78 @@
+"""Tests for NDCG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ndcg import dcg, ndcg, ndcg_single
+
+
+class TestDCG:
+    def test_single_item(self):
+        assert dcg(np.array([3.0])) == 3.0
+
+    def test_discounting(self):
+        # Same relevance later is worth less.
+        assert dcg(np.array([1.0, 0.0])) > dcg(np.array([0.0, 1.0]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            dcg(np.zeros((2, 2)))
+
+
+class TestNDCGSingle:
+    def test_perfect_ranking_scores_one(self):
+        truth = np.array([5, 3, 9])
+        assert ndcg_single(truth, truth) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        truth = np.array([5, 3, 9])
+        assert ndcg_single(truth[::-1], truth) < 1.0
+
+    def test_disjoint_scores_zero(self):
+        assert ndcg_single(np.array([1, 2, 3]), np.array([7, 8, 9])) == 0.0
+
+    def test_padding_counts_as_miss(self):
+        truth = np.array([1, 2])
+        padded = np.array([1, -1])
+        full = np.array([1, 2])
+        assert ndcg_single(padded, truth) < ndcg_single(full, truth)
+
+    def test_order_matters_within_hits(self):
+        truth = np.array([1, 2, 3])
+        good = np.array([1, 2, 3])
+        swapped = np.array([2, 1, 3])
+        assert ndcg_single(good, truth) > ndcg_single(swapped, truth)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_single(np.array([1]), np.array([]))
+
+    @given(st.permutations(list(range(5))))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_zero_one(self, perm):
+        truth = np.arange(5)
+        score = ndcg_single(np.array(perm), truth)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_is_maximal(self, perm):
+        truth = np.arange(6)
+        assert ndcg_single(np.array(perm), truth) <= ndcg_single(truth, truth) + 1e-12
+
+
+class TestNDCGBatch:
+    def test_mean_over_queries(self):
+        truth = np.array([[1, 2], [3, 4]])
+        retrieved = np.array([[1, 2], [9, 9]])
+        score = ndcg(retrieved, truth)
+        assert score == pytest.approx((1.0 + 0.0) / 2)
+
+    def test_batch_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            ndcg(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_accepts_1d_as_single_query(self):
+        assert ndcg(np.array([1, 2]), np.array([1, 2])) == pytest.approx(1.0)

@@ -1,0 +1,59 @@
+"""Tests for recall@k."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.recall import recall_at_k, recall_curve
+
+
+class TestRecallAtK:
+    def test_perfect(self):
+        truth = np.array([[1, 2, 3]])
+        assert recall_at_k(truth, truth) == 1.0
+
+    def test_order_insensitive(self):
+        truth = np.array([[1, 2, 3]])
+        shuffled = np.array([[3, 1, 2]])
+        assert recall_at_k(shuffled, truth) == 1.0
+
+    def test_partial(self):
+        truth = np.array([[1, 2, 3, 4]])
+        retrieved = np.array([[1, 2, 9, 9]])
+        assert recall_at_k(retrieved, truth) == 0.5
+
+    def test_padding_never_matches(self):
+        truth = np.array([[1, 2]])
+        retrieved = np.array([[-1, -1]])
+        assert recall_at_k(retrieved, truth) == 0.0
+
+    def test_padded_truth_ignored(self):
+        truth = np.array([[1, -1]])
+        retrieved = np.array([[1, 5]])
+        assert recall_at_k(retrieved, truth) == 1.0
+
+    def test_batch_average(self):
+        truth = np.array([[1, 2], [3, 4]])
+        retrieved = np.array([[1, 2], [9, 9]])
+        assert recall_at_k(retrieved, truth) == 0.5
+
+    def test_mismatched_batch_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((1, 2)), np.zeros((2, 2)))
+
+    def test_all_padded_truth_rejected(self):
+        with pytest.raises(ValueError, match="no valid ids"):
+            recall_at_k(np.array([[1]]), np.array([[-1]]))
+
+
+class TestRecallCurve:
+    def test_monotone_cutoffs(self):
+        truth = np.array([[1, 2, 3, 4, 5]])
+        retrieved = np.array([[1, 9, 3, 9, 5]])
+        curve = recall_curve(retrieved, truth, (1, 3, 5))
+        assert set(curve) == {1, 3, 5}
+        assert curve[1] == 1.0
+        assert curve[5] == pytest.approx(3 / 5)
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            recall_curve(np.array([[1]]), np.array([[1]]), (0,))

@@ -1,0 +1,154 @@
+"""Tests for the multi-node aggregation model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.node import NodeCluster
+from repro.perfmodel.aggregate import (
+    DVFSPolicy,
+    MultiNodeModel,
+    expected_deep_loads,
+)
+from repro.perfmodel.measurements import index_memory_bytes
+
+
+@pytest.fixture()
+def skewed_fleet():
+    """Ten nodes with ~2x shard-size imbalance (as real clustering yields)."""
+    cluster = NodeCluster.homogeneous(10)
+    sizes = np.linspace(2.0, 1.0, 10) * 10e9 / 1.5
+    cluster.host_shards(list(sizes), [index_memory_bytes(s) for s in sizes])
+    return MultiNodeModel(cluster)
+
+
+class TestMonolithic:
+    def test_single_node_active(self, fleet_model):
+        result = fleet_model.monolithic(100e9, 32)
+        assert result.nodes_active == 1
+        assert result.latency_s == pytest.approx(5.62, rel=0.01)
+
+
+class TestNaiveSplit:
+    def test_all_nodes_active(self, fleet_model):
+        result = fleet_model.naive_split(32)
+        assert result.deep.nodes_active == 10
+
+    def test_latency_is_slowest_shard(self, skewed_fleet):
+        result = skewed_fleet.naive_split(32)
+        assert result.latency_s == pytest.approx(
+            result.deep.per_node_latency_s.max()
+        )
+
+    def test_split_beats_monolithic_latency(self, fleet_model):
+        mono = fleet_model.monolithic(100e9, 32)
+        naive = fleet_model.naive_split(32)
+        assert naive.latency_s < mono.latency_s
+
+    def test_split_costs_more_energy_than_hermes(self, fleet_model):
+        naive = fleet_model.naive_split(128)
+        loads = expected_deep_loads(128, np.full(10, 0.1), 3)
+        hermes = fleet_model.hermes(128, loads)
+        assert hermes.energy_j < naive.energy_j
+
+
+class TestHermes:
+    def test_has_sample_phase(self, fleet_model):
+        loads = expected_deep_loads(32, np.full(10, 0.1), 3)
+        result = fleet_model.hermes(32, loads)
+        assert result.sample is not None
+        assert result.sample.nodes_active == 10  # sampling touches all nodes
+
+    def test_latency_sum_of_phases(self, fleet_model):
+        loads = expected_deep_loads(32, np.full(10, 0.1), 3)
+        result = fleet_model.hermes(32, loads)
+        assert result.latency_s == pytest.approx(
+            result.sample.latency_s + result.deep.latency_s
+        )
+
+    def test_sample_phase_cheap(self, fleet_model):
+        loads = expected_deep_loads(32, np.full(10, 0.1), 3)
+        result = fleet_model.hermes(32, loads)
+        assert result.sample.latency_s < result.deep.latency_s
+
+    def test_wrong_load_vector_rejected(self, fleet_model):
+        with pytest.raises(ValueError, match="per-node loads"):
+            fleet_model.hermes(32, np.array([1, 2]))
+
+    def test_enhanced_requires_target(self, fleet_model):
+        loads = expected_deep_loads(32, np.full(10, 0.1), 3)
+        with pytest.raises(ValueError, match="latency_target"):
+            fleet_model.hermes(32, loads, dvfs=DVFSPolicy.ENHANCED)
+
+
+class TestDVFSOrdering:
+    def test_baseline_saves_on_skewed_fleet(self, skewed_fleet):
+        loads = expected_deep_loads(128, np.full(10, 0.1), 3)
+        none = skewed_fleet.hermes(128, loads, dvfs=DVFSPolicy.NONE)
+        base = skewed_fleet.hermes(128, loads, dvfs=DVFSPolicy.BASELINE)
+        assert base.energy_j < none.energy_j
+
+    def test_baseline_does_not_hurt_latency(self, skewed_fleet):
+        loads = expected_deep_loads(128, np.full(10, 0.1), 3)
+        none = skewed_fleet.hermes(128, loads, dvfs=DVFSPolicy.NONE)
+        base = skewed_fleet.hermes(128, loads, dvfs=DVFSPolicy.BASELINE)
+        assert base.latency_s <= none.latency_s * 1.001
+
+    def test_enhanced_saves_at_least_baseline(self, skewed_fleet):
+        loads = expected_deep_loads(128, np.full(10, 0.1), 3)
+        window = 10.0  # generous inference window
+        period = max(
+            window,
+            skewed_fleet.hermes(128, loads).deep.latency_s,
+        )
+        base = skewed_fleet.hermes(
+            128, loads, dvfs=DVFSPolicy.BASELINE, period_s=period
+        )
+        enhanced = skewed_fleet.hermes(
+            128,
+            loads,
+            dvfs=DVFSPolicy.ENHANCED,
+            latency_target_s=window,
+            period_s=period,
+        )
+        assert enhanced.energy_j <= base.energy_j * 1.001
+
+    def test_enhanced_latency_bounded_by_window(self, skewed_fleet):
+        loads = expected_deep_loads(128, np.full(10, 0.1), 3)
+        window = 100.0
+        enhanced = skewed_fleet.hermes(
+            128, loads, dvfs=DVFSPolicy.ENHANCED, latency_target_s=window
+        )
+        assert enhanced.deep.latency_s <= window * 1.001
+
+
+class TestThroughput:
+    def test_hermes_beats_naive_at_large_batch(self, fleet_model):
+        naive = fleet_model.naive_split(128)
+        skew = np.array([0.15, 0.13, 0.12, 0.11, 0.1, 0.1, 0.09, 0.08, 0.07, 0.05])
+        loads = expected_deep_loads(128, skew, 3)
+        hermes = fleet_model.hermes(128, loads)
+        tput_naive = fleet_model.throughput_qps(128, naive)
+        tput_hermes = fleet_model.throughput_qps(128, hermes)
+        assert tput_hermes > tput_naive
+
+
+class TestExpectedDeepLoads:
+    def test_total_assignments_preserved(self):
+        loads = expected_deep_loads(32, np.full(10, 0.1), 3)
+        assert loads.sum() == 32 * 3
+
+    def test_capped_at_batch(self):
+        hot = np.array([0.9, 0.1])
+        loads = expected_deep_loads(32, hot, 2)
+        assert loads.max() <= 32
+
+    def test_skew_concentrates_load(self):
+        skew = np.array([0.4, 0.3, 0.2, 0.1])
+        loads = expected_deep_loads(100, skew, 2)
+        assert loads[0] > loads[3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_deep_loads(32, np.array([0.5, 0.4]), 1)  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            expected_deep_loads(32, np.full(4, 0.25), 5)  # fan-out too large

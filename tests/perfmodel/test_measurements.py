@@ -1,0 +1,137 @@
+"""Tests for the calibrated measurement models."""
+
+import pytest
+
+from repro.hardware.cpu import NEOVERSE_N1, XEON_PLATINUM_8380
+from repro.perfmodel.measurements import (
+    FIG4_MEASUREMENTS,
+    FIG4_MEMORY_GB,
+    REF_BATCH,
+    REF_DATASTORE_TOKENS,
+    REF_RETRIEVAL_LATENCY_S,
+    EncoderCostModel,
+    RetrievalCostModel,
+    index_memory_bytes,
+    vectors_for_tokens,
+)
+
+
+@pytest.fixture()
+def cost():
+    return RetrievalCostModel()
+
+
+class TestCalibrationAnchor:
+    def test_reference_point_exact(self, cost):
+        lat = cost.batch_latency(REF_DATASTORE_TOKENS, REF_BATCH)
+        assert lat == pytest.approx(REF_RETRIEVAL_LATENCY_S)
+
+    def test_linear_in_datastore_size(self, cost):
+        # §3 Takeaway 1: latency scales linearly with datastore tokens.
+        at_10b = cost.batch_latency(10e9, 32)
+        at_100b = cost.batch_latency(100e9, 32)
+        assert at_100b == pytest.approx(10 * at_10b)
+
+    def test_sublinear_in_nprobe(self, cost):
+        full = cost.batch_latency(10e9, 32, nprobe=128)
+        light = cost.batch_latency(10e9, 32, nprobe=8)
+        ratio = full / light
+        assert 1 < ratio < 16  # sublinear: less than the 16x nProbe ratio
+
+
+class TestBatchModel:
+    def test_flat_below_core_count(self, cost):
+        # One thread per query: batch <= cores costs one single-query latency.
+        assert cost.batch_latency(10e9, 8) == cost.batch_latency(10e9, 32)
+
+    def test_grows_beyond_core_count(self, cost):
+        assert cost.batch_latency(10e9, 128) > cost.batch_latency(10e9, 32)
+
+    def test_throughput_improves_with_batch(self, cost):
+        # Work stealing keeps cores busy: larger batches raise QPS.
+        assert cost.throughput_qps(10e9, 128) > cost.throughput_qps(10e9, 8)
+
+    def test_zero_batch_free(self, cost):
+        assert cost.batch_latency(10e9, 0) == 0.0
+
+    def test_utilization_partial_batch(self, cost):
+        assert cost.utilization(8) == pytest.approx(8 / 32)
+        assert cost.utilization(64) == 1.0
+
+
+class TestPlatformScaling:
+    def test_faster_platform_lower_latency(self):
+        gold = RetrievalCostModel()
+        platinum = RetrievalCostModel(platform=XEON_PLATINUM_8380)
+        assert platinum.batch_latency(10e9, 32) < gold.batch_latency(10e9, 32)
+
+    def test_arm_slower_per_core_but_wide(self):
+        gold = RetrievalCostModel()
+        arm = RetrievalCostModel(platform=NEOVERSE_N1)
+        # Single query slower on ARM...
+        assert arm.single_query_latency(10e9) > gold.single_query_latency(10e9)
+        # ...but 128-query batches fit its 80 cores in one wave.
+        assert arm.waves(80) == 1.0
+
+    def test_frequency_slowdown(self):
+        cost = RetrievalCostModel()
+        slow = cost.batch_latency(10e9, 32, freq_ghz=cost.platform.max_freq_ghz / 2)
+        fast = cost.batch_latency(10e9, 32)
+        assert slow == pytest.approx(2 * fast)
+
+
+class TestEnergy:
+    def test_energy_scales_with_latency(self, cost):
+        assert cost.batch_energy(100e9, 32) == pytest.approx(
+            10 * cost.batch_energy(10e9, 32), rel=0.01
+        )
+
+    def test_lower_frequency_saves_energy(self, cost):
+        full = cost.batch_energy(10e9, 32)
+        slow = cost.batch_energy(10e9, 32, freq_ghz=1.2)
+        assert slow < full
+
+
+class TestMemoryModel:
+    def test_tokens_per_vector(self):
+        assert vectors_for_tokens(10e9) == pytest.approx(1e8)
+
+    def test_10b_index_near_fig4(self):
+        # Fig. 4: the 10B-token IVF-SQ8 index is ~71 GB.
+        gb = index_memory_bytes(10e9) / 1e9
+        assert 60 < gb < 90
+
+    def test_1t_index_near_10tb(self):
+        # Fig. 7: trillion-token stores need "nearly 10 TB".
+        tb = index_memory_bytes(1e12) / 1e12
+        assert 5 < tb < 12
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            index_memory_bytes(-1)
+
+
+class TestEncoderModel:
+    def test_reference_batch(self):
+        enc = EncoderCostModel()
+        assert enc.batch_latency(32) == pytest.approx(0.115)
+
+    def test_sublinear_above_reference(self):
+        enc = EncoderCostModel()
+        assert enc.batch_latency(128) < 4 * enc.batch_latency(32)
+
+    def test_small_batch_latency_floor(self):
+        enc = EncoderCostModel()
+        assert enc.batch_latency(1) > 0.115 * 0.4
+
+    def test_energy_positive(self):
+        assert EncoderCostModel().batch_energy(32) > 0
+
+
+class TestFig4Table:
+    def test_hnsw_faster_ivf_smaller(self):
+        ivf_lat, ivf_qps = FIG4_MEASUREMENTS[("ivf", 128)]
+        hnsw_lat, hnsw_qps = FIG4_MEASUREMENTS[("hnsw", 128)]
+        assert ivf_lat / hnsw_lat > 2.4
+        assert hnsw_qps / ivf_qps > 2.4
+        assert FIG4_MEMORY_GB["hnsw"] / FIG4_MEMORY_GB["ivf"] > 2.3

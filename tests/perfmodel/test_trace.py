@@ -1,0 +1,91 @@
+"""Tests for load generation and access traces."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.trace import BatchRouting, ClusterAccessTrace, LoadGenerator
+
+
+class TestBatchRouting:
+    def test_node_loads(self):
+        routing = BatchRouting(clusters=np.array([[0, 1], [1, 2], [1, 1]]))
+        loads = routing.node_loads(4)
+        assert list(loads) == [1, 4, 1, 0]
+
+    def test_padding_ignored(self):
+        routing = BatchRouting(clusters=np.array([[0, -1]]))
+        assert list(routing.node_loads(2)) == [1, 0]
+
+    def test_out_of_range_cluster_rejected(self):
+        routing = BatchRouting(clusters=np.array([[5]]))
+        with pytest.raises(ValueError, match="references cluster"):
+            routing.node_loads(3)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            BatchRouting(clusters=np.array([1, 2]))
+
+    def test_batch_size(self):
+        assert BatchRouting(clusters=np.zeros((7, 3), dtype=int)).batch_size == 7
+
+
+class TestAccessTrace:
+    def test_accumulates_counts(self):
+        trace = ClusterAccessTrace(n_clusters=3)
+        trace.record(BatchRouting(clusters=np.array([[0, 1]])))
+        trace.record(BatchRouting(clusters=np.array([[1, 2]])))
+        assert list(trace.access_counts()) == [1, 2, 1]
+        assert len(trace) == 2
+
+    def test_frequency_normalised(self):
+        trace = ClusterAccessTrace(n_clusters=2)
+        trace.record(BatchRouting(clusters=np.array([[0], [0], [1]])))
+        freq = trace.access_frequency()
+        assert freq.sum() == pytest.approx(1.0)
+        assert freq[0] == pytest.approx(2 / 3)
+
+    def test_imbalance(self):
+        trace = ClusterAccessTrace(n_clusters=2)
+        trace.record(BatchRouting(clusters=np.array([[0], [0], [0], [1]])))
+        assert trace.imbalance() == 3.0
+
+    def test_unaccessed_cluster_infinite_imbalance(self):
+        trace = ClusterAccessTrace(n_clusters=3)
+        trace.record(BatchRouting(clusters=np.array([[0], [1]])))
+        assert trace.imbalance() == float("inf")
+
+    def test_mean_loads(self):
+        trace = ClusterAccessTrace(n_clusters=2)
+        trace.record(BatchRouting(clusters=np.array([[0], [0]])))
+        trace.record(BatchRouting(clusters=np.array([[1], [1]])))
+        assert list(trace.mean_loads()) == [1.0, 1.0]
+
+    def test_empty_trace_mean_zero(self):
+        trace = ClusterAccessTrace(n_clusters=2)
+        assert list(trace.mean_loads()) == [0.0, 0.0]
+
+
+class TestLoadGenerator:
+    def test_batch_shape(self):
+        emb = np.random.default_rng(0).normal(size=(10, 4)).astype(np.float32)
+        gen = LoadGenerator(emb, batch_size=4)
+        assert gen.next_batch().shape == (4, 4)
+
+    def test_recycles_pool(self):
+        emb = np.arange(12, dtype=np.float32).reshape(6, 2)
+        gen = LoadGenerator(emb, batch_size=4)
+        batches = gen.batches(3)  # 12 draws from a pool of 6
+        drawn = np.concatenate(batches)
+        # Each pool row appears exactly twice across one full double-cycle.
+        unique, counts = np.unique(drawn, axis=0, return_counts=True)
+        assert len(unique) == 6
+        assert (counts == 2).all()
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(np.empty((0, 4), dtype=np.float32), batch_size=2)
+
+    def test_rejects_bad_batch_size(self):
+        emb = np.zeros((4, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            LoadGenerator(emb, batch_size=0)

@@ -1,0 +1,72 @@
+"""Tests for the intra-node work-stealing simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.node_sim import schedule_batch, waves_approximation_error
+
+
+class TestScheduling:
+    def test_single_wave(self):
+        result = schedule_batch(np.full(8, 2.0), cores=8)
+        assert result.makespan_s == 2.0
+
+    def test_exact_waves_for_uniform_multiples(self):
+        result = schedule_batch(np.full(64, 1.0), cores=32)
+        assert result.makespan_s == 2.0
+
+    def test_partial_last_wave_still_costs_full_wave(self):
+        result = schedule_batch(np.full(33, 1.0), cores=32)
+        assert result.makespan_s == 2.0
+
+    def test_heterogeneous_queries_pack_tightly(self):
+        # One long query + many short ones: the long one defines makespan.
+        latencies = np.array([10.0] + [1.0] * 8)
+        result = schedule_batch(latencies, cores=4)
+        assert result.makespan_s == pytest.approx(10.0)
+
+    def test_completion_times_per_query(self):
+        result = schedule_batch(np.array([1.0, 2.0, 3.0]), cores=1)
+        assert list(result.per_query_completion_s) == [1.0, 3.0, 6.0]
+
+    def test_utilization_full_when_balanced(self):
+        result = schedule_batch(np.full(32, 1.0), cores=32)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_batch(np.array([]), cores=2)
+        with pytest.raises(ValueError):
+            schedule_batch(np.array([1.0]), cores=0)
+        with pytest.raises(ValueError):
+            schedule_batch(np.array([-1.0]), cores=2)
+
+    @given(st.integers(1, 100), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, batch, cores):
+        # List scheduling is within 2x of the trivial lower bounds.
+        rng = np.random.default_rng(batch * 1000 + cores)
+        latencies = rng.uniform(0.1, 2.0, size=batch)
+        result = schedule_batch(latencies, cores)
+        lower = max(latencies.max(), latencies.sum() / cores)
+        assert lower - 1e-9 <= result.makespan_s <= 2 * lower + 1e-9
+
+
+class TestWavesApproximation:
+    def test_exact_at_multiples(self):
+        # The continuous model is near-exact at whole multiples of cores.
+        err = waves_approximation_error(64, 32, exponent=1.0)
+        assert abs(err) < 1e-9
+
+    def test_optimistic_between_waves(self):
+        # Between multiples the continuous model under-predicts (the real
+        # partial wave costs a full service time).
+        err = waves_approximation_error(40, 32, exponent=0.97)
+        assert err < 0
+
+    def test_error_bounded_at_large_batches(self):
+        # The approximation converges as batches grow.
+        err = waves_approximation_error(512, 32, exponent=1.0)
+        assert abs(err) < 0.05

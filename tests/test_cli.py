@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, type(parser._actions[-1]))
+        )
+        commands = set(sub.choices)
+        assert commands == {
+            "build-index", "accuracy", "profile", "multinode",
+            "serve-sim", "reproduce",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestBuildAndAccuracy:
+    def test_build_then_evaluate(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "build-index", "--docs", "1500", "--dim", "32",
+            "--clusters", "5", "--out", store,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "5 shards" in out
+
+        assert main([
+            "accuracy", "--store", store, "--queries", "24",
+            "--clusters-searched", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NDCG" in out
+        score = float(out.split(":")[1].split("(")[0])
+        assert score > 0.85  # routing works on the reloaded store
+
+    def test_split_strategy(self, tmp_path, capsys):
+        store = str(tmp_path / "split")
+        assert main([
+            "build-index", "--docs", "1000", "--dim", "32",
+            "--clusters", "4", "--strategy", "split", "--out", store,
+        ]) == 0
+        assert "split datastore" in capsys.readouterr().out
+
+
+class TestModelCommands:
+    def test_profile(self, capsys):
+        assert main(["profile", "--tokens", "1e10", "--batch", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "nProbe" in out and "index memory" in out
+
+    def test_multinode(self, capsys):
+        assert main([
+            "multinode", "--tokens", "1e11", "--batch", "64",
+            "--dvfs", "baseline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs monolithic" in out
+
+    def test_multinode_enhanced_dvfs(self, capsys):
+        assert main([
+            "multinode", "--tokens", "1e11", "--dvfs", "enhanced",
+            "--inference-window", "2.0",
+        ]) == 0
+        assert "dvfs=enhanced" in capsys.readouterr().out
+
+    def test_serve_sim(self, capsys):
+        assert main([
+            "serve-sim", "--batches", "3", "--output-tokens", "32",
+            "--batch", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "gpu utilization" in out

@@ -1,0 +1,132 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann.distances import normalize
+from repro.ann.flat import FlatIndex
+from repro.ann.ivf import IVFIndex
+from repro.core.clustering import cluster_datastore
+from repro.core.config import HermesConfig
+from repro.core.hierarchical import HermesSearcher
+from repro.datastore.embeddings import make_corpus
+from repro.metrics.ndcg import ndcg_single
+from repro.metrics.recall import recall_at_k
+from repro.perfmodel.aggregate import expected_deep_loads
+from repro.perfmodel.measurements import RetrievalCostModel
+
+
+class TestIVFInvariants:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_ivf_is_subset_of_flat_candidates(self, seed, k):
+        """Any IVF result id must be a valid stored id, and full-probe IVF
+        recall must be perfect."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(120, 8)).astype(np.float32)
+        index = IVFIndex(8, nlist=6, nprobe=6)
+        index.train(data)
+        index.add(data)
+        flat = FlatIndex(8)
+        flat.add(data)
+        queries = rng.normal(size=(4, 8)).astype(np.float32)
+        _, truth = flat.search(queries, k)
+        _, found = index.search(queries, k)
+        assert ((found >= 0) & (found < 120)).all()
+        assert recall_at_k(found, truth) == pytest.approx(1.0)
+
+
+class TestCostModelInvariants:
+    @given(
+        st.floats(1e6, 1e13),
+        st.integers(1, 512),
+        st.sampled_from([1, 8, 32, 128]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_latency_positive_and_monotone_in_tokens(self, tokens, batch, nprobe):
+        cost = RetrievalCostModel()
+        latency = cost.batch_latency(tokens, batch, nprobe=nprobe)
+        assert latency > 0
+        assert cost.batch_latency(tokens * 2, batch, nprobe=nprobe) > latency
+
+    @given(st.floats(1e8, 1e12), st.integers(1, 256))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_at_least_idle_floor(self, tokens, batch):
+        cost = RetrievalCostModel()
+        latency = cost.batch_latency(tokens, batch)
+        energy = cost.batch_energy(tokens, batch)
+        assert energy >= cost.platform.idle_power_w * latency * 0.999
+
+    @given(st.integers(1, 1024))
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_never_decreases_with_batch(self, batch):
+        cost = RetrievalCostModel()
+        small = cost.throughput_qps(1e10, batch)
+        larger = cost.throughput_qps(1e10, batch + 32)
+        assert larger >= small * 0.99
+
+
+class TestLoadInvariants:
+    @given(
+        st.integers(1, 256),
+        st.integers(2, 12),
+        st.integers(1, 12),
+        st.floats(0.0, 1.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expected_loads_conserve_mass(self, batch, n, m, skew):
+        from repro.datastore.embeddings import zipf_weights
+
+        m = min(m, n)
+        freq = zipf_weights(n, exponent=skew)
+        loads = expected_deep_loads(batch, freq, m)
+        assert loads.sum() <= batch * m
+        assert (loads >= 0).all()
+        assert (loads <= batch).all()
+
+
+class TestNDCGInvariants:
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=8, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_self_ranking_is_one(self, docs):
+        arr = np.array(docs)
+        assert ndcg_single(arr, arr) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=3, max_size=6, unique=True),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_corruption_never_helps(self, docs, position):
+        truth = np.array(docs)
+        corrupted = truth.copy()
+        corrupted[position % len(truth)] = 999  # replace with a miss
+        assert ndcg_single(corrupted, truth) <= 1.0
+
+
+class TestHermesEndToEndInvariant:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_routing_subset_invariant(self, seed):
+        """For any corpus seed: results only come from routed shards, ids are
+        unique, and distances are sorted."""
+        corpus = make_corpus(600, n_topics=4, dim=16, seed=seed)
+        config = HermesConfig(n_clusters=4, clusters_to_search=2)
+        datastore = cluster_datastore(corpus.embeddings, config)
+        searcher = HermesSearcher(datastore)
+        queries = normalize(
+            np.random.default_rng(seed).normal(size=(6, 16)).astype(np.float32)
+        )
+        result = searcher.search(queries, k=4)
+        for qi in range(6):
+            allowed = set()
+            for cid in result.routing.clusters[qi]:
+                allowed.update(datastore.shards[int(cid)].global_ids.tolist())
+            row = result.ids[qi]
+            valid = row[row >= 0]
+            assert all(int(d) in allowed for d in valid)
+            assert len(set(valid.tolist())) == len(valid)
+            dists = result.distances[qi][np.isfinite(result.distances[qi])]
+            assert (np.diff(dists) >= -1e-5).all()

@@ -1,0 +1,96 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.metrics.reporting import FigureResult, Series
+from repro.viz import bar_chart, heatmap, line_chart, render_figure
+
+
+@pytest.fixture()
+def two_series():
+    return [
+        Series(name="a", x=[1, 2, 3], y=[1.0, 2.0, 3.0]),
+        Series(name="b", x=[1, 2, 3], y=[3.0, 2.0, 1.0]),
+    ]
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self, two_series):
+        out = line_chart(two_series, title="T")
+        assert "T" in out
+        assert "o a" in out and "x b" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels_present(self, two_series):
+        out = line_chart(two_series)
+        assert "1" in out and "3" in out
+
+    def test_log_axes(self):
+        s = [Series(name="s", x=[1e8, 1e10, 1e12], y=[1.0, 10.0, 100.0])]
+        out = line_chart(s, logx=True, logy=True)
+        assert "1e+08" in out or "1e+8" in out or "100" in out
+
+    def test_log_rejects_nonpositive(self):
+        s = [Series(name="s", x=[0.0, 1.0], y=[1.0, 2.0])]
+        with pytest.raises(ValueError):
+            line_chart(s, logx=True)
+
+    def test_flat_series_centered(self):
+        s = [Series(name="s", x=[1, 2], y=[5.0, 5.0])]
+        out = line_chart(s)
+        assert "o" in out
+
+    def test_validation(self, two_series):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart(two_series, width=2)
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["x", "yy"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 2 * lines[0].count("█")
+
+    def test_labels_aligned(self):
+        out = bar_chart(["short", "a-much-longer-label"], [1.0, 1.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestHeatmap:
+    def test_extremes_use_extreme_shades(self):
+        out = heatmap([[0.0, 1.0]], row_labels=["r"], col_labels=["a", "b"])
+        assert "█" in out
+        assert "scale:" in out
+
+    def test_row_and_col_labels(self):
+        out = heatmap(
+            [[1, 2], [3, 4]], row_labels=["r1", "r2"], col_labels=["c1", "c2"]
+        )
+        assert "r1" in out and "r2" in out
+        assert "c1" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap([])
+        with pytest.raises(ValueError):
+            heatmap([[1, 2], [3]])
+
+
+class TestRenderFigure:
+    def test_chart_and_table_combined(self, two_series):
+        fig = FigureResult(figure_id="figX", description="demo")
+        fig.series.extend(two_series)
+        out = render_figure(fig)
+        assert "figX" in out
+        assert "-- a" in out  # the data table follows the chart
