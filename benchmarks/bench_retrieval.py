@@ -1,0 +1,20 @@
+"""Thin launcher for the retrieval microbenchmark harness.
+
+Usage (from the repo root)::
+
+    python benchmarks/bench_retrieval.py [--smoke] [--out BENCH_retrieval.json]
+
+The harness itself lives in :mod:`repro.bench.retrieval` so it is importable
+and installable (``hermes-bench-retrieval`` console entry); this wrapper only
+makes the checkout runnable without an install.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.retrieval import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,12 +50,16 @@ class VectorIndex(abc.ABC):
         self.ntotal += len(vecs)
         return np.arange(start, self.ntotal, dtype=np.int64)
 
-    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def search(
+        self, queries: np.ndarray, k: int, **kwargs
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(distances, ids)`` of the *k* nearest stored vectors.
 
         Distances follow the metric-agnostic convention of
         :func:`repro.ann.distances.pairwise_distance` (smaller is closer);
-        missing results are padded with ``inf`` / ``-1``.
+        missing results are padded with ``inf`` / ``-1``.  Extra keyword
+        arguments are forwarded to the concrete index's ``_search`` (e.g.
+        ``nprobe`` / ``use_adc`` for :class:`repro.ann.ivf.IVFIndex`).
         """
         if not self.is_trained:
             raise RuntimeError(f"{type(self).__name__} must be trained before search()")
@@ -67,7 +71,7 @@ class VectorIndex(abc.ABC):
             )
         q = as_matrix(queries)
         self._check_dim(q)
-        return self._search(q, int(k))
+        return self._search(q, int(k), **kwargs)
 
     # -- introspection ----------------------------------------------------
     @abc.abstractmethod

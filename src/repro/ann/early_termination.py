@@ -84,18 +84,7 @@ def search_with_early_termination(
 
     def cell_payload(cell: int):
         if cell not in decoded:
-            ids_parts = index._list_ids[cell]
-            if not ids_parts:
-                decoded[cell] = (
-                    np.empty((0, index.dim), dtype=np.float32),
-                    np.empty(0, dtype=np.int64),
-                )
-            else:
-                codes = np.concatenate(index._list_codes[cell], axis=0)
-                decoded[cell] = (
-                    index.quantizer.decode(codes),
-                    np.concatenate(ids_parts),
-                )
+            decoded[cell] = index.cell_vectors(cell)
         return decoded[cell]
 
     for qi in range(nq):

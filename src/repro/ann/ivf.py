@@ -8,6 +8,23 @@ index once with a *small* nProbe (sampling) and again with a *large* nProbe
 (deep search) on the winning clusters.
 
 The default ``nlist`` follows the paper's rule of thumb ``nlist ≈ sqrt(N)``.
+
+Performance architecture (see DESIGN.md):
+
+- **List compaction**: ``add()`` appends per-cell fragments; the first search
+  after an add compacts everything into contiguous CSR-style ``codes`` /
+  ``ids`` arrays indexed by ``cell_offsets``, so steady-state searches never
+  concatenate fragments.
+- **Cell-major batched scan**: the search loop is inverted — each probed cell
+  is scanned once for *all* queries probing it (one distance kernel per
+  cell), instead of assembling a candidate pool per query.
+- **ADC**: when the quantizer supports asymmetric distance computation,
+  distances are evaluated directly on the stored codes
+  (:meth:`repro.ann.quantization.Quantizer.adc_distances`) without
+  reconstructing vectors.
+- The pre-optimisation per-query path is retained as
+  :meth:`IVFIndex.search_reference` for equivalence testing and as the
+  benchmark baseline (``benchmarks/bench_retrieval.py``).
 """
 
 from __future__ import annotations
@@ -67,8 +84,22 @@ class IVFIndex(VectorIndex):
         self.quantizer = quantizer if quantizer is not None else IdentityQuantizer(dim)
         self.train_seed = train_seed
         self.centroids: np.ndarray | None = None
-        self._list_codes: list[list[np.ndarray]] = []
-        self._list_ids: list[list[np.ndarray]] = []
+        # Per-cell fragments pending compaction (appended by add()).
+        self._pending_codes: list[list[np.ndarray]] = []
+        self._pending_ids: list[list[np.ndarray]] = []
+        # Compacted CSR storage: codes/ids are contiguous, cell c owns the
+        # slice [cell_offsets[c], cell_offsets[c+1]).
+        self._codes: np.ndarray | None = None
+        self._ids: np.ndarray | None = None
+        self._cell_offsets: np.ndarray | None = None
+        self._code_cells: np.ndarray | None = None
+        # |decode(code)|^2 per stored code, computed lazily for ADC metrics
+        # that need it (SQ under L2); invalidated on recompaction.
+        self._code_sqnorms: np.ndarray | None = None
+        self._dirty = False
+        #: number of compaction passes run — a diagnostics counter used by
+        #: the regression tests to prove steady-state searches don't rebuild.
+        self.compactions = 0
 
     # -- training ----------------------------------------------------------
     def _train(self, vectors: np.ndarray) -> None:
@@ -82,8 +113,14 @@ class IVFIndex(VectorIndex):
         self.centroids = result.centroids
         if not self.quantizer.is_trained:
             self.quantizer.train(vectors)
-        self._list_codes = [[] for _ in range(self.nlist)]
-        self._list_ids = [[] for _ in range(self.nlist)]
+        self._pending_codes = [[] for _ in range(self.nlist)]
+        self._pending_ids = [[] for _ in range(self.nlist)]
+        self._codes = None
+        self._ids = None
+        self._cell_offsets = None
+        self._code_cells = None
+        self._code_sqnorms = None
+        self._dirty = False
 
     # -- population ---------------------------------------------------------
     def _add(self, vectors: np.ndarray) -> None:
@@ -92,32 +129,298 @@ class IVFIndex(VectorIndex):
         base = self.ntotal
         for cell in np.unique(cells):
             members = np.flatnonzero(cells == cell)
-            self._list_codes[cell].append(codes[members])
-            self._list_ids[cell].append((base + members).astype(np.int64))
+            self._pending_codes[cell].append(codes[members])
+            self._pending_ids[cell].append((base + members).astype(np.int64))
+        self._dirty = True
+
+    # -- storage ------------------------------------------------------------
+    @property
+    def is_compacted(self) -> bool:
+        """True when all payloads live in the contiguous CSR arrays."""
+        return self._codes is not None and not self._dirty
+
+    def compact(self) -> None:
+        """Merge pending fragments into contiguous CSR code/id arrays.
+
+        Runs lazily on the first search after an ``add()``; idempotent and
+        cheap (a no-op) when nothing changed since the last compaction.
+        """
+        if self._codes is not None and not self._dirty:
+            return
+        parts_codes: list[np.ndarray] = []
+        parts_ids: list[np.ndarray] = []
+        sizes = np.zeros(self.nlist, dtype=np.int64)
+        for cell in range(self.nlist):
+            if self._cell_offsets is not None:
+                lo, hi = int(self._cell_offsets[cell]), int(self._cell_offsets[cell + 1])
+                if hi > lo:
+                    parts_codes.append(self._codes[lo:hi])
+                    parts_ids.append(self._ids[lo:hi])
+                    sizes[cell] += hi - lo
+            for frag in self._pending_codes[cell]:
+                parts_codes.append(frag)
+                sizes[cell] += len(frag)
+            parts_ids.extend(self._pending_ids[cell])
+        offsets = np.zeros(self.nlist + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        if parts_codes:
+            self._codes = np.ascontiguousarray(np.concatenate(parts_codes, axis=0))
+            self._ids = np.concatenate(parts_ids)
+        else:
+            self._codes = np.empty((0, 0), dtype=np.uint8)
+            self._ids = np.empty(0, dtype=np.int64)
+        self._cell_offsets = offsets
+        # Cell id per stored code (row -> owning cell), used by the dense
+        # scan to mask unprobed cells without walking the CSR structure.
+        self._code_cells = np.repeat(np.arange(self.nlist, dtype=np.int32), sizes)
+        self._pending_codes = [[] for _ in range(self.nlist)]
+        self._pending_ids = [[] for _ in range(self.nlist)]
+        self._code_sqnorms = None
+        self._dirty = False
+        self.compactions += 1
+
+    def cell_codes(self, cell: int) -> tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``(codes, ids)`` views of one inverted list."""
+        self.compact()
+        lo, hi = int(self._cell_offsets[cell]), int(self._cell_offsets[cell + 1])
+        return self._codes[lo:hi], self._ids[lo:hi]
+
+    def cell_vectors(self, cell: int) -> tuple[np.ndarray, np.ndarray]:
+        """Decoded ``(vectors, ids)`` of one inverted list."""
+        codes, ids = self.cell_codes(cell)
+        if not len(ids):
+            return np.empty((0, self.dim), dtype=np.float32), ids
+        return self.quantizer.decode(codes), ids
+
+    def reconstruct(self) -> tuple[np.ndarray, np.ndarray]:
+        """Decode every stored vector; returns ``(vectors, local_ids)``."""
+        self.compact()
+        n = len(self._ids)
+        out = np.empty((n, self.dim), dtype=np.float32)
+        step = 16384
+        for s in range(0, n, step):
+            out[s : s + step] = self.quantizer.decode(self._codes[s : s + step])
+        return out, self._ids.copy()
 
     def list_sizes(self) -> np.ndarray:
         """Number of stored vectors per inverted list."""
-        return np.array(
-            [sum(len(ids) for ids in lst) for lst in self._list_ids], dtype=np.int64
-        )
+        sizes = np.zeros(self.nlist, dtype=np.int64)
+        if self._cell_offsets is not None:
+            sizes += np.diff(self._cell_offsets)
+        for cell in range(self.nlist):
+            sizes[cell] += sum(len(ids) for ids in self._pending_ids[cell])
+        return sizes
+
+    def _adc_code_sqnorms(self) -> np.ndarray:
+        if self._code_sqnorms is None:
+            self._code_sqnorms = self.quantizer.code_sqnorms(self._codes)
+        return self._code_sqnorms
 
     # -- search --------------------------------------------------------------
-    def _search(
-        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
-    ) -> tuple[np.ndarray, np.ndarray]:
-        probe = min(self.nprobe if nprobe is None else int(nprobe), self.nlist)
+    def _resolve_probe(self, nprobe: int | None) -> int:
+        probe = self.nprobe if nprobe is None else int(nprobe)
         if probe <= 0:
             raise ValueError(f"nprobe must be positive, got {probe}")
-        cell_d = pairwise_distance(queries, self.centroids, "l2")
-        _, probe_cells = top_k(cell_d, probe)
+        return min(probe, self.nlist)
 
-        nq = len(queries)
+    def _search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        nprobe: int | None = None,
+        use_adc: bool | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cell-major batched scan over the compacted inverted lists.
+
+        Two strategies share the same contract and the final top-k pass:
+
+        - **Sparse** (low probe coverage): probed cells are grouped across
+          the query batch and each cell is scanned exactly once — one
+          *shifted* ADC evaluation (or decode + GEMM) for every query probing
+          it. Per-cell distance blocks land whole in a padded slot-major
+          buffer, so the scan loop does no per-cell selection.
+        - **Dense** (the batch's probes cover a large fraction of the stored
+          codes, e.g. deep search at high nProbe): one kernel over *all*
+          codes, then unprobed cells are masked to ``inf``. Same arithmetic,
+          no Python-level per-cell loop at all.
+
+        Per-query ADC bias terms (which cannot change a query's own
+        ordering) are added once after selection in both paths.
+        """
+        probe = self._resolve_probe(nprobe)
+        self.compact()
+        q = queries
+        nq = len(q)
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
         out_i = np.full((nq, k), -1, dtype=np.int64)
+        n_codes = len(self._ids)
+        if not n_codes:
+            return out_d, out_i
+        cell_d = pairwise_distance(q, self.centroids, "l2")
+        _, probe_cells = top_k(cell_d, probe)
 
-        # Group queries by identical probe sets so each decode batch is shared.
-        # For simplicity (and since probe sets rarely coincide across queries),
-        # scan per query but decode each touched cell once per call.
+        if use_adc is None:
+            use_adc = self.quantizer.supports_adc(self.metric)
+        table = self.quantizer.adc_table(q, self.metric) if use_adc else None
+        norms = (
+            self._adc_code_sqnorms()
+            if use_adc and self.quantizer.needs_code_sqnorms(self.metric)
+            else None
+        )
+
+        offsets = self._cell_offsets
+        sizes = offsets[1:] - offsets[:-1]
+        # Probed work as a fraction of a full scan decides the strategy: the
+        # dense kernel costs ~nq * n_codes regardless of probe, the sparse
+        # loop costs the probed work plus fixed per-cell overhead. How the
+        # two per-element costs compare is a property of the codec.
+        pair_work = int(sizes[probe_cells].sum())
+        if self.quantizer.adc_dense_advantage * pair_work >= nq * n_codes:
+            out_d, out_i, valid = self._scan_dense(q, k, probe_cells, use_adc, table, norms)
+        else:
+            out_d, out_i, valid = self._scan_sparse(
+                q, k, probe, probe_cells, use_adc, table, norms
+            )
+        if use_adc:
+            bias = table.get("bias")
+            if bias is not None:
+                out_d += bias[:, np.newaxis]
+            if self.metric == "l2":
+                np.maximum(out_d, 0.0, out=out_d)
+            out_d[~valid] = np.inf
+        return out_d, out_i
+
+    def _scan_dense(self, q, k, probe_cells, use_adc, table, norms):
+        """Full-corpus kernel + probe mask; shifted distances, ids, validity."""
+        nq = len(q)
+        if self._code_cells is None:
+            sizes = self._cell_offsets[1:] - self._cell_offsets[:-1]
+            self._code_cells = np.repeat(np.arange(self.nlist, dtype=np.int32), sizes)
+        if use_adc:
+            dists = self.quantizer.adc_distances(
+                table, self._codes, code_sqnorms=norms, shifted=True
+            )
+        else:
+            vecs, _ = self.reconstruct()
+            dists = pairwise_distance(q, vecs, self.metric)
+        probed = np.zeros((nq, self.nlist), dtype=bool)
+        probed[np.arange(nq)[:, np.newaxis], probe_cells] = True
+        dists[~probed[:, self._code_cells]] = np.inf
+        out_d, pos = top_k(dists, k)
+        valid = np.isfinite(out_d)
+        out_i = np.where(valid, self._ids[np.clip(pos, 0, len(self._ids) - 1)], -1)
+        return out_d, out_i, valid
+
+    def _scan_sparse(self, q, k, probe, probe_cells, use_adc, table, norms):
+        """Per-probed-cell kernels scattered into a padded slot-major buffer.
+
+        Slot r of query qi owns buffer columns ``[r*width, r*width + size)``
+        (width = largest probed cell), so winning buffer positions map back
+        to stored ids via the CSR offsets with pure arithmetic.
+        """
+        nq = len(q)
+        offsets = self._cell_offsets
+        sizes = offsets[1:] - offsets[:-1]
+        width = int(sizes[probe_cells].max())
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+        if width == 0:
+            return out_d, out_i, np.zeros((nq, k), dtype=bool)
+        buf = np.full((nq, probe * width), np.inf, dtype=np.float32)
+
+        # Invert the (query, cell) probe matrix into cell-major groups.
+        flat = probe_cells.ravel()
+        order = np.argsort(flat, kind="stable")
+        sorted_cells = flat[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_cells[1:] != sorted_cells[:-1]))
+        )
+        bounds = np.append(starts, len(sorted_cells))
+        wcols = np.arange(width)
+
+        for b in range(len(starts)):
+            cell = int(sorted_cells[bounds[b]])
+            lo, hi = int(offsets[cell]), int(offsets[cell + 1])
+            if hi == lo:
+                continue
+            members = order[bounds[b] : bounds[b + 1]]
+            q_idx = members // probe
+            slot = members % probe
+            codes = self._codes[lo:hi]
+            if use_adc:
+                dists = self.quantizer.adc_distances(
+                    table,
+                    codes,
+                    rows=q_idx,
+                    code_sqnorms=None if norms is None else norms[lo:hi],
+                    shifted=True,
+                )
+            else:
+                dists = pairwise_distance(
+                    q[q_idx], self.quantizer.decode(codes), self.metric
+                )
+            cols = slot[:, np.newaxis] * width + wcols[np.newaxis, : hi - lo]
+            buf[q_idx[:, np.newaxis], cols] = dists
+
+        out_d, pos = top_k(buf, k)
+        rows = np.arange(nq)[:, np.newaxis]
+        # Map winning buffer positions back to stored ids: position -> probe
+        # slot -> cell -> CSR offset + within-cell rank.
+        slot_of = pos // width
+        within = pos - slot_of * width
+        cells_of = probe_cells[rows, np.clip(slot_of, 0, probe - 1)]
+        id_pos = offsets[cells_of] + within
+        valid = np.isfinite(out_d)
+        np.copyto(
+            out_i, self._ids[np.clip(id_pos, 0, len(self._ids) - 1)], where=valid
+        )
+        return out_d, out_i, valid
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        nprobe: int | None = None,
+        use_adc: bool | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k search, optionally overriding the index's default nProbe.
+
+        ``use_adc=None`` (the default) enables asymmetric distance
+        computation whenever the quantizer supports it for this metric;
+        ``False`` forces the decode-then-GEMM kernel.
+        """
+        return super().search(queries, k, nprobe=nprobe, use_adc=use_adc)
+
+    def search_reference(
+        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pre-optimisation slow path, retained for equivalence checking.
+
+        Scans query-major: per query, decode every probed cell (cached per
+        call), concatenate the candidates, and run one decode-then-GEMM
+        top-k. This is the baseline the bench harness compares against; the
+        equivalence suite asserts :meth:`search` matches it exactly.
+        """
+        if not self.is_trained:
+            raise RuntimeError("IVFIndex must be trained before search_reference()")
+        from .distances import as_matrix
+
+        q = as_matrix(queries)
+        self._check_dim(q)
+        k = int(k)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        nq = len(q)
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+        if self.ntotal == 0:
+            return out_d, out_i
+        probe = self._resolve_probe(nprobe)
+        cell_d = pairwise_distance(q, self.centroids, "l2")
+        _, probe_cells = top_k(cell_d, probe)
+
         decoded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for qi in range(nq):
             cand_vecs: list[np.ndarray] = []
@@ -127,16 +430,7 @@ class IVFIndex(VectorIndex):
                 if cell < 0:
                     continue
                 if cell not in decoded:
-                    ids_parts = self._list_ids[cell]
-                    if not ids_parts:
-                        decoded[cell] = (
-                            np.empty((0, self.dim), dtype=np.float32),
-                            np.empty(0, dtype=np.int64),
-                        )
-                    else:
-                        codes = np.concatenate(self._list_codes[cell], axis=0)
-                        ids = np.concatenate(ids_parts)
-                        decoded[cell] = (self.quantizer.decode(codes), ids)
+                    decoded[cell] = self.cell_vectors(cell)
                 vecs, ids = decoded[cell]
                 if len(ids):
                     cand_vecs.append(vecs)
@@ -145,26 +439,12 @@ class IVFIndex(VectorIndex):
                 continue
             vecs = np.concatenate(cand_vecs, axis=0)
             ids = np.concatenate(cand_ids)
-            dists = pairwise_distance(queries[qi : qi + 1], vecs, self.metric)
+            dists = pairwise_distance(q[qi : qi + 1], vecs, self.metric)
             d_row, order = top_k(dists, k)
             out_d[qi] = d_row[0]
             valid = order[0] >= 0
             out_i[qi, valid] = ids[order[0][valid]]
         return out_d, out_i
-
-    def search(
-        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Top-k search, optionally overriding the index's default nProbe."""
-        if not self.is_trained:
-            raise RuntimeError("IVFIndex must be trained before search()")
-        if self.ntotal == 0:
-            return super().search(queries, k)
-        from .distances import as_matrix
-
-        q = as_matrix(queries)
-        self._check_dim(q)
-        return self._search(q, int(k), nprobe=nprobe)
 
     def memory_bytes(self) -> int:
         payload = int(self.ntotal) * self.quantizer.code_size()

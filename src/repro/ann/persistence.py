@@ -25,8 +25,11 @@ from .quantization import (
     ScalarQuantizer,
 )
 
-#: Bumped on any incompatible format change.
-FORMAT_VERSION = 1
+#: Bumped on any incompatible format change. Version 2 stores IVF payloads
+#: as the compacted CSR triple (``codes``/``ids``/``cell_offsets``) instead
+#: of one pair of arrays per cell; version-1 files are still readable.
+FORMAT_VERSION = 2
+_READABLE_FORMATS = (1, 2)
 
 
 def _quantizer_state(quantizer: Quantizer) -> tuple[str, dict[str, np.ndarray]]:
@@ -111,12 +114,10 @@ def save_ivf(index: IVFIndex, path: "str | Path") -> None:
     )
     arrays = {"header": header, "centroids": index.centroids}
     arrays.update(quant_arrays)
-    for cell in range(index.nlist):
-        codes_parts = index._list_codes[cell]
-        ids_parts = index._list_ids[cell]
-        if ids_parts:
-            arrays[f"codes_{cell}"] = np.concatenate(codes_parts, axis=0)
-            arrays[f"ids_{cell}"] = np.concatenate(ids_parts)
+    index.compact()
+    arrays["codes"] = index._codes
+    arrays["ids"] = index._ids
+    arrays["cell_offsets"] = index._cell_offsets
     np.savez_compressed(path, **arrays)
 
 
@@ -124,9 +125,9 @@ def load_index(path: "str | Path") -> "FlatIndex | IVFIndex":
     """Load an index saved by :func:`save_flat` or :func:`save_ivf`."""
     with np.load(path, allow_pickle=False) as data:
         header = json.loads(str(data["header"]))
-        if header["format"] != FORMAT_VERSION:
+        if header["format"] not in _READABLE_FORMATS:
             raise ValueError(
-                f"index format {header['format']} != supported {FORMAT_VERSION}"
+                f"index format {header['format']} not in supported {_READABLE_FORMATS}"
             )
         if header["type"] == "flat":
             index = FlatIndex(header["dim"], header["metric"])
@@ -147,12 +148,19 @@ def load_index(path: "str | Path") -> "FlatIndex | IVFIndex":
         )
         index.centroids = data["centroids"]
         index.is_trained = True
-        index._list_codes = [[] for _ in range(index.nlist)]
-        index._list_ids = [[] for _ in range(index.nlist)]
-        for cell in range(index.nlist):
-            key = f"ids_{cell}"
-            if key in data:
-                index._list_codes[cell].append(data[f"codes_{cell}"])
-                index._list_ids[cell].append(data[key])
+        index._pending_codes = [[] for _ in range(index.nlist)]
+        index._pending_ids = [[] for _ in range(index.nlist)]
+        if header["format"] >= 2:
+            index._codes = data["codes"]
+            index._ids = data["ids"]
+            index._cell_offsets = data["cell_offsets"]
+            index._dirty = False
+        else:  # format 1: one (codes, ids) array pair per non-empty cell
+            for cell in range(index.nlist):
+                key = f"ids_{cell}"
+                if key in data:
+                    index._pending_codes[cell].append(data[f"codes_{cell}"])
+                    index._pending_ids[cell].append(data[key])
+            index._dirty = True
         index.ntotal = header["ntotal"]
         return index

@@ -17,15 +17,32 @@ import abc
 
 import numpy as np
 
-from .distances import as_matrix
+from .distances import as_matrix, pairwise_distance, validate_metric
 from .kmeans import kmeans
 
 
 class Quantizer(abc.ABC):
-    """Lossy codec mapping float32 vectors to compact codes and back."""
+    """Lossy codec mapping float32 vectors to compact codes and back.
+
+    Besides the ``train`` / ``encode`` / ``decode`` triple, codecs may expose
+    **asymmetric distance computation** (ADC): distances are evaluated
+    directly between a float query and stored codes, without materialising the
+    decoded vectors.  ``adc_table`` precomputes per-query state (for PQ/OPQ a
+    genuine ``(nq, m, ksub)`` lookup table; for scalar quantizers the
+    closed-form affine equivalent of the per-dimension table) and
+    ``adc_distances`` evaluates it against a block of codes.
+    """
 
     #: short name used in reports (e.g. the rows of Table 1)
     name: str = "quantizer"
+
+    #: how much cheaper one big ADC kernel is per element than many small
+    #: per-cell kernels. GEMM-based codecs amortise well (one large matmul
+    #: beats hundreds of small ones ~4x per element); gather-based codecs
+    #: (PQ/OPQ lookup tables) cost the same per element either way. The IVF
+    #: scan switches to its dense full-corpus strategy once
+    #: ``advantage * probed_work >= batch * corpus``.
+    adc_dense_advantage: float = 4.0
 
     def __init__(self, dim: int) -> None:
         if dim <= 0:
@@ -46,6 +63,62 @@ class Quantizer(abc.ABC):
         if not self.is_trained:
             raise RuntimeError(f"{type(self).__name__} must be trained before decode()")
         return self._decode(np.asarray(codes))
+
+    # -- asymmetric distance computation ----------------------------------
+    def supports_adc(self, metric: str) -> bool:
+        """Whether :meth:`adc_distances` is implemented for *metric*."""
+        del metric
+        return False
+
+    def needs_code_sqnorms(self, metric: str) -> bool:
+        """Whether ADC for *metric* wants precomputed ``|decode(code)|^2``.
+
+        Callers that store codes long-term (e.g. the IVF index) can compute
+        these once via :meth:`code_sqnorms` and pass slices back into
+        :meth:`adc_distances`, amortising the reconstruction norm term.
+        """
+        del metric
+        return False
+
+    def adc_table(self, queries: np.ndarray, metric: str):
+        """Precompute per-query ADC state for a batch of float queries.
+
+        The returned mapping may carry a ``"bias"`` vector: a per-query
+        constant that does not affect per-query top-k ordering. Scan loops
+        can request ``shifted=True`` distances (bias omitted) from
+        :meth:`adc_distances` and add the bias back once after selection,
+        keeping the per-cell inner loop minimal.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support ADC")
+
+    def adc_distances(
+        self,
+        table,
+        codes: np.ndarray,
+        *,
+        rows: np.ndarray | None = None,
+        code_sqnorms: np.ndarray | None = None,
+        shifted: bool = False,
+    ) -> np.ndarray:
+        """Distance matrix between table queries and *codes* (smaller=closer).
+
+        ``rows`` restricts evaluation to a subset of the table's queries (the
+        cell-major IVF scan evaluates each probed cell only for the queries
+        that actually probe it). With ``shifted=True`` the per-query
+        ``table["bias"]`` term is left out (and L2 results are not clamped at
+        zero); callers must add it back after top-k selection.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support ADC")
+
+    def code_sqnorms(self, codes: np.ndarray) -> np.ndarray:
+        """``|decode(code)|^2`` per code, chunked to bound peak memory."""
+        codes = np.asarray(codes)
+        out = np.empty(len(codes), dtype=np.float32)
+        step = 16384
+        for s in range(0, len(codes), step):
+            dec = self.decode(codes[s : s + step])
+            out[s : s + step] = np.einsum("ij,ij->i", dec, dec)
+        return out
 
     @abc.abstractmethod
     def code_size(self) -> int:
@@ -77,6 +150,37 @@ class IdentityQuantizer(Quantizer):
 
     def _decode(self, codes: np.ndarray) -> np.ndarray:
         return codes.astype(np.float32, copy=True)
+
+    # Identity "ADC" degenerates to the plain kernel on the raw payload; it
+    # exists so IVF's fast path is uniform across quantizers. Precomputed
+    # code norms plus the shifted form still save the per-cell norm terms.
+    def supports_adc(self, metric: str) -> bool:
+        return metric in ("l2", "ip")
+
+    def needs_code_sqnorms(self, metric: str) -> bool:
+        return metric == "l2"
+
+    def adc_table(self, queries: np.ndarray, metric: str):
+        validate_metric(metric)
+        q = as_matrix(queries)
+        table = {"metric": metric, "q": q}
+        if metric == "l2":
+            table["bias"] = np.einsum("ij,ij->i", q, q).astype(np.float32)
+        return table
+
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+        q = table["q"] if rows is None else table["q"][rows]
+        codes = as_matrix(codes)
+        if table["metric"] == "ip":
+            return -(q @ codes.T)
+        if code_sqnorms is None:
+            code_sqnorms = np.einsum("ij,ij->i", codes, codes)
+        dists = code_sqnorms[np.newaxis, :] - 2.0 * (q @ codes.T)
+        if not shifted:
+            bias = table["bias"] if rows is None else table["bias"][rows]
+            dists += bias[:, np.newaxis]
+            np.maximum(dists, 0.0, out=dists)
+        return dists
 
 
 class ScalarQuantizer(Quantizer):
@@ -126,17 +230,63 @@ class ScalarQuantizer(Quantizer):
         high = levels[:, 1::2]
         return (low | (high << 4)).astype(np.uint8)
 
-    def _decode(self, codes: np.ndarray) -> np.ndarray:
+    def _unpack_levels(self, codes: np.ndarray) -> np.ndarray:
+        """Integer levels as float32 ``(n, dim)`` (unpacking nibbles for SQ4)."""
         if self.bits == 8:
-            levels = codes.astype(np.float32)
+            return codes.astype(np.float32)
+        low = (codes & 0x0F).astype(np.float32)
+        high = ((codes >> 4) & 0x0F).astype(np.float32)
+        levels = np.empty((len(codes), low.shape[1] * 2), dtype=np.float32)
+        levels[:, 0::2] = low
+        levels[:, 1::2] = high
+        return levels[:, : self.dim]
+
+    def _decode(self, codes: np.ndarray) -> np.ndarray:
+        return self._unpack_levels(codes) * self._scale + self._vmin
+
+    # -- ADC ----------------------------------------------------------------
+    # decode(code) = L * scale + vmin is affine in the integer levels L, so
+    # the per-dimension lookup table T[d, v] collapses to a closed form:
+    #   q . decode = (q * scale) . L + q . vmin
+    # One GEMM against the raw levels replaces reconstruct-then-GEMM; for L2
+    # the ``|decode|^2`` term is the caller-precomputed ``code_sqnorms``.
+    def supports_adc(self, metric: str) -> bool:
+        return metric in ("l2", "ip")
+
+    def needs_code_sqnorms(self, metric: str) -> bool:
+        return metric == "l2"
+
+    def adc_table(self, queries: np.ndarray, metric: str):
+        validate_metric(metric)
+        if not self.is_trained:
+            raise RuntimeError(f"{type(self).__name__} must be trained before adc_table()")
+        q = as_matrix(queries)
+        w = (q * self._scale).astype(np.float32)
+        b = (q @ self._vmin).astype(np.float32)
+        if metric == "ip":
+            # dist = -(q . dec) = -(w . L) - b
+            return {"metric": metric, "w": w, "bias": -b}
+        # dist = |q|^2 - 2 (w . L + b) + |dec|^2
+        #      = (|dec|^2 - 2 w . L) + (|q|^2 - 2 b)
+        qnorm = np.einsum("ij,ij->i", q, q).astype(np.float32)
+        return {"metric": metric, "w": w, "bias": qnorm - 2.0 * b}
+
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+        levels = self._unpack_levels(np.asarray(codes))
+        w = table["w"] if rows is None else table["w"][rows]
+        sim = w @ levels.T  # = (q * scale) . L
+        if table["metric"] == "ip":
+            dists = -sim
         else:
-            low = (codes & 0x0F).astype(np.float32)
-            high = ((codes >> 4) & 0x0F).astype(np.float32)
-            levels = np.empty((len(codes), low.shape[1] * 2), dtype=np.float32)
-            levels[:, 0::2] = low
-            levels[:, 1::2] = high
-            levels = levels[:, : self.dim]
-        return levels * self._scale + self._vmin
+            if code_sqnorms is None:
+                code_sqnorms = self.code_sqnorms(codes)
+            dists = code_sqnorms[np.newaxis, :] - 2.0 * sim
+        if not shifted:
+            bias = table["bias"] if rows is None else table["bias"][rows]
+            dists += bias[:, np.newaxis]
+            if table["metric"] == "l2":
+                np.maximum(dists, 0.0, out=dists)
+        return dists
 
 
 class ProductQuantizer(Quantizer):
@@ -147,6 +297,10 @@ class ProductQuantizer(Quantizer):
     The paper's PQ256 / PQ384 rows correspond to ``m=256`` / ``m=384`` on
     768-dim vectors.
     """
+
+    # Lookup-table ADC is a gather, not a GEMM: no batching advantage, so
+    # the dense IVF scan only pays off at full probe coverage.
+    adc_dense_advantage = 1.0
 
     def __init__(self, dim: int, m: int = 8, nbits: int = 8, *, train_seed: int = 0) -> None:
         super().__init__(dim)
@@ -196,6 +350,53 @@ class ProductQuantizer(Quantizer):
             out[:, j * self.dsub : (j + 1) * self.dsub] = self._codebooks[j][codes[:, j]]
         return out
 
+    # -- ADC ----------------------------------------------------------------
+    # The classic PQ trick [Jegou et al. 2010]: per query, precompute the
+    # distance from each query subvector to every codeword — an
+    # ``(nq, m, ksub)`` table — then the distance to a stored code is m table
+    # lookups summed, never touching the reconstructed vector.
+    def supports_adc(self, metric: str) -> bool:
+        return metric in ("l2", "ip")
+
+    def adc_table(self, queries: np.ndarray, metric: str):
+        validate_metric(metric)
+        if not self.is_trained:
+            raise RuntimeError(f"{type(self).__name__} must be trained before adc_table()")
+        q = as_matrix(queries)
+        tables = np.empty((len(q), self.m, self.ksub), dtype=np.float32)
+        table = {"metric": metric, "tables": tables}
+        for j in range(self.m):
+            sub = q[:, j * self.dsub : (j + 1) * self.dsub]
+            book = self._codebooks[j]
+            if metric == "ip":
+                tables[:, j, :] = -(sub @ book.T)
+            else:
+                # The per-subspace |q_sub|^2 terms are query constants: keep
+                # them out of the lookup tables so each code lookup only sums
+                # |book|^2 - 2 q_sub . book, and fold them into the bias.
+                tables[:, j, :] = (
+                    np.einsum("ij,ij->i", book, book)[np.newaxis, :]
+                    - 2.0 * sub @ book.T
+                )
+        if metric == "l2":
+            table["bias"] = np.einsum("ij,ij->i", q, q).astype(np.float32)
+        return table
+
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+        del code_sqnorms
+        tables = table["tables"]
+        if rows is not None:
+            tables = tables[rows]
+        codes = np.asarray(codes)
+        acc = np.zeros((len(tables), len(codes)), dtype=np.float32)
+        for j in range(self.m):
+            acc += tables[:, j, codes[:, j]]
+        if not shifted and table["metric"] == "l2":
+            bias = table["bias"] if rows is None else table["bias"][rows]
+            acc += bias[:, np.newaxis]
+            np.maximum(acc, 0.0, out=acc)
+        return acc
+
 
 class OPQQuantizer(Quantizer):
     """Optimized Product Quantization: learned rotation + PQ.
@@ -204,6 +405,8 @@ class OPQQuantizer(Quantizer):
     orthogonal Procrustes problem aligning the data with its reconstruction,
     as in Ge et al. 2013. Matches the paper's OPQ256 / OPQ384 rows.
     """
+
+    adc_dense_advantage = ProductQuantizer.adc_dense_advantage
 
     def __init__(
         self, dim: int, m: int = 8, nbits: int = 8, *, opq_iters: int = 5, train_seed: int = 0
@@ -238,6 +441,22 @@ class OPQQuantizer(Quantizer):
 
     def _decode(self, codes: np.ndarray) -> np.ndarray:
         return self.pq._decode(codes) @ self._rotation.T
+
+    # The rotation is orthogonal, so |q - dec R^T|^2 = |q R - dec|^2 and
+    # q . (dec R^T) = (q R) . dec: rotating the query reduces OPQ ADC to PQ
+    # ADC on the rotated query — the asymmetry does all the work.
+    def supports_adc(self, metric: str) -> bool:
+        return metric in ("l2", "ip")
+
+    def adc_table(self, queries: np.ndarray, metric: str):
+        if not self.is_trained:
+            raise RuntimeError(f"{type(self).__name__} must be trained before adc_table()")
+        return self.pq.adc_table(as_matrix(queries) @ self._rotation, metric)
+
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+        return self.pq.adc_distances(
+            table, codes, rows=rows, code_sqnorms=code_sqnorms, shifted=shifted
+        )
 
 
 def make_quantizer(scheme: str, dim: int, *, train_seed: int = 0) -> Quantizer:

@@ -1,0 +1,5 @@
+"""Microbenchmark harnesses seeding the repo's perf trajectory (BENCH_*)."""
+
+from .retrieval import run_benchmarks
+
+__all__ = ["run_benchmarks"]

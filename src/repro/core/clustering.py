@@ -185,13 +185,8 @@ class ClusteredDatastore:
         dim = self.shards[0].index.dim
         out = np.empty((self.ntotal, dim), dtype=np.float32)
         for shard in self.shards:
-            index = shard.index
-            for cell in range(index.nlist):
-                if not index._list_ids[cell]:
-                    continue
-                codes = np.concatenate(index._list_codes[cell], axis=0)
-                local = np.concatenate(index._list_ids[cell])
-                out[shard.global_ids[local]] = index.quantizer.decode(codes)
+            vecs, local = shard.index.reconstruct()
+            out[shard.global_ids[local]] = vecs
         return out
 
     def shard_token_sizes(self, total_tokens: float) -> list[float]:

@@ -18,6 +18,7 @@ curves.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,10 +53,14 @@ class HierarchicalSearcher:
         *,
         router: ClusterRouter | None = None,
         config: HermesConfig | None = None,
+        max_workers: int | None = None,
     ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.datastore = datastore
         self.config = config or datastore.config
         self.router = router if router is not None else SampledRouter()
+        self.max_workers = max_workers
 
     def search(
         self,
@@ -66,6 +71,7 @@ class HierarchicalSearcher:
         deep_nprobe: int | None = None,
         exclude_clusters: "frozenset | set | None" = None,
         deep_patience: int | None = None,
+        parallel: bool | None = None,
     ) -> SearchResult:
         """Route then deep-search a query batch; returns global top-k.
 
@@ -78,11 +84,26 @@ class HierarchicalSearcher:
         shard's deep search (the §7 complementary optimisation): probing
         stops once the shard-local top-k has not improved for that many
         consecutive cells.
+
+        ``parallel`` fans the per-shard deep searches out over a thread pool
+        (numpy's BLAS kernels release the GIL), mirroring the paper's
+        one-index-per-node parallelism in wall-clock terms. ``None`` enables
+        threading iff the searcher was built with ``max_workers``.
         """
         q = as_matrix(queries)
-        k = k or self.config.k
-        m = clusters_to_search or self.config.clusters_to_search
-        nprobe = deep_nprobe or self.config.deep_nprobe
+        k = self.config.k if k is None else int(k)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        m = (
+            self.config.clusters_to_search
+            if clusters_to_search is None
+            else int(clusters_to_search)
+        )
+        if m <= 0:
+            raise ValueError(f"clusters_to_search must be positive, got {m}")
+        nprobe = self.config.deep_nprobe if deep_nprobe is None else int(deep_nprobe)
+        if nprobe <= 0:
+            raise ValueError(f"deep_nprobe must be positive, got {nprobe}")
         exclude = frozenset(exclude_clusters or ())
 
         routing = self.router.route(q, self.datastore, m, exclude=exclude)
@@ -92,15 +113,18 @@ class HierarchicalSearcher:
         # Candidate pool: k results from each of the query's routed shards.
         cand_d = np.full((nq, fanout * k), np.inf, dtype=np.float32)
         cand_i = np.full((nq, fanout * k), -1, dtype=np.int64)
-        shard_queries = 0
 
         # Batch by shard: all queries routed to shard s search it together,
         # exactly how per-node batches form in the distributed system.
+        tasks = []
         for shard in self.datastore.shards:
             hit_q, hit_slot = np.nonzero(routing.clusters == shard.shard_id)
-            if not len(hit_q):
-                continue
-            shard_queries += len(hit_q)
+            if len(hit_q):
+                tasks.append((shard, hit_q, hit_slot))
+        shard_queries = sum(len(hit_q) for _, hit_q, _ in tasks)
+
+        def deep_search(task):
+            shard, hit_q, hit_slot = task
             if deep_patience is not None:
                 from ..ann.early_termination import search_with_early_termination
 
@@ -117,9 +141,21 @@ class HierarchicalSearcher:
                 ids[valid] = shard.global_ids[result.ids[valid]]
             else:
                 dists, ids = shard.search(q[hit_q], k, nprobe=nprobe)
-            for row, slot, d_row, i_row in zip(hit_q, hit_slot, dists, ids):
-                cand_d[row, slot * k : (slot + 1) * k] = d_row
-                cand_i[row, slot * k : (slot + 1) * k] = i_row
+            return hit_q, hit_slot, dists, ids
+
+        use_threads = (self.max_workers is not None) if parallel is None else bool(parallel)
+        if use_threads and len(tasks) > 1:
+            workers = min(self.max_workers or len(tasks), len(tasks))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(deep_search, tasks))
+        else:
+            results = [deep_search(task) for task in tasks]
+
+        kcols = np.arange(k)
+        for hit_q, hit_slot, dists, ids in results:
+            cols = hit_slot[:, np.newaxis] * k + kcols[np.newaxis, :]
+            cand_d[hit_q[:, np.newaxis], cols] = dists
+            cand_i[hit_q[:, np.newaxis], cols] = ids
 
         # Merge: global top-k by distance (the rerank step; for normalised
         # embeddings this is the paper's inner-product rerank).
@@ -137,7 +173,11 @@ class HermesSearcher(HierarchicalSearcher):
     """The paper's configuration: document-sampling router over all shards."""
 
     def __init__(
-        self, datastore: ClusteredDatastore, *, config: HermesConfig | None = None
+        self,
+        datastore: ClusteredDatastore,
+        *,
+        config: HermesConfig | None = None,
+        max_workers: int | None = None,
     ) -> None:
         cfg = config or datastore.config
         super().__init__(
@@ -146,6 +186,7 @@ class HermesSearcher(HierarchicalSearcher):
                 sample_nprobe=cfg.sample_nprobe, sample_k=cfg.sample_k
             ),
             config=cfg,
+            max_workers=max_workers,
         )
 
 
@@ -153,9 +194,15 @@ class ExhaustiveSplitSearcher(HierarchicalSearcher):
     """Naive distributed baseline: deep-search every shard, aggregate all."""
 
     def __init__(
-        self, datastore: ClusteredDatastore, *, config: HermesConfig | None = None
+        self,
+        datastore: ClusteredDatastore,
+        *,
+        config: HermesConfig | None = None,
+        max_workers: int | None = None,
     ) -> None:
-        super().__init__(datastore, router=AllRouter(), config=config)
+        super().__init__(
+            datastore, router=AllRouter(), config=config, max_workers=max_workers
+        )
 
     def search(self, queries: np.ndarray, *, k: int | None = None, **kwargs) -> SearchResult:
         kwargs.setdefault("clusters_to_search", self.datastore.n_clusters)

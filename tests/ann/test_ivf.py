@@ -118,6 +118,62 @@ class TestSearchQuality:
             index.search(data[:1], 1, nprobe=0)
 
 
+class TestCompaction:
+    def test_add_marks_index_dirty(self, data):
+        index = IVFIndex(24, nlist=16)
+        index.train(data)
+        index.add(data)
+        assert not index.is_compacted
+
+    def test_first_search_compacts(self, data):
+        index = trained_ivf(data, nlist=16)
+        index.search(data[:2], 3)
+        assert index.is_compacted
+        assert index.compactions == 1
+
+    def test_repeated_search_does_not_recompact(self, data):
+        """Steady-state searches must not rebuild the CSR arrays."""
+        index = trained_ivf(data, nlist=16)
+        index.search(data[:2], 3)
+        count = index.compactions
+        for _ in range(5):
+            index.search(data[:2], 3, nprobe=4)
+        assert index.compactions == count
+
+    def test_add_then_search_compacts_exactly_once_more(self, data):
+        index = trained_ivf(data, nlist=16)
+        index.search(data[:2], 3)
+        index.add(data[:50])
+        assert not index.is_compacted
+        index.search(data[:2], 3)
+        index.search(data[:2], 3)
+        assert index.compactions == 2
+
+    def test_compact_is_idempotent(self, data):
+        index = trained_ivf(data, nlist=16)
+        index.compact()
+        index.compact()
+        assert index.compactions == 1
+
+    def test_incremental_adds_match_single_add(self, data):
+        whole = trained_ivf(data, nlist=16, nprobe=16)
+        split = IVFIndex(24, nlist=16, nprobe=16)
+        split.train(data)
+        split.add(data[:500])
+        split.search(data[:2], 3)  # compact mid-stream
+        split.add(data[500:])
+        d1, i1 = whole.search(data[:8], 5)
+        d2, i2 = split.search(data[:8], 5)
+        np.testing.assert_array_equal(i1, i2)
+        np.testing.assert_allclose(d1, d2, rtol=1e-4, atol=1e-4)
+
+    def test_cell_codes_are_contiguous_views(self, data):
+        index = trained_ivf(data, nlist=16)
+        codes, ids = index.cell_codes(0)
+        assert codes.base is index._codes or len(codes) == 0
+        assert len(codes) == len(ids)
+
+
 class TestMemory:
     def test_sq8_smaller_than_flat_payload(self, data):
         flat_payload = trained_ivf(data, nlist=16)

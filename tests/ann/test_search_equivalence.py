@@ -1,0 +1,140 @@
+"""Equivalence of the optimised IVF scan against the reference slow path.
+
+The batched/compacted/ADC search engine must return *exactly* the ids the
+pre-optimisation per-query path returns (distances may differ only by
+float32 accumulation noise). This suite sweeps metrics, quantizers, probe
+depths and batch shapes, plus the structural edge cases: empty cells,
+k larger than the candidate pool, and forced non-ADC kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import IVFIndex
+from repro.ann.quantization import make_quantizer
+
+DIM = 24
+SCHEMES = ["flat", "sq8", "sq4", "pq8", "opq8"]
+METRICS = ["l2", "ip"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    centers = rng.normal(scale=4, size=(10, DIM))
+    topic = rng.integers(0, 10, size=1200)
+    return (centers[topic] + rng.normal(size=(1200, DIM))).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    rng = np.random.default_rng(8)
+    picks = rng.choice(len(data), 12, replace=False)
+    return (data[picks] + rng.normal(scale=0.05, size=(12, DIM))).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def indexes(data):
+    built = {}
+    for scheme in SCHEMES:
+        for metric in METRICS:
+            index = IVFIndex(
+                DIM, metric, nlist=16, quantizer=make_quantizer(scheme, DIM)
+            )
+            index.train(data)
+            index.add(data)
+            built[(scheme, metric)] = index
+    return built
+
+
+def assert_matches_reference(index, queries, k, nprobe, **kwargs):
+    ref_d, ref_i = index.search_reference(queries, k, nprobe=nprobe)
+    fast_d, fast_i = index.search(queries, k, nprobe=nprobe, **kwargs)
+    np.testing.assert_array_equal(ref_i, fast_i)
+    finite = np.isfinite(ref_d)
+    np.testing.assert_array_equal(finite, np.isfinite(fast_d))
+    # ids must match exactly; distances only up to fp32 reassociation noise.
+    np.testing.assert_allclose(
+        ref_d[finite], fast_d[finite], rtol=1e-3, atol=5e-3
+    )
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("nprobe", [1, 4, 16])
+def test_fast_path_matches_reference(indexes, queries, scheme, metric, nprobe):
+    assert_matches_reference(indexes[(scheme, metric)], queries, 5, nprobe)
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_adc_matches_decode_kernel(indexes, queries, scheme, metric):
+    """Forced decode-then-GEMM and ADC must rank identically."""
+    index = indexes[(scheme, metric)]
+    d_adc, i_adc = index.search(queries, 5, nprobe=4, use_adc=True)
+    d_dec, i_dec = index.search(queries, 5, nprobe=4, use_adc=False)
+    np.testing.assert_array_equal(i_adc, i_dec)
+    np.testing.assert_allclose(d_adc, d_dec, rtol=1e-3, atol=5e-3)
+
+
+@pytest.mark.parametrize("scheme", ["flat", "sq8"])
+def test_batch_matches_single_query_loop(indexes, queries, scheme):
+    """Cell-major batching must not couple queries to each other."""
+    index = indexes[(scheme, "l2")]
+    batch_d, batch_i = index.search(queries, 5, nprobe=4)
+    for qi in range(len(queries)):
+        d, i = index.search(queries[qi : qi + 1], 5, nprobe=4)
+        np.testing.assert_array_equal(batch_i[qi], i[0])
+        # batch shape can flip the scan strategy (dense vs sparse), whose
+        # kernels reassociate the fp32 reductions differently.
+        np.testing.assert_allclose(batch_d[qi], d[0], rtol=1e-3, atol=5e-3)
+
+
+@pytest.mark.parametrize("metric", METRICS)
+def test_empty_cells_are_skipped(data, queries, metric):
+    """Sparse population leaves cells empty; both paths must tolerate it."""
+    index = IVFIndex(DIM, metric, nlist=16, quantizer=make_quantizer("sq8", DIM))
+    index.train(data)
+    index.add(data[:40])  # 16 cells, 40 vectors: several cells stay empty
+    assert (index.list_sizes() == 0).any()
+    assert_matches_reference(index, queries, 5, 16)
+
+
+@pytest.mark.parametrize("scheme", ["flat", "sq8", "pq8"])
+def test_k_exceeding_candidates_pads(data, queries, scheme):
+    """k beyond the probed candidate pool pads with inf / -1 identically."""
+    index = IVFIndex(DIM, "l2", nlist=16, quantizer=make_quantizer(scheme, DIM))
+    index.train(data)
+    index.add(data[:30])
+    k = 50
+    ref_d, ref_i = index.search_reference(queries, k, nprobe=2)
+    fast_d, fast_i = index.search(queries, k, nprobe=2)
+    np.testing.assert_array_equal(ref_i, fast_i)
+    assert (fast_i == -1).any()
+    assert np.isinf(fast_d[fast_i == -1]).all()
+
+
+def test_dense_and_sparse_strategies_agree(data, queries):
+    """Force both scan strategies on the same index and compare."""
+    index = IVFIndex(DIM, "l2", nlist=16, quantizer=make_quantizer("sq8", DIM))
+    index.train(data)
+    index.add(data)
+    advantage = index.quantizer.adc_dense_advantage
+    try:
+        index.quantizer.adc_dense_advantage = float("inf")  # always dense
+        dense = index.search(queries, 5, nprobe=4)
+        index.quantizer.adc_dense_advantage = 0.0  # always sparse
+        sparse = index.search(queries, 5, nprobe=4)
+    finally:
+        index.quantizer.adc_dense_advantage = advantage
+    np.testing.assert_array_equal(dense[1], sparse[1])
+    np.testing.assert_allclose(dense[0], sparse[0], rtol=1e-3, atol=5e-3)
+
+
+def test_search_after_incremental_add_matches_reference(data, queries):
+    index = IVFIndex(DIM, "l2", nlist=16, quantizer=make_quantizer("sq8", DIM))
+    index.train(data)
+    index.add(data[:600])
+    index.search(queries, 5)  # compact the first half
+    index.add(data[600:])  # dirty again
+    assert_matches_reference(index, queries, 5, 8)

@@ -1,0 +1,42 @@
+"""The retrieval bench harness: smoke-sized in CI, full-sized under -m bench."""
+
+import json
+
+import pytest
+
+from repro.bench.retrieval import BenchSpec, run_benchmarks
+
+
+def test_smoke_report_structure(tmp_path):
+    out = tmp_path / "BENCH_retrieval.json"
+    report = run_benchmarks(smoke=True, out=out)
+    assert report["smoke"] is True
+    assert json.loads(out.read_text())["bench"] == "retrieval"
+    names = {row["index"] for row in report["single_index"]}
+    assert names == {"flat", "ivf_flat", "ivf_sq8", "ivf_pq8"}
+    for row in report["single_index"]:
+        if row["index"] != "flat":
+            # run_benchmarks raises if fast and reference paths diverge, so
+            # reaching here means every row passed the equivalence assert.
+            assert row["equivalent"] is True
+            assert row["after_s"] > 0
+    assert report["hierarchical"]["equivalent"] is True
+
+
+def test_smoke_spec_is_small():
+    spec = BenchSpec.smoke()
+    assert spec.n_vectors <= 5_000
+    assert spec.repeats == 1
+
+
+@pytest.mark.bench
+def test_full_bench_meets_speedup_targets(tmp_path):
+    """The PR's acceptance thresholds, checked at full size (slow)."""
+    report = run_benchmarks(smoke=False, out=tmp_path / "BENCH_retrieval.json")
+    sq8_batch = next(
+        row
+        for row in report["single_index"]
+        if row["index"] == "ivf_sq8" and row["batch"] == 32
+    )
+    assert sq8_batch["speedup"] >= 3.0
+    assert report["hierarchical"]["speedup"] >= 1.5

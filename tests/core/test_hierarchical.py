@@ -104,6 +104,50 @@ class TestAccuracy:
         assert recall_at_k(deep.ids, truth) >= recall_at_k(shallow.ids, truth)
 
 
+class TestParameterValidation:
+    """Explicit zero must be rejected, not silently swallowed to a default
+    (the old ``k or self.config.k`` pattern treated 0 as 'unset')."""
+
+    def test_zero_k_rejected(self, hermes, small_queries):
+        with pytest.raises(ValueError, match="k must be positive"):
+            hermes.search(small_queries.embeddings, k=0)
+
+    def test_zero_clusters_to_search_rejected(self, hermes, small_queries):
+        with pytest.raises(ValueError, match="clusters_to_search"):
+            hermes.search(small_queries.embeddings, clusters_to_search=0)
+
+    def test_zero_deep_nprobe_rejected(self, hermes, small_queries):
+        with pytest.raises(ValueError, match="deep_nprobe"):
+            hermes.search(small_queries.embeddings, deep_nprobe=0)
+
+    def test_zero_max_workers_rejected(self, clustered):
+        with pytest.raises(ValueError, match="max_workers"):
+            HermesSearcher(clustered, max_workers=0)
+
+
+class TestParallelFanout:
+    def test_threaded_matches_sequential(self, clustered, small_queries):
+        sequential = HermesSearcher(clustered)
+        threaded = HermesSearcher(clustered, max_workers=4)
+        a = sequential.search(small_queries.embeddings)
+        b = threaded.search(small_queries.embeddings)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_allclose(a.distances, b.distances, rtol=1e-5, atol=1e-5)
+
+    def test_parallel_flag_overrides_construction(self, clustered, small_queries):
+        searcher = HermesSearcher(clustered)
+        a = searcher.search(small_queries.embeddings, parallel=False)
+        b = searcher.search(small_queries.embeddings, parallel=True)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_threaded_with_deep_patience(self, clustered, small_queries):
+        sequential = HermesSearcher(clustered)
+        threaded = HermesSearcher(clustered, max_workers=4)
+        a = sequential.search(small_queries.embeddings, deep_patience=4)
+        b = threaded.search(small_queries.embeddings, deep_patience=4)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+
 class TestExhaustiveSplit:
     def test_searches_all_clusters(self, even_split, small_queries):
         searcher = ExhaustiveSplitSearcher(even_split)
