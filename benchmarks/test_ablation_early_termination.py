@@ -6,7 +6,6 @@ trade-off of our implementation on a per-cluster index — how many cells the
 deep search actually needs before its top-k stops changing.
 """
 
-import numpy as np
 
 from repro.ann.early_termination import search_with_early_termination
 from repro.ann.flat import FlatIndex

@@ -6,7 +6,6 @@ saturates and retrieval nodes idle; with monolithic-scale retrieval the GPU
 starves. Also reports latency percentiles the closed-form model cannot see.
 """
 
-import numpy as np
 
 from repro.datastore.embeddings import zipf_weights
 from repro.llm.generation import GenerationConfig

@@ -17,7 +17,7 @@ import abc
 
 import numpy as np
 
-from .distances import as_matrix, pairwise_distance, validate_metric
+from .distances import as_matrix, validate_metric
 from .kmeans import kmeans
 
 

@@ -10,6 +10,7 @@ reproduction::
     hermes-repro profile --tokens 1e10 --batch 128
     hermes-repro multinode --tokens 1e12 --clusters 10 --batch 128 --dvfs enhanced
     hermes-repro serve-sim --tokens 1e10 --batches 16
+    hermes-repro faults --killed 0 1 2 3 --out faults.json
     hermes-repro reproduce --fast
 
 Every subcommand is also reachable as ``python -m repro.cli <cmd>``.
@@ -170,6 +171,28 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .experiments import fig_faults
+
+    points = fig_faults.run(
+        tuple(args.killed), k=args.k, n_queries=args.queries, seed=args.seed
+    )
+    for p in points:
+        print(
+            f"killed={p.killed} {p.killed_shards}: "
+            f"hermes NDCG@{args.k} {p.hermes.ndcg:.3f} "
+            f"(affected {p.hermes.affected_frac:.0%}, "
+            f"p50 {p.hermes.p50_ms:.1f} ms, p99 {p.hermes.p99_ms:.1f} ms) | "
+            f"split NDCG@{args.k} {p.split.ndcg:.3f} "
+            f"(affected {p.split.affected_frac:.0%}, "
+            f"p50 {p.split.p50_ms:.1f} ms, p99 {p.split.p99_ms:.1f} ms)"
+        )
+    if args.out:
+        fig_faults.write_artifact(points, args.out, k=args.k)
+        print(f"degradation curve -> {args.out}")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.runner import run_all
 
@@ -230,6 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-tokens", type=int, default=256)
     p.add_argument("--batches", type=int, default=8)
     p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser(
+        "faults", help="fault sweep: graceful degradation vs killed nodes"
+    )
+    p.add_argument(
+        "--killed", type=int, nargs="+", default=[0, 1, 2, 3, 5],
+        help="killed-node counts to sweep (fleet has 10 nodes)",
+    )
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--queries", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write the JSON artifact here")
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("reproduce", help="regenerate every paper table/figure")
     p.add_argument("--fast", action="store_true")

@@ -14,11 +14,23 @@ from .clustering import (
 )
 from .config import HermesConfig
 from .dvfs_policy import DVFSComparison, evaluate_dvfs
+from .errors import (
+    RetrievalError,
+    RetrievalUnavailableError,
+    ShardCrashedError,
+    ShardError,
+    ShardSearchError,
+    ShardTimeoutError,
+    TransientShardError,
+)
 from .hierarchical import (
     ExhaustiveSplitSearcher,
     HermesSearcher,
     HierarchicalSearcher,
+    RetrievalPolicy,
     SearchResult,
+    ShardCallStats,
+    ShardHealth,
 )
 from .pipeline import HermesSystem, RAGResponse, RetrievalOutcome
 from .router import (
@@ -46,7 +58,17 @@ __all__ = [
     "ExhaustiveSplitSearcher",
     "HermesSearcher",
     "HierarchicalSearcher",
+    "RetrievalPolicy",
     "SearchResult",
+    "ShardCallStats",
+    "ShardHealth",
+    "RetrievalError",
+    "RetrievalUnavailableError",
+    "ShardCrashedError",
+    "ShardError",
+    "ShardSearchError",
+    "ShardTimeoutError",
+    "TransientShardError",
     "HermesSystem",
     "RAGResponse",
     "RetrievalOutcome",

@@ -14,11 +14,39 @@ The search result carries the routing matrix so schedulers and the
 performance model can account per-node load, and the number of
 shard-queries issued, the work metric behind Fig. 18's throughput/energy
 curves.
+
+Fault tolerance
+---------------
+One index per node (§4/§6) puts every retrieval node on the TTFT critical
+path, so the searcher ships a fleet-survival layer governed by a
+:class:`RetrievalPolicy`:
+
+- **per-shard deadlines** bound how long one shard may stall the batch;
+- **bounded retries with exponential backoff** absorb transient errors;
+- **hedged duplicate requests** cut straggler tails (a second identical
+  request is issued after ``hedge_delay_s``; first answer wins);
+- a **circuit breaker** (:class:`ShardHealth`) trips after consecutive
+  failures and feeds the router's ``exclude`` set automatically, so dead
+  nodes stop being probed until a cooldown expires.
+
+A shard that still fails yields its candidate slots as ``(+inf, -1)``
+instead of raising — the batch *degrades* to the surviving clusters'
+coverage (the semantic-clustering availability argument: losing one cluster
+loses one topic, not a slice of every query). :class:`SearchResult` records
+``failed_shards``, ``degraded``, and per-shard latency/attempt stats so
+schedulers and the perfmodel can charge for retries and hedges.
+
+Without a policy the searcher is fail-fast: an unexpected shard exception
+propagates wrapped in :class:`~repro.core.errors.ShardSearchError` carrying
+the shard id and routed query count.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +54,145 @@ import numpy as np
 from ..ann.distances import as_matrix
 from .clustering import ClusteredDatastore
 from .config import HermesConfig
+from .errors import (
+    RetrievalUnavailableError,
+    ShardCrashedError,
+    ShardError,
+    ShardSearchError,
+    ShardTimeoutError,
+    TransientShardError,
+)
 from .router import AllRouter, ClusterRouter, RoutingDecision, SampledRouter
+
+
+@dataclass(frozen=True)
+class RetrievalPolicy:
+    """Fleet-survival knobs for the deep-search fan-out.
+
+    ``deadline_s`` bounds each *attempt* (hedges share the primary's
+    deadline); ``max_attempts`` counts the primary plus transient-error
+    retries; ``backoff_s`` doubles per retry. ``hedge_delay_s`` launches one
+    duplicate request if the primary has not answered in time — the
+    tail-tolerance mechanism, distinct from retries which handle *errors*.
+    ``breaker_threshold`` consecutive shard failures open the circuit for
+    ``breaker_cooldown`` subsequent search batches.
+    """
+
+    deadline_s: float | None = None
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    hedge_delay_s: float | None = None
+    breaker_threshold: int | None = None
+    breaker_cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be non-negative, got {self.backoff_s}")
+        if self.hedge_delay_s is not None and self.hedge_delay_s < 0:
+            raise ValueError(f"hedge_delay_s must be non-negative, got {self.hedge_delay_s}")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown < 1:
+            raise ValueError(f"breaker_cooldown must be >= 1, got {self.breaker_cooldown}")
+
+    @property
+    def needs_executor(self) -> bool:
+        """Deadlines and hedges need attempts running on their own threads."""
+        return self.deadline_s is not None or self.hedge_delay_s is not None
+
+
+class ShardHealth:
+    """Consecutive-failure circuit breaker over the shard fleet.
+
+    ``record_failure`` past ``threshold`` opens the shard's circuit for
+    ``cooldown`` search batches (:meth:`tick` advances the clock once per
+    batch). An open shard is auto-excluded from routing. When the cooldown
+    expires the shard is *half-open*: it is probed again, one success closes
+    the circuit, one failure re-opens it immediately.
+
+    Thread-safe: deep searches record outcomes from pool threads.
+    """
+
+    def __init__(self, n_shards: int, *, threshold: int = 3, cooldown: int = 2) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.n_shards = n_shards
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._consecutive = np.zeros(n_shards, dtype=np.int64)
+        self._open_for = np.zeros(n_shards, dtype=np.int64)
+
+    def _check(self, shard_id: int) -> int:
+        shard_id = int(shard_id)
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"shard id {shard_id} out of range [0, {self.n_shards})")
+        return shard_id
+
+    def record_success(self, shard_id: int) -> None:
+        shard_id = self._check(shard_id)
+        with self._lock:
+            self._consecutive[shard_id] = 0
+            self._open_for[shard_id] = 0
+
+    def record_failure(self, shard_id: int) -> None:
+        shard_id = self._check(shard_id)
+        with self._lock:
+            self._consecutive[shard_id] += 1
+            if self._consecutive[shard_id] >= self.threshold:
+                self._open_for[shard_id] = self.cooldown
+
+    def consecutive_failures(self, shard_id: int) -> int:
+        return int(self._consecutive[self._check(shard_id)])
+
+    def is_open(self, shard_id: int) -> bool:
+        return bool(self._open_for[self._check(shard_id)] > 0)
+
+    def open_shards(self) -> frozenset:
+        """Shards whose circuit is currently open (auto-excluded)."""
+        with self._lock:
+            return frozenset(int(s) for s in np.flatnonzero(self._open_for > 0))
+
+    def tick(self) -> None:
+        """Advance the breaker clock by one search batch."""
+        with self._lock:
+            np.maximum(self._open_for - 1, 0, out=self._open_for)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._consecutive[:] = 0
+            self._open_for[:] = 0
+
+
+@dataclass(frozen=True)
+class ShardCallStats:
+    """Accounting for one shard's deep-search participation in a batch.
+
+    ``attempts`` counts issued requests including hedges, so
+    ``queries * attempts`` is the work the perfmodel should charge; a
+    healthy un-hedged shard has ``attempts == 1``.
+    """
+
+    shard_id: int
+    queries: int
+    attempts: int
+    latency_s: float
+    hedged: bool = False
+    outcome: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
 
 
 @dataclass(frozen=True)
@@ -38,10 +204,32 @@ class SearchResult:
     routing: RoutingDecision
     #: total (query, shard) deep-search pairs issued — the work measure
     shard_queries: int
+    #: shards that contributed nothing: sampling failure, deep-search
+    #: failure/timeout, or an open circuit breaker (user excludes are not
+    #: failures — the caller asked for them)
+    failed_shards: tuple = ()
+    #: per-shard latency / attempt / outcome accounting
+    shard_stats: tuple = ()
 
     @property
     def batch_size(self) -> int:
         return len(self.ids)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard's candidates are missing from the merge."""
+        return bool(self.failed_shards)
+
+    @property
+    def shard_queries_attempted(self) -> int:
+        """Work actually issued, counting retries and hedges (perfmodel cost)."""
+        if not self.shard_stats:
+            return self.shard_queries
+        return int(sum(s.queries * s.attempts for s in self.shard_stats))
+
+    @property
+    def hedged_shards(self) -> tuple:
+        return tuple(s.shard_id for s in self.shard_stats if s.hedged)
 
 
 class HierarchicalSearcher:
@@ -54,6 +242,8 @@ class HierarchicalSearcher:
         router: ClusterRouter | None = None,
         config: HermesConfig | None = None,
         max_workers: int | None = None,
+        policy: RetrievalPolicy | None = None,
+        health: ShardHealth | None = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -61,7 +251,149 @@ class HierarchicalSearcher:
         self.config = config or datastore.config
         self.router = router if router is not None else SampledRouter()
         self.max_workers = max_workers
+        self.policy = policy
+        if health is None and policy is not None and policy.breaker_threshold is not None:
+            health = ShardHealth(
+                datastore.n_clusters,
+                threshold=policy.breaker_threshold,
+                cooldown=policy.breaker_cooldown,
+            )
+        self.health = health
 
+    # -- exclude validation -------------------------------------------------
+    def _validated_exclude(self, exclude_clusters) -> frozenset:
+        """Check user excludes up front (satellite: fail clearly, not deep
+        inside the router)."""
+        n = self.datastore.n_clusters
+        exclude = frozenset(int(c) for c in (exclude_clusters or ()))
+        unknown = sorted(c for c in exclude if c < 0 or c >= n)
+        if unknown:
+            raise ValueError(
+                f"exclude_clusters contains unknown shard ids {unknown}; "
+                f"datastore has shards 0..{n - 1}"
+            )
+        if len(exclude) >= n:
+            raise RetrievalUnavailableError(
+                f"exclude_clusters covers all {n} shards; no shard left to search"
+            )
+        return exclude
+
+    # -- policy-governed execution -----------------------------------------
+    def _attempt_with_deadline(
+        self,
+        shard_id: int,
+        attempt,
+        policy: RetrievalPolicy,
+        executor: ThreadPoolExecutor,
+        meta: dict,
+    ):
+        """One attempt under a deadline, with an optional hedged duplicate.
+
+        Returns the attempt's value; raises its failure (a
+        :class:`ShardTimeoutError` if the deadline elapsed first). A
+        launched hedge is recorded in ``meta["hedges"]`` immediately so the
+        duplicate work is charged even when the attempt ultimately fails.
+        """
+        start = time.perf_counter()
+        deadline = policy.deadline_s
+
+        def remaining() -> float | None:
+            if deadline is None:
+                return None
+            return deadline - (time.perf_counter() - start)
+
+        futures = [executor.submit(attempt)]
+        if policy.hedge_delay_s is not None:
+            hedge_wait = policy.hedge_delay_s
+            if deadline is not None:
+                hedge_wait = min(hedge_wait, deadline)
+            done, _ = wait(futures, timeout=hedge_wait)
+            if not done:
+                futures.append(executor.submit(attempt))
+                meta["hedges"] += 1
+
+        pending = set(futures)
+        failure: BaseException | None = None
+        while pending:
+            left = remaining()
+            if left is not None and left <= 0:
+                break
+            done, pending = wait(pending, timeout=left, return_when=FIRST_COMPLETED)
+            if not done:
+                break  # deadline elapsed with requests still in flight
+            for fut in done:
+                exc = fut.exception()
+                if exc is None:
+                    return fut.result()
+                failure = exc
+        if pending:
+            raise ShardTimeoutError(shard_id, deadline)
+        assert failure is not None
+        raise failure
+
+    def _run_with_policy(
+        self,
+        shard_id: int,
+        n_queries: int,
+        attempt,
+        policy: RetrievalPolicy,
+        executor: ThreadPoolExecutor | None,
+    ):
+        """Run one shard's deep search under the retry/deadline/hedge policy.
+
+        Returns ``(value_or_None, ShardCallStats)``; never raises — a
+        failed shard degrades the batch instead of aborting it.
+        """
+        t0 = time.perf_counter()
+        attempts = 0
+        hedges = 0
+        outcome = "ok"
+        backoff = policy.backoff_s
+        value = None
+        while True:
+            attempts += 1
+            meta = {"hedges": 0}
+            try:
+                if executor is None:
+                    value = attempt()
+                else:
+                    value = self._attempt_with_deadline(
+                        shard_id, attempt, policy, executor, meta
+                    )
+                break
+            except TransientShardError:
+                if attempts >= policy.max_attempts:
+                    outcome = "transient-exhausted"
+                    break
+                if backoff > 0:
+                    time.sleep(backoff)
+                    backoff *= 2
+            except ShardTimeoutError:
+                outcome = "timeout"
+                break
+            except ShardCrashedError:
+                outcome = "crashed"
+                break
+            except FutureTimeoutError:
+                outcome = "timeout"
+                break
+            except Exception:  # noqa: BLE001 — degrade, never abort the batch
+                outcome = "error"
+                break
+            finally:
+                hedges += meta["hedges"]
+        stats = ShardCallStats(
+            shard_id=shard_id,
+            queries=n_queries,
+            # hedged duplicates are issued requests: charge them as attempts
+            attempts=attempts + hedges,
+            latency_s=time.perf_counter() - t0,
+            hedged=hedges > 0,
+            outcome=outcome,
+        )
+        return (value if outcome == "ok" else None), stats
+
+    # -- the search itself --------------------------------------------------
     def search(
         self,
         queries: np.ndarray,
@@ -78,7 +410,10 @@ class HierarchicalSearcher:
         ``exclude_clusters`` marks failed/unreachable nodes: their shards are
         neither sampled nor deep-searched, so the system degrades to the
         surviving clusters' coverage instead of erroring (node-failure
-        handling for the distributed deployment).
+        handling for the distributed deployment). Unknown ids raise
+        ``ValueError``; excluding every shard raises
+        :class:`RetrievalUnavailableError`. Shards whose circuit breaker is
+        open (see :class:`ShardHealth`) are excluded automatically.
 
         ``deep_patience`` enables adaptive early termination inside each
         shard's deep search (the §7 complementary optimisation): probing
@@ -104,13 +439,36 @@ class HierarchicalSearcher:
         nprobe = self.config.deep_nprobe if deep_nprobe is None else int(deep_nprobe)
         if nprobe <= 0:
             raise ValueError(f"deep_nprobe must be positive, got {nprobe}")
-        exclude = frozenset(exclude_clusters or ())
+        n_shards = self.datastore.n_clusters
+        user_exclude = self._validated_exclude(exclude_clusters)
+
+        if self.health is not None:
+            self.health.tick()
+            breaker_open = self.health.open_shards()
+        else:
+            breaker_open = frozenset()
+        exclude = user_exclude | breaker_open
+        if len(exclude) >= n_shards:
+            raise RetrievalUnavailableError(
+                f"all {n_shards} shards excluded ({len(user_exclude)} by caller, "
+                f"{len(breaker_open)} by open circuit breakers)"
+            )
 
         routing = self.router.route(q, self.datastore, m, exclude=exclude)
+        if self.health is not None:
+            for sid in routing.failed_clusters:
+                self.health.record_failure(sid)
+        if len(exclude | routing.failed_clusters) >= n_shards:
+            raise RetrievalUnavailableError(
+                f"no live shard left: {sorted(exclude)} excluded and "
+                f"{sorted(routing.failed_clusters)} failed during sampling"
+            )
         fanout = routing.fanout
         nq = len(q)
 
         # Candidate pool: k results from each of the query's routed shards.
+        # Slots of failed shards keep their (+inf, -1) fill — graceful
+        # degradation is "those candidates simply don't exist".
         cand_d = np.full((nq, fanout * k), np.inf, dtype=np.float32)
         cand_i = np.full((nq, fanout * k), -1, dtype=np.int64)
 
@@ -123,8 +481,7 @@ class HierarchicalSearcher:
                 tasks.append((shard, hit_q, hit_slot))
         shard_queries = sum(len(hit_q) for _, hit_q, _ in tasks)
 
-        def deep_search(task):
-            shard, hit_q, hit_slot = task
+        def deep_search_once(shard, hit_q):
             if deep_patience is not None:
                 from ..ann.early_termination import search_with_early_termination
 
@@ -139,23 +496,78 @@ class HierarchicalSearcher:
                 ids = np.full_like(result.ids, -1)
                 valid = result.ids >= 0
                 ids[valid] = shard.global_ids[result.ids[valid]]
-            else:
-                dists, ids = shard.search(q[hit_q], k, nprobe=nprobe)
-            return hit_q, hit_slot, dists, ids
+                return dists, ids
+            return shard.search(q[hit_q], k, nprobe=nprobe)
 
-        use_threads = (self.max_workers is not None) if parallel is None else bool(parallel)
-        if use_threads and len(tasks) > 1:
-            workers = min(self.max_workers or len(tasks), len(tasks))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(deep_search, tasks))
-        else:
-            results = [deep_search(task) for task in tasks]
+        policy = self.policy
+        attempt_pool: ThreadPoolExecutor | None = None
+        if policy is not None and policy.needs_executor and tasks:
+            # Attempts need own threads so deadlines can abandon stragglers;
+            # 2x head-room covers one hedge per in-flight shard.
+            attempt_pool = ThreadPoolExecutor(
+                max_workers=max(2, 2 * len(tasks)),
+                thread_name_prefix="shard-attempt",
+            )
+
+        def run_task(task):
+            shard, hit_q, hit_slot = task
+            sid = int(shard.shard_id)
+            if policy is None:
+                t0 = time.perf_counter()
+                try:
+                    dists, ids = deep_search_once(shard, hit_q)
+                except ShardError:
+                    raise  # already carries the shard id
+                except Exception as exc:
+                    raise ShardSearchError(sid, len(hit_q), exc) from exc
+                stats = ShardCallStats(
+                    shard_id=sid,
+                    queries=len(hit_q),
+                    attempts=1,
+                    latency_s=time.perf_counter() - t0,
+                )
+                return hit_q, hit_slot, dists, ids, stats
+            value, stats = self._run_with_policy(
+                sid, len(hit_q), lambda: deep_search_once(shard, hit_q), policy, attempt_pool
+            )
+            if self.health is not None:
+                if stats.ok:
+                    self.health.record_success(sid)
+                else:
+                    self.health.record_failure(sid)
+            if value is None:
+                return hit_q, hit_slot, None, None, stats
+            dists, ids = value
+            return hit_q, hit_slot, dists, ids, stats
+
+        try:
+            use_threads = (
+                (self.max_workers is not None) if parallel is None else bool(parallel)
+            )
+            if use_threads and len(tasks) > 1:
+                workers = min(self.max_workers or len(tasks), len(tasks))
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(run_task, tasks))
+            else:
+                results = [run_task(task) for task in tasks]
+        finally:
+            if attempt_pool is not None:
+                # Abandoned hedges/stragglers finish on their own; don't wait.
+                attempt_pool.shutdown(wait=False)
 
         kcols = np.arange(k)
-        for hit_q, hit_slot, dists, ids in results:
+        all_stats = []
+        deep_failed = []
+        for hit_q, hit_slot, dists, ids, stats in results:
+            all_stats.append(stats)
+            if dists is None:
+                deep_failed.append(stats.shard_id)
+                continue
             cols = hit_slot[:, np.newaxis] * k + kcols[np.newaxis, :]
             cand_d[hit_q[:, np.newaxis], cols] = dists
             cand_i[hit_q[:, np.newaxis], cols] = ids
+
+        failed = sorted(set(deep_failed) | set(routing.failed_clusters) | breaker_open)
 
         # Merge: global top-k by distance (the rerank step; for normalised
         # embeddings this is the paper's inner-product rerank).
@@ -166,6 +578,8 @@ class HierarchicalSearcher:
             ids=cand_i[rows, order],
             routing=routing,
             shard_queries=shard_queries,
+            failed_shards=tuple(failed),
+            shard_stats=tuple(all_stats),
         )
 
 
@@ -178,6 +592,8 @@ class HermesSearcher(HierarchicalSearcher):
         *,
         config: HermesConfig | None = None,
         max_workers: int | None = None,
+        policy: RetrievalPolicy | None = None,
+        health: ShardHealth | None = None,
     ) -> None:
         cfg = config or datastore.config
         super().__init__(
@@ -187,6 +603,8 @@ class HermesSearcher(HierarchicalSearcher):
             ),
             config=cfg,
             max_workers=max_workers,
+            policy=policy,
+            health=health,
         )
 
 
@@ -199,9 +617,16 @@ class ExhaustiveSplitSearcher(HierarchicalSearcher):
         *,
         config: HermesConfig | None = None,
         max_workers: int | None = None,
+        policy: RetrievalPolicy | None = None,
+        health: ShardHealth | None = None,
     ) -> None:
         super().__init__(
-            datastore, router=AllRouter(), config=config, max_workers=max_workers
+            datastore,
+            router=AllRouter(),
+            config=config,
+            max_workers=max_workers,
+            policy=policy,
+            health=health,
         )
 
     def search(self, queries: np.ndarray, *, k: int | None = None, **kwargs) -> SearchResult:

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..ann.distances import as_matrix, pairwise_distance, top_k
 from .clustering import ClusteredDatastore
+from .errors import ShardError
 
 
 @dataclass(frozen=True)
@@ -33,10 +34,14 @@ class RoutingDecision:
     ``clusters`` is ``(nq, m)``: ranked shard ids per query (best first).
     ``scores`` carries the per-(query, shard) routing distances (smaller is
     better) for all shards, useful for diagnostics and ablations.
+    ``failed_clusters`` lists shards whose sampling probe raised a
+    :class:`~repro.core.errors.ShardError`: they score ``inf`` (routed
+    around) and the searcher reports them as failed.
     """
 
     clusters: np.ndarray
     scores: np.ndarray
+    failed_clusters: frozenset = frozenset()
 
     @property
     def batch_size(self) -> int:
@@ -82,6 +87,13 @@ class SampledRouter(ClusterRouter):
 
     Every cluster is probed with a low nProbe for its single most similar
     document; clusters are ranked by that document's distance to the query.
+
+    Sampling is best-effort: a probe that raises a
+    :class:`~repro.core.errors.ShardError` (crash, transient blip, modelled
+    fault) leaves the cluster's score at ``inf`` so routing flows to the
+    survivors, and the shard is reported via ``failed_clusters``. The cheap
+    probes are not retried — the next batch re-probes anyway, which is the
+    natural recovery path for transient sampling failures.
     """
 
     name = "hermes-sampled"
@@ -104,14 +116,21 @@ class SampledRouter(ClusterRouter):
         sample_k = self.sample_k or config.sample_k
         m = self._check_fanout(m, datastore, exclude)
         scores = np.full((len(q), datastore.n_clusters), np.inf, dtype=np.float32)
+        failed = set()
         for shard in datastore.shards:
             if shard.shard_id in exclude:
                 continue  # a failed node cannot be sampled
-            dists, _ = shard.search(q, sample_k, nprobe=nprobe)
+            try:
+                dists, _ = shard.search(q, sample_k, nprobe=nprobe)
+            except ShardError:
+                failed.add(int(shard.shard_id))
+                continue  # score stays inf: routing flows to survivors
             # Best (smallest) sampled distance represents the cluster.
             scores[:, shard.shard_id] = dists[:, 0]
         _, ranked = top_k(scores, m)
-        return RoutingDecision(clusters=ranked, scores=scores)
+        return RoutingDecision(
+            clusters=ranked, scores=scores, failed_clusters=frozenset(failed)
+        )
 
 
 class CentroidRouter(ClusterRouter):

@@ -23,6 +23,7 @@ from . import (
     fig19,
     fig20,
     fig21,
+    fig_faults,
     table1,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "fig19",
     "fig20",
     "fig21",
+    "fig_faults",
     "table1",
 ]

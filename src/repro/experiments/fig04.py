@@ -20,7 +20,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..ann.flat import FlatIndex
 from ..ann.hnsw import HNSWIndex

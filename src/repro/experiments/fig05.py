@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 
-from ..llm.generation import GenerationConfig, RetrievalCost, constant_retrieval, simulate_generation
+from ..llm.generation import GenerationConfig, constant_retrieval, simulate_generation
 from ..llm.inference import InferenceModel
 from ..llm.perplexity import PERPLEXITY_CURVES
 from ..metrics.reporting import FigureResult

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..core.hierarchical import HierarchicalSearcher
 from ..core.router import CentroidRouter, SampledRouter

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..llm.generation import GenerationConfig
 from ..llm.inference import InferenceModel
 from .common import monolithic_retrieval_cost
 

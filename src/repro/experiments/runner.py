@@ -27,6 +27,7 @@ from . import (
     fig19,
     fig20,
     fig21,
+    fig_faults,
     table1,
 )
 
@@ -128,8 +129,13 @@ def run_all(*, fast: bool = False, plots: bool = False, out=sys.stdout) -> None:
     avg = fig21.average_savings(dvfs)
     w(
         f"Figure 21: mean DVFS savings baseline {avg['baseline']:.1%}, "
-        f"enhanced {avg['enhanced']:.1%} (paper: 12.24% / 20.44%)\n"
+        f"enhanced {avg['enhanced']:.1%} (paper: 12.24% / 20.44%)\n\n"
     )
+
+    fault_points = fig_faults.run((0, 1, 3) if fast else fig_faults.KILL_SWEEP)
+    fault_fig = fig_faults.to_figure(fault_points)
+    w(fault_fig.render() + "\n")
+    chart(fault_fig)
 
 
 if __name__ == "__main__":

@@ -18,7 +18,6 @@ adding GPUs to small models wastes energy for little speedup.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..hardware.gpu import A6000_ADA, GPUPlatform, tensor_parallel_speedup

@@ -1,10 +1,28 @@
 """Online serving simulator: event-driven execution of the Hermes pipeline.
 
 Complements the closed-form multi-node model with a discrete-event simulation
-of batches contending for the GPU and the retrieval fleet.
+of batches contending for the GPU and the retrieval fleet, plus the fault
+models (crash-stop, transient, straggler) that chaos-test the fleet both
+per-batch (:mod:`repro.serving.faults` wrapping live shards) and at serving
+scale (:class:`FleetFaultSchedule` driving the simulator).
 """
 
 from .events import EventLoop, Resource
+from .faults import (
+    CrashStop,
+    FaultEvent,
+    FaultInjector,
+    FaultModel,
+    FaultyShard,
+    FleetFaultSchedule,
+    NodeOutage,
+    NodeSlowdown,
+    OutageWindow,
+    Straggler,
+    TransientFault,
+    faulty_shards,
+    kill_shards,
+)
 from .node_sim import NodeScheduleResult, schedule_batch, waves_approximation_error
 from .simulator import (
     BatchRecord,
@@ -17,6 +35,19 @@ from .simulator import (
 __all__ = [
     "EventLoop",
     "Resource",
+    "CrashStop",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultModel",
+    "FaultyShard",
+    "FleetFaultSchedule",
+    "NodeOutage",
+    "NodeSlowdown",
+    "OutageWindow",
+    "Straggler",
+    "TransientFault",
+    "faulty_shards",
+    "kill_shards",
     "NodeScheduleResult",
     "schedule_batch",
     "waves_approximation_error",

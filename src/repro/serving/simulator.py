@@ -24,6 +24,7 @@ from ..llm.generation import GenerationConfig
 from ..llm.inference import InferenceModel
 from ..perfmodel.measurements import EncoderCostModel, RetrievalCostModel
 from .events import EventLoop, Resource
+from .faults import FleetFaultSchedule
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,8 @@ class BatchRecord:
     started_at: float = 0.0
     first_token_at: float = 0.0
     completed_at: float = 0.0
+    #: retrieval phases that skipped a down node (graceful degradation)
+    skipped_nodes: list = field(default_factory=list)
 
     @property
     def ttft_s(self) -> float:
@@ -120,6 +123,11 @@ class BatchRecord:
     @property
     def latency_s(self) -> float:
         return self.completed_at - self.submitted_at
+
+    @property
+    def degraded(self) -> bool:
+        """True when any retrieval phase lost a node's contribution."""
+        return bool(self.skipped_nodes)
 
 
 @dataclass
@@ -137,6 +145,16 @@ class ServingReport:
         if self.makespan_s <= 0:
             return 0.0
         return len(self.batches) * self.batch_size / self.makespan_s
+
+    @property
+    def degraded_batches(self) -> int:
+        """Batches that lost at least one node's retrieval contribution."""
+        return sum(1 for b in self.batches if b.degraded)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of batches served with full fleet coverage."""
+        return 1.0 - self.degraded_batches / len(self.batches)
 
     @property
     def mean_latency_s(self) -> float:
@@ -176,13 +194,45 @@ class PipelineSimulator:
     batch *k* occupies the GPU). A retrieval phase holds **all** of its
     participating nodes and completes when the slowest finishes, matching
     the synchronous scatter-gather of the paper's distributed search.
+
+    With a :class:`~repro.serving.faults.FleetFaultSchedule` the fleet is
+    chaotic: a node that is down when a phase reaches it is either skipped
+    (``dead_node_policy="skip"`` — the batch proceeds degraded, the
+    searcher's deadline/breaker behaviour at serving scale) or waited for
+    (``"wait"`` — the synchronous-scatter-gather worst case, where one dead
+    node stalls every batch until it recovers). Straggler windows scale the
+    node's phase duration by their factor (sampled at phase entry).
     """
 
-    def __init__(self, plan: StagePlan, *, batch_size: int) -> None:
+    def __init__(
+        self,
+        plan: StagePlan,
+        *,
+        batch_size: int,
+        faults: FleetFaultSchedule | None = None,
+        dead_node_policy: str = "skip",
+    ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if dead_node_policy not in ("skip", "wait"):
+            raise ValueError(
+                f"dead_node_policy must be 'skip' or 'wait', got {dead_node_policy!r}"
+            )
+        if faults is not None:
+            if faults.n_nodes != plan.n_nodes:
+                raise ValueError(
+                    f"fault schedule covers {faults.n_nodes} nodes, "
+                    f"plan has {plan.n_nodes}"
+                )
+            if dead_node_policy == "wait" and faults.has_unrecoverable:
+                raise ValueError(
+                    "dead_node_policy='wait' with an unrecoverable outage "
+                    "would stall the simulation forever; use 'skip'"
+                )
         self.plan = plan
         self.batch_size = batch_size
+        self.faults = faults
+        self.dead_node_policy = dead_node_policy
         self.loop = EventLoop()
         self.gpu = Resource(self.loop, "gpu")
         self.nodes = [
@@ -215,9 +265,14 @@ class PipelineSimulator:
         self.gpu.acquire(begin)
 
     def _retrieval_phase(
-        self, durations: np.ndarray, then_continue
+        self, durations: np.ndarray, record: BatchRecord, then_continue
     ) -> None:
-        """Scatter a phase to all involved nodes; continue when all finish."""
+        """Scatter a phase to all involved nodes; continue when all finish.
+
+        Fault handling happens at phase entry: a down node is skipped (the
+        batch degrades) or waited for until recovery; a straggling node's
+        busy time is scaled by its slowdown factor.
+        """
         involved = [i for i, d in enumerate(durations) if d > 0]
         if not involved:
             then_continue()
@@ -229,8 +284,24 @@ class PipelineSimulator:
             if remaining["count"] == 0:
                 then_continue()
 
+        now = self.loop.now
         for i in involved:
-            self.nodes[i].hold_for(float(durations[i]), then=node_done)
+            duration = float(durations[i])
+            if self.faults is not None:
+                if self.faults.is_down(i, now):
+                    if self.dead_node_policy == "skip":
+                        record.skipped_nodes.append(i)
+                        node_done()
+                        continue
+                    recovery = self.faults.recovery_time(i, now)
+                    duration *= self.faults.slowdown(i, recovery)
+                    self.loop.schedule(
+                        recovery - now,
+                        lambda i=i, d=duration: self.nodes[i].hold_for(d, then=node_done),
+                    )
+                    continue
+                duration *= self.faults.slowdown(i, now)
+            self.nodes[i].hold_for(duration, then=node_done)
 
     def _start_stride(self, record: BatchRecord, stride: int) -> None:
         plan = self.plan
@@ -257,9 +328,9 @@ class PipelineSimulator:
             self.gpu.acquire(begin_gpu)
 
         def after_sample() -> None:
-            self._retrieval_phase(plan.deep_seconds, after_deep)
+            self._retrieval_phase(plan.deep_seconds, record, after_deep)
 
-        self._retrieval_phase(plan.sample_seconds, after_sample)
+        self._retrieval_phase(plan.sample_seconds, record, after_sample)
 
     # -- driving ---------------------------------------------------------------
     def run(

@@ -108,10 +108,12 @@ class TestNodeFailure:
         assert result.routing.fanout == 3
 
     def test_all_failed_rejected(self, fresh_datastore):
+        from repro.core.errors import RetrievalUnavailableError
+
         corpus, datastore = fresh_datastore
         searcher = HermesSearcher(datastore)
         queries, _ = corpus.topic_model.sample_queries(2)
-        with pytest.raises(ValueError, match="alive"):
+        with pytest.raises(RetrievalUnavailableError, match="all"):
             searcher.search(queries, exclude_clusters=set(range(6)))
 
     def test_graceful_accuracy_degradation(self, fresh_datastore):

@@ -180,3 +180,116 @@ class TestEarlyTerminationComposition:
             for cid in result.routing.clusters[qi]:
                 allowed.update(clustered.shards[int(cid)].global_ids.tolist())
             assert all(int(d) in allowed for d in row if d >= 0)
+
+
+class TestExcludeClusters:
+    def test_all_shards_excluded_raises_unavailable(self, hermes, small_queries):
+        from repro.core.errors import RetrievalUnavailableError
+
+        with pytest.raises(RetrievalUnavailableError, match="all"):
+            hermes.search(
+                small_queries.embeddings,
+                exclude_clusters=set(range(hermes.datastore.n_clusters)),
+            )
+
+    def test_unknown_shard_id_rejected(self, hermes, small_queries):
+        with pytest.raises(ValueError, match="unknown shard ids"):
+            hermes.search(small_queries.embeddings, exclude_clusters={99})
+        with pytest.raises(ValueError, match="unknown shard ids"):
+            hermes.search(small_queries.embeddings, exclude_clusters={-1})
+
+    def test_user_exclusion_is_not_a_failure(self, hermes, small_queries):
+        result = hermes.search(small_queries.embeddings, exclude_clusters={0})
+        assert not result.degraded
+        assert result.failed_shards == ()
+        routed = {int(c) for row in result.routing.clusters for c in row}
+        assert 0 not in routed
+
+    def test_degradation_localised_to_excluded_cluster(
+        self, hermes, clustered, small_queries
+    ):
+        """Excluding one cluster leaves queries routed to surviving
+        clusters completely untouched — the graceful-degradation bound."""
+        healthy = hermes.search(small_queries.embeddings, clusters_to_search=3)
+        excluded = 4
+        degraded = hermes.search(
+            small_queries.embeddings, clusters_to_search=3,
+            exclude_clusters={excluded},
+        )
+        surviving = [
+            qi
+            for qi in range(len(small_queries))
+            if excluded not in set(healthy.routing.clusters[qi].tolist())
+        ]
+        assert surviving
+        for qi in surviving:
+            np.testing.assert_array_equal(degraded.ids[qi], healthy.ids[qi])
+            # float32 scoring: the shrunken candidate layout may flip the
+            # last bit, so compare with a small tolerance
+            np.testing.assert_allclose(
+                degraded.distances[qi], healthy.distances[qi], rtol=1e-5
+            )
+
+    def test_surviving_query_ndcg_unchanged(
+        self, hermes, small_queries, truth
+    ):
+        from repro.metrics.ndcg import ndcg_single
+
+        healthy = hermes.search(small_queries.embeddings, clusters_to_search=3)
+        excluded = 4
+        degraded = hermes.search(
+            small_queries.embeddings, clusters_to_search=3,
+            exclude_clusters={excluded},
+        )
+        for qi in range(len(small_queries)):
+            if excluded in set(healthy.routing.clusters[qi].tolist()):
+                continue
+            assert ndcg_single(degraded.ids[qi], truth[qi]) == pytest.approx(
+                ndcg_single(healthy.ids[qi], truth[qi])
+            )
+
+
+class _BoomShard:
+    """Wraps a shard so its deep search raises an unexpected error."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def search(self, queries, k, nprobe=None):
+        raise RuntimeError("disk on fire")
+
+
+class TestShardErrorContext:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_deep_search_errors_carry_shard_context(
+        self, clustered, small_queries, workers
+    ):
+        """Without a policy the searcher fails fast, but the exception names
+        the shard and the routed query count (the debugging breadcrumbs)."""
+        import dataclasses
+
+        from repro.core.errors import ShardSearchError
+
+        boom_id = 3
+        shards = [
+            _BoomShard(s) if s.shard_id == boom_id else s
+            for s in clustered.shards
+        ]
+        broken = dataclasses.replace(clustered, shards=shards)
+        # CentroidRouter: sampling never touches shard.search, so the
+        # explosion happens in the deep phase where it gets wrapped.
+        searcher = HierarchicalSearcher(
+            broken, router=CentroidRouter(), max_workers=workers
+        )
+        with pytest.raises(ShardSearchError, match=f"shard {boom_id}") as exc:
+            searcher.search(small_queries.embeddings, clusters_to_search=10)
+        assert exc.value.shard_id == boom_id
+        assert exc.value.n_queries == len(small_queries)
+        assert "32 routed queries" in str(exc.value)
+        assert isinstance(exc.value.__cause__, RuntimeError)

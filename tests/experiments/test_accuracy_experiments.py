@@ -1,6 +1,5 @@
 """Tests for the real-search experiments (Table 1, Figs. 11-13)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import fig11, fig12, fig13, table1

@@ -1,0 +1,73 @@
+"""Tests for the fault-sweep experiment (graceful degradation curve)."""
+
+import json
+
+import pytest
+
+from repro.experiments import fig_faults
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig_faults.run((0, 1), n_queries=24)
+
+
+class TestFaultSweep:
+    def test_healthy_point_is_clean(self, sweep):
+        healthy = sweep[0]
+        assert healthy.killed == 0
+        assert healthy.killed_shards == ()
+        assert healthy.hermes.ndcg > 0.9
+        assert healthy.split.ndcg > 0.9
+        assert healthy.hermes.affected_frac == 0.0
+        assert healthy.split.affected_frac == 0.0
+
+    def test_semantic_clustering_localises_blast_radius(self, sweep):
+        """The availability claim: with one node dead, Hermes degrades only
+        the dead topic's queries; the naive split degrades nearly all."""
+        degraded = sweep[1]
+        assert degraded.killed == 1
+        assert len(degraded.killed_shards) == 1
+        assert degraded.hermes.affected_frac < degraded.split.affected_frac
+        # NB: mean NDCG is NOT asserted to favour Hermes — losing a topic
+        # craters its queries, while the split spreads a mild loss over
+        # everyone. Localisation (affected_frac) is the availability claim.
+
+    def test_degraded_ndcg_drops_but_survives(self, sweep):
+        healthy, degraded = sweep
+        assert degraded.hermes.ndcg <= healthy.hermes.ndcg
+        assert degraded.hermes.ndcg > 0.5  # most topics still served
+
+    def test_latencies_positive_and_ordered(self, sweep):
+        for point in sweep:
+            for strat in (point.hermes, point.split):
+                assert 0 < strat.p50_ms <= strat.p99_ms
+
+    def test_same_shards_killed_for_both_strategies(self, sweep):
+        # comparability: the sweep reports one killed-shard set per point
+        assert all(isinstance(s, int) for s in sweep[1].killed_shards)
+
+    def test_killing_everything_rejected(self):
+        with pytest.raises(ValueError, match="still serve"):
+            fig_faults.run((10,), n_queries=4)
+
+    def test_to_figure_series(self, sweep):
+        fig = fig_faults.to_figure(sweep)
+        assert fig.figure_id == "fig_faults"
+        labels = [s.name for s in fig.series]
+        assert "Hermes NDCG@10" in labels
+        assert "Split affected frac" in labels
+        assert fig.notes  # blast-radius note present
+
+    def test_artifact_round_trips(self, sweep, tmp_path):
+        path = tmp_path / "faults.json"
+        fig_faults.write_artifact(sweep, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["figure"] == "fig_faults"
+        assert payload["k"] == fig_faults.K_FAULTS
+        assert payload["policy"]["max_attempts"] == 2
+        point = payload["points"][1]
+        assert set(point) == {"killed", "killed_shards", "hermes", "split"}
+        assert set(point["hermes"]) == {
+            "ndcg", "affected_frac", "p50_ms", "p99_ms",
+        }

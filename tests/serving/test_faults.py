@@ -1,0 +1,232 @@
+"""Unit tests for the fault models and the injector's determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ShardCrashedError, TransientShardError
+from repro.serving.faults import (
+    CrashStop,
+    FaultInjector,
+    FleetFaultSchedule,
+    NodeOutage,
+    NodeSlowdown,
+    OutageWindow,
+    Straggler,
+    TransientFault,
+    faulty_shards,
+    kill_shards,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCrashStop:
+    def test_crashes_from_at_call(self):
+        model = CrashStop(at_call=2)
+        r = rng()
+        assert model.on_call(0, 5, r) == 0.0
+        assert model.on_call(1, 5, r) == 0.0
+        with pytest.raises(ShardCrashedError) as exc:
+            model.on_call(2, 5, r)
+        assert exc.value.shard_id == 5
+
+    def test_stays_crashed(self):
+        model = CrashStop(at_call=0)
+        for _ in range(3):
+            with pytest.raises(ShardCrashedError):
+                model.on_call(0, 1, rng())
+
+    def test_probabilistic_crash_is_permanent(self):
+        model = CrashStop(at_call=None, probability=0.5)
+        r = rng()
+        crashed_at = None
+        for i in range(100):
+            try:
+                model.on_call(i, 0, r)
+            except ShardCrashedError:
+                crashed_at = i
+                break
+        assert crashed_at is not None
+        with pytest.raises(ShardCrashedError):
+            model.on_call(crashed_at + 1, 0, r)
+
+    def test_requires_trigger(self):
+        with pytest.raises(ValueError):
+            CrashStop(at_call=None, probability=0.0)
+
+
+class TestTransientFault:
+    def test_fails_with_probability_and_recovers(self):
+        model = TransientFault(0.5)
+        r = rng()
+        outcomes = []
+        for i in range(200):
+            try:
+                model.on_call(i, 3, r)
+                outcomes.append(True)
+            except TransientShardError:
+                outcomes.append(False)
+        failures = outcomes.count(False)
+        assert 50 < failures < 150  # roughly p=0.5
+        assert any(outcomes)  # recovery: successes interleave
+
+    def test_max_failures_bounds_the_burst(self):
+        model = TransientFault(1.0, max_failures=3)
+        r = rng()
+        failures = 0
+        for i in range(10):
+            try:
+                model.on_call(i, 0, r)
+            except TransientShardError:
+                failures += 1
+        assert failures == 3  # recovered after the bounded burst
+
+
+class TestOutageWindow:
+    def test_window_fails_then_recovers(self):
+        model = OutageWindow(start_call=1, n_calls=2)
+        r = rng()
+        assert model.on_call(0, 7, r) == 0.0
+        for idx in (1, 2):
+            with pytest.raises(TransientShardError):
+                model.on_call(idx, 7, r)
+        assert model.on_call(3, 7, r) == 0.0
+
+
+class TestStraggler:
+    def test_fixed_delay(self):
+        model = Straggler(0.25)
+        assert model.on_call(0, 0, rng()) == 0.25
+
+    def test_heavy_tail_exceeds_base(self):
+        model = Straggler(0.1, heavy_tail_alpha=2.0)
+        delays = [model.on_call(i, 0, rng()) for i in range(5)]
+        assert all(d >= 0.1 for d in delays)
+
+    def test_call_restriction(self):
+        model = Straggler(0.5, calls=[1])
+        r = rng()
+        assert model.on_call(0, 0, r) == 0.0
+        assert model.on_call(1, 0, r) == 0.5
+        assert model.on_call(2, 0, r) == 0.0
+
+
+class TestFaultInjector:
+    def test_wrap_shares_indices_and_preserves_surface(self, clustered):
+        chaotic = kill_shards(clustered, [0])
+        assert chaotic.n_clusters == clustered.n_clusters
+        assert chaotic.ntotal == clustered.ntotal
+        # wrapped shard delegates the full shard surface
+        wrapped = chaotic.shards[0]
+        assert wrapped.shard_id == 0
+        assert len(wrapped) == len(clustered.shards[0])
+        assert wrapped.index is clustered.shards[0].index
+        # unwrapped shards are the same objects
+        assert chaotic.shards[1] is clustered.shards[1]
+
+    def test_killed_shard_raises_on_search(self, clustered, small_queries):
+        chaotic = kill_shards(clustered, [2])
+        with pytest.raises(ShardCrashedError):
+            chaotic.shards[2].search(small_queries.embeddings[:2], 5)
+
+    def test_unknown_shard_id_rejected(self, clustered):
+        with pytest.raises(ValueError, match="unknown shard ids"):
+            FaultInjector().wrap(clustered, {99: CrashStop()})
+
+    def test_fault_log_records_outcomes(self, clustered, small_queries):
+        injector = FaultInjector(seed=1)
+        chaotic = injector.wrap(clustered, {0: OutageWindow(start_call=0, n_calls=1)})
+        shard = chaotic.shards[0]
+        with pytest.raises(TransientShardError):
+            shard.search(small_queries.embeddings[:1], 5)
+        shard.search(small_queries.embeddings[:1], 5)
+        assert [e.kind for e in shard.log] == ["transient", "ok"]
+        assert faulty_shards(chaotic) == [shard]
+
+    def test_same_seed_same_schedule(self, clustered, small_queries):
+        """Satellite: two runs with one seed produce identical schedules."""
+
+        def run_once():
+            injector = FaultInjector(seed=11)
+            chaotic = injector.wrap(
+                clustered,
+                {
+                    1: [TransientFault(0.4), Straggler(1e-4, heavy_tail_alpha=2.0)],
+                    3: TransientFault(0.3),
+                },
+            )
+            logs = {}
+            for shard_id in (1, 3):
+                shard = chaotic.shards[shard_id]
+                for _ in range(30):
+                    try:
+                        shard.search(small_queries.embeddings[:1], 5)
+                    except TransientShardError:
+                        pass
+                logs[shard_id] = list(shard.log)
+            return logs
+
+        assert run_once() == run_once()
+
+
+class TestFleetFaultSchedule:
+    def test_outage_membership_and_recovery(self):
+        sched = FleetFaultSchedule(
+            4, outages=[NodeOutage(1, 5.0, 10.0), NodeOutage(1, 9.0, 12.0)]
+        )
+        assert not sched.is_down(1, 4.9)
+        assert sched.is_down(1, 5.0)
+        assert sched.is_down(1, 11.0)  # chained outage
+        assert sched.recovery_time(1, 6.0) == 12.0
+        assert sched.recovery_time(0, 6.0) == 6.0
+
+    def test_unrecoverable_outage(self):
+        sched = FleetFaultSchedule(2, outages=[NodeOutage(0, 0.0, float("inf"))])
+        assert sched.has_unrecoverable
+        assert sched.recovery_time(0, 1.0) == float("inf")
+
+    def test_slowdown_factors_compose(self):
+        sched = FleetFaultSchedule(
+            2,
+            slowdowns=[
+                NodeSlowdown(0, 0.0, 10.0, 2.0),
+                NodeSlowdown(0, 5.0, 15.0, 3.0),
+            ],
+        )
+        assert sched.slowdown(0, 1.0) == 2.0
+        assert sched.slowdown(0, 7.0) == 6.0
+        assert sched.slowdown(0, 12.0) == 3.0
+        assert sched.slowdown(1, 7.0) == 1.0
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="exceed"):
+            NodeOutage(0, 5.0, 5.0)
+        with pytest.raises(ValueError, match="factor"):
+            NodeSlowdown(0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="names node"):
+            FleetFaultSchedule(2, outages=[NodeOutage(5, 0.0, 1.0)])
+
+    def test_random_schedule_deterministic(self):
+        kwargs = dict(
+            horizon_s=200.0,
+            mtbf_s=50.0,
+            mttr_s=10.0,
+            straggler_rate_s=60.0,
+            straggler_factor=4.0,
+        )
+        a = FleetFaultSchedule.random(6, rng=np.random.default_rng(3), **kwargs)
+        b = FleetFaultSchedule.random(6, rng=np.random.default_rng(3), **kwargs)
+        assert a.outages == b.outages
+        assert a.slowdowns == b.slowdowns
+        assert len(a.outages) > 0
+
+    def test_random_schedule_seed_sensitivity(self):
+        a = FleetFaultSchedule.random(
+            6, horizon_s=200.0, rng=np.random.default_rng(3), mtbf_s=50.0, mttr_s=10.0
+        )
+        b = FleetFaultSchedule.random(
+            6, horizon_s=200.0, rng=np.random.default_rng(4), mtbf_s=50.0, mttr_s=10.0
+        )
+        assert a.outages != b.outages

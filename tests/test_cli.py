@@ -14,7 +14,7 @@ class TestParser:
         commands = set(sub.choices)
         assert commands == {
             "build-index", "accuracy", "profile", "multinode",
-            "serve-sim", "reproduce",
+            "serve-sim", "faults", "reproduce",
         }
 
     def test_missing_command_errors(self):
@@ -78,3 +78,17 @@ class TestModelCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "throughput" in out and "gpu utilization" in out
+
+    def test_faults_sweep_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "faults.json")
+        assert main([
+            "faults", "--killed", "0", "1", "--queries", "8",
+            "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "killed=0" in out and "killed=1" in out
+        payload = json.loads(open(out_path).read())
+        assert payload["figure"] == "fig_faults"
+        assert len(payload["points"]) == 2
