@@ -1,0 +1,20 @@
+"""Thin launcher for the index-construction benchmark harness.
+
+Usage (from the repo root)::
+
+    python benchmarks/bench_build.py [--smoke] [--out BENCH_build.json]
+
+The harness itself lives in :mod:`repro.bench.build` so it is importable and
+installable (``hermes-bench-build`` console entry); this wrapper only makes
+the checkout runnable without an install.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.build import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

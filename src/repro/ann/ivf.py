@@ -35,7 +35,7 @@ import numpy as np
 
 from .base import VectorIndex, register_index
 from .distances import pairwise_distance, top_k
-from .kmeans import kmeans
+from .kmeans import assign_to_centroids, train_kmeans
 from .quantization import IdentityQuantizer, Quantizer, make_quantizer
 
 
@@ -62,6 +62,10 @@ class IVFIndex(VectorIndex):
     quantizer:
         Codec used to store list payloads (``IdentityQuantizer`` keeps raw
         float32, i.e. ``IVFFlat``).
+    kmeans_algorithm:
+        Coarse-centroid training variant (see ``ann.kmeans.ALGORITHMS``);
+        the default ``"auto"`` switches to mini-batch K-means with full-data
+        refinement for large training sets.
     """
 
     def __init__(
@@ -73,6 +77,8 @@ class IVFIndex(VectorIndex):
         nprobe: int = 1,
         quantizer: Quantizer | None = None,
         train_seed: int = 0,
+        kmeans_algorithm: str = "auto",
+        kmeans_batch_size: int = 4096,
     ) -> None:
         super().__init__(dim, metric)
         if nlist is not None and nlist <= 0:
@@ -83,6 +89,8 @@ class IVFIndex(VectorIndex):
         self.nprobe = nprobe
         self.quantizer = quantizer if quantizer is not None else IdentityQuantizer(dim)
         self.train_seed = train_seed
+        self.kmeans_algorithm = kmeans_algorithm
+        self.kmeans_batch_size = kmeans_batch_size
         self.centroids: np.ndarray | None = None
         # Per-cell fragments pending compaction (appended by add()).
         self._pending_codes: list[list[np.ndarray]] = []
@@ -109,7 +117,10 @@ class IVFIndex(VectorIndex):
             raise ValueError(
                 f"training set of {len(vectors)} vectors is smaller than nlist={self.nlist}"
             )
-        result = kmeans(vectors, self.nlist, seed=self.train_seed, max_iter=20)
+        result = train_kmeans(
+            vectors, self.nlist, seed=self.train_seed, max_iter=20,
+            algorithm=self.kmeans_algorithm, batch_size=self.kmeans_batch_size,
+        )
         self.centroids = result.centroids
         if not self.quantizer.is_trained:
             self.quantizer.train(vectors)
@@ -124,7 +135,7 @@ class IVFIndex(VectorIndex):
 
     # -- population ---------------------------------------------------------
     def _add(self, vectors: np.ndarray) -> None:
-        cells = pairwise_distance(vectors, self.centroids, "l2").argmin(axis=1)
+        cells = assign_to_centroids(vectors, self.centroids, "l2")
         codes = self.quantizer.encode(vectors)
         base = self.ntotal
         for cell in np.unique(cells):

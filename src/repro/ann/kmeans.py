@@ -1,4 +1,4 @@
-"""K-means clustering (Lloyd's algorithm) for IVF training and Hermes splits.
+"""K-means clustering for IVF training and Hermes datastore splits.
 
 The Hermes paper uses K-means twice:
 
@@ -7,8 +7,25 @@ The Hermes paper uses K-means twice:
    of similar documents (§4.1), including a *seed sweep on a small subset* to
    minimise cluster-size imbalance cheaply.
 
-This module provides both, plus the imbalance proxy the paper uses (ratio of
-largest to smallest cluster).
+At the paper's 899M-document scale index construction is the dominant
+offline cost, so the training path is engineered accordingly:
+
+- **Bounded E-step**: assignments stream through ``(chunk, k)`` distance
+  blocks instead of one ``(n, k)`` matrix, and the M-step accumulates
+  per-cluster sums as a one-hot GEMM per chunk (an order of magnitude faster
+  than ``np.add.at`` scatter adds, which dominated the old profile).
+- **Mini-batch K-means** (:func:`kmeans_minibatch`): Sculley-style sampled
+  updates with per-centre learning rates, followed by a few full Lloyd's
+  refinement passes — the "sampled-then-refine" large-``n`` path.
+- **Sampled k-means++ seeding**: seeding cost is ``O(sample * k)`` instead of
+  ``O(n * k)`` when a sample size is given.
+- :func:`train_kmeans` dispatches between the variants (``auto`` picks
+  mini-batch for large inputs) and is what the IVF/clustering build paths
+  call; :func:`kmeans_reference` retains the pre-optimisation implementation
+  as the ``benchmarks/bench_build.py`` baseline.
+
+The module also provides the imbalance proxy the paper uses (ratio of largest
+to smallest cluster) and the concurrent seed sweep.
 """
 
 from __future__ import annotations
@@ -18,6 +35,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .distances import as_matrix, pairwise_distance, validate_metric
+from .parallel import run_tasks
+
+#: Rows per E-step distance block; bounds peak memory at ``chunk * k`` floats.
+DEFAULT_CHUNK = 16_384
+
+#: ``train_kmeans(algorithm="auto")`` switches to mini-batch at this size.
+MINIBATCH_THRESHOLD = 20_000
+
+#: Algorithms accepted by :func:`train_kmeans`.
+ALGORITHMS = ("auto", "lloyd", "minibatch", "reference")
 
 
 @dataclass
@@ -48,9 +75,23 @@ class KMeansResult:
         return float(self.sizes.max()) / float(smallest)
 
 
-def _kmeanspp_init(vectors: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
-    """k-means++ seeding: spread initial centroids proportionally to D^2."""
+def _kmeanspp_init(
+    vectors: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    sample_size: "int | None" = None,
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2.
+
+    With *sample_size* the seeding runs on a random subset, which keeps the
+    ``O(n * k)`` seeding cost bounded for large corpora while preserving the
+    spread property on the sample.
+    """
     n = len(vectors)
+    if sample_size is not None and k <= sample_size < n:
+        vectors = vectors[rng.choice(n, size=sample_size, replace=False)]
+        n = sample_size
     centroids = np.empty((k, vectors.shape[1]), dtype=vectors.dtype)
     first = rng.integers(n)
     centroids[0] = vectors[first]
@@ -70,6 +111,125 @@ def _kmeanspp_init(vectors: np.ndarray, k: int, rng: np.random.Generator) -> np.
     return centroids
 
 
+def _init_centroids(
+    vecs: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    init: str,
+    sample_size: "int | None",
+) -> np.ndarray:
+    if init == "k-means++":
+        return _kmeanspp_init(vecs, k, rng, sample_size=sample_size)
+    if init == "random":
+        return vecs[rng.choice(len(vecs), size=k, replace=False)].copy()
+    raise ValueError(f"unknown init {init!r}")
+
+
+def _estep(
+    vecs: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    chunk_size: int = DEFAULT_CHUNK,
+    accumulate: bool = False,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]":
+    """Chunked assignment pass in ``(chunk, k)`` bounded memory.
+
+    Returns ``(assignments, point_cost, sums, counts)``. With ``accumulate``
+    the M-step sufficient statistics are gathered alongside: each chunk's
+    per-cluster sums are one one-hot GEMM, so the full pass never
+    materialises an ``(n, k)`` matrix or falls back to scatter adds.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    n = len(vecs)
+    k = len(centroids)
+    assignments = np.empty(n, dtype=np.int64)
+    point_cost = np.empty(n, dtype=np.float32)
+    sums = np.zeros((k, vecs.shape[1]), dtype=np.float32) if accumulate else None
+    counts = np.zeros(k, dtype=np.int64) if accumulate else None
+    for start in range(0, n, chunk_size):
+        chunk = vecs[start : start + chunk_size]
+        dists = pairwise_distance(chunk, centroids, "l2")
+        assign = dists.argmin(axis=1)
+        rows = np.arange(len(chunk))
+        assignments[start : start + chunk_size] = assign
+        point_cost[start : start + chunk_size] = dists[rows, assign]
+        if accumulate:
+            onehot = np.zeros((len(chunk), k), dtype=np.float32)
+            onehot[rows, assign] = 1.0
+            sums += onehot.T @ chunk
+            counts += np.bincount(assign, minlength=k)
+    return assignments, point_cost, sums, counts
+
+
+def _lloyd_iterations(
+    vecs: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    max_iter: int,
+    tol: float,
+    chunk_size: int,
+) -> "tuple[np.ndarray, int]":
+    """Full Lloyd's iterations with empty-cluster repair; returns centroids.
+
+    Empty clusters are repaired each iteration by re-seeding them at the
+    point currently farthest from its assigned centroid, which keeps all
+    ``k`` clusters populated (required by the Hermes datastore split).
+    """
+    centroids = centroids.astype(np.float32, copy=True)
+    inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        assignments, point_cost, sums, counts = _estep(
+            vecs, centroids, chunk_size=chunk_size, accumulate=True
+        )
+        new_inertia = float(point_cost.sum())
+        empties = np.flatnonzero(counts == 0)
+        denom = counts.astype(np.float32)[:, np.newaxis]
+        if len(empties):
+            worst = np.argsort(point_cost)[::-1]
+            for slot, point in zip(empties, worst):
+                centroids[slot] = vecs[point]
+            nonempty = counts > 0
+            centroids[nonempty] = sums[nonempty] / denom[nonempty]
+        else:
+            centroids = sums / denom
+        converged = (
+            np.isfinite(inertia) and inertia - new_inertia <= tol * max(inertia, 1.0)
+        )
+        if converged and not len(empties):
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return centroids, n_iter
+
+
+def _finalize(
+    vecs: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    n_iter: int,
+    seed: int,
+    chunk_size: int,
+) -> KMeansResult:
+    """Final assignment against the final centroids."""
+    assignments, point_cost, _, _ = _estep(vecs, centroids, chunk_size=chunk_size)
+    return KMeansResult(
+        centroids=centroids.astype(np.float32),
+        assignments=assignments,
+        inertia=float(point_cost.sum()),
+        n_iter=n_iter,
+        seed=seed,
+    )
+
+
+def _validate_problem(vecs: np.ndarray, k: int) -> None:
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if len(vecs) < k:
+        raise ValueError(f"need at least k={k} vectors, got {len(vecs)}")
+
+
 def kmeans(
     vectors: np.ndarray,
     k: int,
@@ -78,26 +238,124 @@ def kmeans(
     max_iter: int = 25,
     tol: float = 1e-4,
     init: str = "k-means++",
+    chunk_size: int = DEFAULT_CHUNK,
+    init_sample: "int | None" = None,
 ) -> KMeansResult:
-    """Run Lloyd's algorithm and return the fitted clustering.
+    """Run full Lloyd's algorithm and return the fitted clustering.
 
-    Empty clusters are repaired each iteration by re-seeding them at the
-    point currently farthest from its assigned centroid, which keeps all
-    ``k`` clusters populated (required by the IVF inverted lists).
+    The E-step is chunked (``(chunk_size, k)`` peak memory) and the M-step
+    accumulates per-cluster sums as one-hot GEMMs; the arithmetic is the
+    classic Lloyd's update, so results match :func:`kmeans_reference` up to
+    float32 summation order. *init_sample* bounds the k-means++ seeding cost
+    on large inputs.
     """
     vecs = as_matrix(vectors)
-    n = len(vecs)
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
-    if n < k:
-        raise ValueError(f"need at least k={k} vectors, got {n}")
+    _validate_problem(vecs, k)
     rng = np.random.default_rng(seed)
-    if init == "k-means++":
-        centroids = _kmeanspp_init(vecs, k, rng)
-    elif init == "random":
-        centroids = vecs[rng.choice(n, size=k, replace=False)].copy()
-    else:
-        raise ValueError(f"unknown init {init!r}")
+    centroids = _init_centroids(vecs, k, rng, init, init_sample)
+    centroids, n_iter = _lloyd_iterations(
+        vecs, centroids, max_iter=max_iter, tol=tol, chunk_size=chunk_size
+    )
+    return _finalize(vecs, centroids, n_iter=n_iter, seed=seed, chunk_size=chunk_size)
+
+
+def kmeans_minibatch(
+    vectors: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    max_iter: int = 100,
+    batch_size: int = 4096,
+    tol: float = 1e-4,
+    init: str = "k-means++",
+    init_sample: "int | None" = None,
+    refine_iters: int = 2,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> KMeansResult:
+    """Mini-batch K-means [Sculley 2010] with full-data refinement passes.
+
+    Each step assigns one random batch and moves its centres by a per-centre
+    learning rate ``|batch members| / |total members seen|``, so training cost
+    is independent of ``n``. The loop stops early once centre movement stays
+    below *tol* (relative to the data's per-point variance) for three
+    consecutive steps. *refine_iters* full Lloyd's passes then polish the
+    centres on the complete dataset — repairing any empty clusters — which is
+    what keeps final inertia within a few percent of full Lloyd's.
+    """
+    vecs = as_matrix(vectors)
+    _validate_problem(vecs, k)
+    n = len(vecs)
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if refine_iters < 0:
+        raise ValueError(f"refine_iters must be non-negative, got {refine_iters}")
+    if batch_size >= n:
+        # Batches would cover the data anyway: plain Lloyd's is cheaper.
+        return kmeans(
+            vectors, k, seed=seed, max_iter=max_iter, tol=tol, init=init,
+            chunk_size=chunk_size, init_sample=init_sample,
+        )
+    rng = np.random.default_rng(seed)
+    if init_sample is None:
+        init_sample = min(n, max(10 * k, 2 * batch_size))
+    centroids = _init_centroids(vecs, k, rng, init, init_sample).astype(
+        np.float32, copy=True
+    )
+    # Movement tolerance scale: total per-point variance of a data sample.
+    probe = vecs[: min(n, 4096)]
+    scale = max(float(probe.var(axis=0).sum()), 1e-12)
+    counts = np.zeros(k, dtype=np.int64)
+    rows = np.arange(batch_size)
+    calm_steps = 0
+    steps = 0
+    for steps in range(1, max_iter + 1):
+        batch = vecs[rng.integers(0, n, size=batch_size)]
+        dists = pairwise_distance(batch, centroids, "l2")
+        assign = dists.argmin(axis=1)
+        onehot = np.zeros((batch_size, k), dtype=np.float32)
+        onehot[rows, assign] = 1.0
+        bsums = onehot.T @ batch
+        bcounts = np.bincount(assign, minlength=k)
+        counts += bcounts
+        hit = bcounts > 0
+        eta = (bcounts[hit] / counts[hit]).astype(np.float32)[:, np.newaxis]
+        target = bsums[hit] / bcounts[hit].astype(np.float32)[:, np.newaxis]
+        delta = (target - centroids[hit]) * eta
+        centroids[hit] += delta
+        shift = float(np.einsum("ij,ij->", delta, delta)) / k
+        calm_steps = calm_steps + 1 if shift <= tol * scale else 0
+        if calm_steps >= 3:
+            break
+    if refine_iters:
+        centroids, refined = _lloyd_iterations(
+            vecs, centroids, max_iter=refine_iters, tol=tol, chunk_size=chunk_size
+        )
+        steps += refined
+    return _finalize(vecs, centroids, n_iter=steps, seed=seed, chunk_size=chunk_size)
+
+
+def kmeans_reference(
+    vectors: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    max_iter: int = 25,
+    tol: float = 1e-4,
+    init: str = "k-means++",
+) -> KMeansResult:
+    """Pre-optimisation Lloyd's, retained as the build-benchmark baseline.
+
+    Materialises the full ``(n, k)`` distance matrix per iteration and
+    accumulates the M-step with ``np.add.at`` scatter adds — exactly the
+    implementation this repo shipped before the fast build path, kept (like
+    ``IVFIndex.search_reference``) so ``benchmarks/bench_build.py`` measures
+    an honest before/after and tests can assert quality parity.
+    """
+    vecs = as_matrix(vectors)
+    _validate_problem(vecs, k)
+    n = len(vecs)
+    rng = np.random.default_rng(seed)
+    centroids = _init_centroids(vecs, k, rng, init, None)
 
     assignments = np.zeros(n, dtype=np.int64)
     inertia = np.inf
@@ -108,7 +366,6 @@ def kmeans(
         point_cost = dists[np.arange(n), assignments]
         new_inertia = float(point_cost.sum())
 
-        # Recompute centroids; repair empties from the worst-fit points.
         counts = np.bincount(assignments, minlength=k)
         sums = np.zeros_like(centroids)
         np.add.at(sums, assignments, vecs)
@@ -130,7 +387,6 @@ def kmeans(
             break
         inertia = new_inertia
 
-    # Final assignment against the final centroids.
     dists = pairwise_distance(vecs, centroids, "l2")
     assignments = dists.argmin(axis=1)
     inertia = float(dists[np.arange(n), assignments].sum())
@@ -143,22 +399,68 @@ def kmeans(
     )
 
 
+def train_kmeans(
+    vectors: np.ndarray,
+    k: int,
+    *,
+    algorithm: str = "auto",
+    seed: int = 0,
+    max_iter: int = 25,
+    tol: float = 1e-4,
+    init: str = "k-means++",
+    chunk_size: int = DEFAULT_CHUNK,
+    batch_size: int = 4096,
+    minibatch_threshold: int = MINIBATCH_THRESHOLD,
+    minibatch_iters: int = 100,
+    refine_iters: int = 2,
+) -> KMeansResult:
+    """Train a clustering with the selected *algorithm*.
+
+    ``"auto"`` (the build-path default) runs mini-batch with full-data
+    refinement once the input reaches *minibatch_threshold* rows and plain
+    chunked Lloyd's below it; ``"lloyd"``, ``"minibatch"`` and
+    ``"reference"`` force the respective implementation.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown kmeans algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+    vecs = as_matrix(vectors)
+    if algorithm == "auto":
+        algorithm = "minibatch" if len(vecs) >= minibatch_threshold else "lloyd"
+    if algorithm == "reference":
+        return kmeans_reference(vecs, k, seed=seed, max_iter=max_iter, tol=tol, init=init)
+    if algorithm == "minibatch":
+        return kmeans_minibatch(
+            vecs, k, seed=seed, max_iter=minibatch_iters, batch_size=batch_size,
+            tol=tol, init=init, refine_iters=refine_iters, chunk_size=chunk_size,
+        )
+    return kmeans(vecs, k, seed=seed, max_iter=max_iter, tol=tol, init=init,
+                  chunk_size=chunk_size)
+
+
 def kmeans_seed_sweep(
     vectors: np.ndarray,
     k: int,
     *,
-    seeds: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7),
+    seeds: "tuple[int, ...]" = (0, 1, 2, 3, 4, 5, 6, 7),
     subset_fraction: float = 0.02,
     min_subset: int = 256,
     max_iter: int = 25,
     rng_seed: int = 0,
+    algorithm: str = "auto",
+    batch_size: int = 4096,
+    workers: "int | None" = 1,
 ) -> KMeansResult:
     """Pick the K-means seed with the lowest cluster-size imbalance.
 
     Mirrors the paper's §4.1 procedure: each candidate seed is evaluated on a
     small random subset (1–2% of the datastore by default) because imbalance
     on the subset tracks imbalance on the full set, then the winning seed is
-    re-run on the full data.
+    re-run on the full data (with *algorithm*, so large corpora take the
+    mini-batch path).
+
+    Trials are independent, so they run concurrently when *workers* allows;
+    ties on imbalance break to the **lowest seed value**, which keeps the
+    winner independent of evaluation order.
     """
     vecs = as_matrix(vectors)
     n = len(vecs)
@@ -171,20 +473,44 @@ def kmeans_seed_sweep(
     rng = np.random.default_rng(rng_seed)
     subset = vecs[rng.choice(n, size=subset_size, replace=False)]
 
-    best_seed = seeds[0]
-    best_imbalance = float("inf")
-    for seed in seeds:
-        trial = kmeans(subset, k, seed=seed, max_iter=max_iter)
-        if trial.imbalance < best_imbalance:
-            best_imbalance = trial.imbalance
-            best_seed = seed
-    return kmeans(vecs, k, seed=best_seed, max_iter=max_iter)
+    def trial(seed: int):
+        result = train_kmeans(
+            subset, k, seed=seed, max_iter=max_iter,
+            algorithm=algorithm, batch_size=batch_size,
+        )
+        return seed, result.imbalance
+
+    trials = run_tasks([lambda s=s: trial(s) for s in seeds], workers)
+    best_seed, _ = min(trials, key=lambda item: (item[1], item[0]))
+    return train_kmeans(
+        vecs, k, seed=best_seed, max_iter=max_iter,
+        algorithm=algorithm, batch_size=batch_size,
+    )
 
 
 def assign_to_centroids(
-    vectors: np.ndarray, centroids: np.ndarray, metric: str = "l2"
+    vectors: np.ndarray,
+    centroids: np.ndarray,
+    metric: str = "l2",
+    *,
+    chunk_size: int = DEFAULT_CHUNK,
 ) -> np.ndarray:
-    """Nearest-centroid assignment for out-of-sample vectors."""
+    """Nearest-centroid assignment for out-of-sample vectors.
+
+    Streams the distance computation in ``(chunk_size, k)`` blocks — the same
+    bounded E-step as training — so routing a large ingest batch (e.g.
+    ``ClusteredDatastore.add_documents``) never materialises an ``(n, k)``
+    matrix.
+    """
     validate_metric(metric)
-    dists = pairwise_distance(vectors, centroids, metric)
-    return dists.argmin(axis=1)
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    vecs = as_matrix(vectors)
+    cents = as_matrix(centroids)
+    out = np.empty(len(vecs), dtype=np.int64)
+    for start in range(0, len(vecs), chunk_size):
+        chunk = vecs[start : start + chunk_size]
+        out[start : start + chunk_size] = pairwise_distance(
+            chunk, cents, metric
+        ).argmin(axis=1)
+    return out

@@ -27,9 +27,12 @@ from .quantization import (
 
 #: Bumped on any incompatible format change. Version 2 stores IVF payloads
 #: as the compacted CSR triple (``codes``/``ids``/``cell_offsets``) instead
-#: of one pair of arrays per cell; version-1 files are still readable.
-FORMAT_VERSION = 2
-_READABLE_FORMATS = (1, 2)
+#: of one pair of arrays per cell; version 3 additionally persists the
+#: derived scan state (per-code squared norms for ADC metrics) so a loaded
+#: index serves its first search at warm-index latency instead of paying a
+#: full decode pass. Older versions are still readable.
+FORMAT_VERSION = 3
+_READABLE_FORMATS = (1, 2, 3)
 
 
 def _quantizer_state(quantizer: Quantizer) -> tuple[str, dict[str, np.ndarray]]:
@@ -118,6 +121,12 @@ def save_ivf(index: IVFIndex, path: "str | Path") -> None:
     arrays["codes"] = index._codes
     arrays["ids"] = index._ids
     arrays["cell_offsets"] = index._cell_offsets
+    # Derived scan state: persisting the per-code squared norms (an expensive
+    # full decode pass for PQ/OPQ) keeps the first post-load search warm.
+    if index.quantizer.supports_adc(index.metric) and index.quantizer.needs_code_sqnorms(
+        index.metric
+    ):
+        arrays["code_sqnorms"] = index._adc_code_sqnorms()
     np.savez_compressed(path, **arrays)
 
 
@@ -154,6 +163,14 @@ def load_index(path: "str | Path") -> "FlatIndex | IVFIndex":
             index._codes = data["codes"]
             index._ids = data["ids"]
             index._cell_offsets = data["cell_offsets"]
+            # Rebuild the row->cell map eagerly (cheap) so the first search
+            # skips the lazy-compaction bookkeeping entirely.
+            sizes = np.diff(index._cell_offsets)
+            index._code_cells = np.repeat(
+                np.arange(index.nlist, dtype=np.int32), sizes
+            )
+            if "code_sqnorms" in data:
+                index._code_sqnorms = data["code_sqnorms"]
             index._dirty = False
         else:  # format 1: one (codes, ids) array pair per non-empty cell
             for cell in range(index.nlist):

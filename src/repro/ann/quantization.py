@@ -18,7 +18,8 @@ import abc
 import numpy as np
 
 from .distances import as_matrix, validate_metric
-from .kmeans import kmeans
+from .kmeans import train_kmeans
+from .parallel import run_tasks
 
 
 class Quantizer(abc.ABC):
@@ -302,32 +303,68 @@ class ProductQuantizer(Quantizer):
     # the dense IVF scan only pays off at full probe coverage.
     adc_dense_advantage = 1.0
 
-    def __init__(self, dim: int, m: int = 8, nbits: int = 8, *, train_seed: int = 0) -> None:
+    def __init__(
+        self,
+        dim: int,
+        m: int = 8,
+        nbits: int = 8,
+        *,
+        train_seed: int = 0,
+        train_sample: "int | None" = None,
+        train_workers: "int | None" = 1,
+        train_algorithm: str = "auto",
+    ) -> None:
         super().__init__(dim)
         if m <= 0 or dim % m:
             raise ValueError(f"m={m} must evenly divide dim={dim}")
         if nbits != 8:
             raise ValueError("only nbits=8 (byte codes) is supported")
+        if train_sample is not None and train_sample <= 0:
+            raise ValueError(f"train_sample must be positive, got {train_sample}")
         self.m = m
         self.nbits = nbits
         self.ksub = 1 << nbits
         self.dsub = dim // m
         self.name = f"pq{m}"
         self.train_seed = train_seed
+        #: cap on training rows; codebook k-means sees a deterministic random
+        #: sample of this size instead of the full corpus (None = all rows)
+        self.train_sample = train_sample
+        #: threads for the per-subspace codebook fits (independent problems,
+        #: so the result is bit-identical for any worker count)
+        self.train_workers = train_workers
+        #: k-means variant for the codebook fits (see ann.kmeans.ALGORITHMS)
+        self.train_algorithm = train_algorithm
         self._codebooks: np.ndarray | None = None  # (m, ksub, dsub)
 
     def code_size(self) -> int:
         return self.m
 
+    def _sample_rows(self, vectors: np.ndarray) -> np.ndarray:
+        if self.train_sample is None or len(vectors) <= self.train_sample:
+            return vectors
+        rng = np.random.default_rng(self.train_seed)
+        idx = rng.choice(len(vectors), size=self.train_sample, replace=False)
+        return vectors[idx]
+
     def _train(self, vectors: np.ndarray) -> None:
+        vectors = self._sample_rows(vectors)
         ksub = min(self.ksub, len(vectors))
         codebooks = np.zeros((self.m, self.ksub, self.dsub), dtype=np.float32)
-        for j in range(self.m):
+
+        def fit_subspace(j: int) -> None:
             sub = vectors[:, j * self.dsub : (j + 1) * self.dsub]
-            result = kmeans(sub, ksub, seed=self.train_seed + j, max_iter=12)
+            result = train_kmeans(
+                sub, ksub, seed=self.train_seed + j, max_iter=12,
+                algorithm=self.train_algorithm,
+            )
             codebooks[j, :ksub] = result.centroids
             if ksub < self.ksub:
                 codebooks[j, ksub:] = result.centroids[0]
+
+        # Each subspace writes a disjoint codebook slice, so the fits run
+        # concurrently (the inner k-means is GEMM-bound and releases the GIL).
+        run_tasks([lambda j=j: fit_subspace(j) for j in range(self.m)], self.train_workers)
         self._codebooks = codebooks
 
     def _encode(self, vectors: np.ndarray) -> np.ndarray:
@@ -409,19 +446,40 @@ class OPQQuantizer(Quantizer):
     adc_dense_advantage = ProductQuantizer.adc_dense_advantage
 
     def __init__(
-        self, dim: int, m: int = 8, nbits: int = 8, *, opq_iters: int = 5, train_seed: int = 0
+        self,
+        dim: int,
+        m: int = 8,
+        nbits: int = 8,
+        *,
+        opq_iters: int = 5,
+        train_seed: int = 0,
+        train_sample: "int | None" = None,
+        train_workers: "int | None" = 1,
+        train_algorithm: str = "auto",
     ) -> None:
         super().__init__(dim)
-        self.pq = ProductQuantizer(dim, m=m, nbits=nbits, train_seed=train_seed)
+        # OPQ samples its own training rows once (the rotation and the PQ must
+        # see the same subset), so the inner PQ keeps train_sample=None.
+        self.pq = ProductQuantizer(
+            dim, m=m, nbits=nbits, train_seed=train_seed,
+            train_workers=train_workers, train_algorithm=train_algorithm,
+        )
+        if train_sample is not None and train_sample <= 0:
+            raise ValueError(f"train_sample must be positive, got {train_sample}")
         self.m = m
         self.opq_iters = opq_iters
         self.name = f"opq{m}"
+        self.train_seed = train_seed
+        self.train_sample = train_sample
         self._rotation: np.ndarray | None = None
 
     def code_size(self) -> int:
         return self.pq.code_size()
 
     def _train(self, vectors: np.ndarray) -> None:
+        if self.train_sample is not None and len(vectors) > self.train_sample:
+            rng = np.random.default_rng(self.train_seed)
+            vectors = vectors[rng.choice(len(vectors), size=self.train_sample, replace=False)]
         rotation = np.eye(self.dim, dtype=np.float32)
         for _ in range(self.opq_iters):
             rotated = vectors @ rotation
@@ -459,11 +517,22 @@ class OPQQuantizer(Quantizer):
         )
 
 
-def make_quantizer(scheme: str, dim: int, *, train_seed: int = 0) -> Quantizer:
+def make_quantizer(
+    scheme: str,
+    dim: int,
+    *,
+    train_seed: int = 0,
+    train_sample: "int | None" = None,
+    train_workers: "int | None" = 1,
+    train_algorithm: str = "auto",
+) -> Quantizer:
     """Build a codec from a Table 1 row name.
 
     Recognised schemes: ``flat``, ``sq8``, ``sq4``, ``pqM``, ``opqM`` where
-    ``M`` is the subquantizer count (must divide *dim*).
+    ``M`` is the subquantizer count (must divide *dim*). The ``train_*``
+    knobs apply to the codebook-learning codecs (PQ/OPQ): a deterministic
+    training-row sample, subspace-fit thread count, and k-means variant.
+    Scalar codecs ignore them — their min/max training must see every row.
     """
     key = scheme.lower()
     if key == "flat":
@@ -473,7 +542,13 @@ def make_quantizer(scheme: str, dim: int, *, train_seed: int = 0) -> Quantizer:
     if key == "sq4":
         return ScalarQuantizer(dim, bits=4)
     if key.startswith("opq"):
-        return OPQQuantizer(dim, m=int(key[3:]), train_seed=train_seed)
+        return OPQQuantizer(
+            dim, m=int(key[3:]), train_seed=train_seed, train_sample=train_sample,
+            train_workers=train_workers, train_algorithm=train_algorithm,
+        )
     if key.startswith("pq"):
-        return ProductQuantizer(dim, m=int(key[2:]), train_seed=train_seed)
+        return ProductQuantizer(
+            dim, m=int(key[2:]), train_seed=train_seed, train_sample=train_sample,
+            train_workers=train_workers, train_algorithm=train_algorithm,
+        )
     raise ValueError(f"unknown quantization scheme {scheme!r}")

@@ -1,5 +1,6 @@
 """Microbenchmark harnesses seeding the repo's perf trajectory (BENCH_*)."""
 
+from .build import run_benchmarks as run_build_benchmarks
 from .retrieval import run_benchmarks
 
-__all__ = ["run_benchmarks"]
+__all__ = ["run_benchmarks", "run_build_benchmarks"]

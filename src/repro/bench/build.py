@@ -1,0 +1,335 @@
+"""Index-construction benchmark: before/after wall-clock for the build path.
+
+The paper treats index construction as the expensive offline stage (§4.1:
+hours to weeks at their scales), and every repro experiment pays it before a
+single query runs. This harness times the optimised build pipeline
+(mini-batch K-means with chunked E-steps, parallel shard builds, sampled
+quantizer training, fingerprinted build cache) against the retained
+pre-optimisation reference paths, asserts quality parity (final K-means
+inertia and end-to-end recall@10), and writes ``BENCH_build.json``.
+
+Run it from the repo root::
+
+    python benchmarks/bench_build.py            # full run (50k x 64 corpus)
+    python benchmarks/bench_build.py --smoke    # seconds, for CI budgets
+
+or, once installed, via the console entry ``hermes-bench-build``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..ann.kmeans import kmeans, kmeans_minibatch, kmeans_reference
+from ..ann.quantization import ProductQuantizer
+from ..baselines.monolithic import MonolithicRetriever
+from ..core.build_cache import BuildCache, CacheStats, cached_cluster_datastore
+from ..core.clustering import cluster_datastore
+from ..core.config import HermesConfig
+from ..core.hierarchical import HermesSearcher
+from ..datastore.embeddings import make_corpus
+from ..datastore.queries import trivia_queries
+
+#: Quality-parity bounds (the issue's acceptance criteria): the optimised
+#: build's final K-means inertia must be within 5% of serial full Lloyd's,
+#: and end-to-end recall@10 must match within 2 points.
+INERTIA_RATIO_BOUND = 1.05
+RECALL_GAP_BOUND = 0.02
+#: End-to-end build speedup floor, asserted on full (non-smoke) runs.
+SPEEDUP_FLOOR = 3.0
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Workload sizes for one harness run."""
+
+    n_vectors: int = 50_000
+    dim: int = 64
+    n_clusters: int = 10
+    n_queries: int = 64
+    k: int = 10
+    #: K-means microbench shapes: (label, n, k) subproblems of the build.
+    kmeans_cases: tuple[tuple[str, int, int], ...] = (
+        ("split", 50_000, 10),
+        ("shard_coarse", 5_000, 71),
+    )
+    kmeans_repeats: int = 2
+    pq_train_rows: int = 50_000
+    pq_train_sample: int = 16_384
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "BenchSpec":
+        return cls(
+            n_vectors=4_000,
+            dim=32,
+            n_clusters=4,
+            n_queries=32,
+            k=5,
+            kmeans_cases=(("split", 4_000, 4), ("shard_coarse", 1_000, 31)),
+            kmeans_repeats=1,
+            pq_train_rows=4_000,
+            pq_train_sample=2_000,
+        )
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_kmeans(spec: BenchSpec, embeddings: np.ndarray) -> list[dict]:
+    """Reference vs chunked Lloyd's vs mini-batch on build-shaped problems."""
+    rows = []
+    for label, n, k in spec.kmeans_cases:
+        vecs = embeddings[:n]
+        ref = kmeans_reference(vecs, k, seed=spec.seed)
+        lloyd = kmeans(vecs, k, seed=spec.seed)
+        mb = kmeans_minibatch(vecs, k, seed=spec.seed)
+        ref_s = _best_of(lambda: kmeans_reference(vecs, k, seed=spec.seed), spec.kmeans_repeats)
+        lloyd_s = _best_of(lambda: kmeans(vecs, k, seed=spec.seed), spec.kmeans_repeats)
+        mb_s = _best_of(lambda: kmeans_minibatch(vecs, k, seed=spec.seed), spec.kmeans_repeats)
+        rows.append(
+            {
+                "case": label,
+                "n": n,
+                "k": k,
+                "reference_s": ref_s,
+                "lloyd_s": lloyd_s,
+                "minibatch_s": mb_s,
+                "lloyd_speedup": ref_s / lloyd_s,
+                "minibatch_speedup": ref_s / mb_s,
+                "lloyd_inertia_ratio": lloyd.inertia / ref.inertia,
+                "minibatch_inertia_ratio": mb.inertia / ref.inertia,
+            }
+        )
+    return rows
+
+
+def _bench_quantizer(spec: BenchSpec, embeddings: np.ndarray) -> dict:
+    """Full vs sampled PQ codebook training, with reconstruction parity."""
+    rows = embeddings[: spec.pq_train_rows]
+    probe = rows[: min(len(rows), 4_096)]
+
+    def recon_error(pq: ProductQuantizer) -> float:
+        return float(np.mean((pq.decode(pq.encode(probe)) - probe) ** 2))
+
+    full = ProductQuantizer(spec.dim, m=8, train_seed=spec.seed)
+    sampled = ProductQuantizer(
+        spec.dim, m=8, train_seed=spec.seed, train_sample=spec.pq_train_sample
+    )
+    full_s = _best_of(lambda: full.train(rows), 1)
+    sampled_s = _best_of(lambda: sampled.train(rows), 1)
+    return {
+        "scheme": "pq8",
+        "n_train": len(rows),
+        "train_sample": spec.pq_train_sample,
+        "full_s": full_s,
+        "sampled_s": sampled_s,
+        "speedup": full_s / sampled_s,
+        "recon_error_ratio": recon_error(sampled) / recon_error(full),
+    }
+
+
+def _recall_at_k(datastore, queries: np.ndarray, truth: np.ndarray, k: int) -> float:
+    searcher = HermesSearcher(datastore)
+    m = min(3, datastore.n_clusters)
+    result = searcher.search(queries, k=k, clusters_to_search=m)
+    hits = 0
+    for found, expected in zip(result.ids, truth):
+        hits += len(set(found[found >= 0]) & set(expected))
+    return hits / truth.size
+
+
+def _bench_datastore_build(spec: BenchSpec, corpus, queries) -> dict:
+    """End-to-end ``cluster_datastore``: reference knobs vs optimised knobs."""
+    base = HermesConfig(
+        n_clusters=spec.n_clusters,
+        clusters_to_search=min(3, spec.n_clusters),
+    )
+    ref_config = replace(
+        base, kmeans_algorithm="reference", build_workers=1, quantizer_train_sample=None
+    )
+    opt_config = base  # the defaults are the optimised pipeline
+
+    t0 = time.perf_counter()
+    ref_store = cluster_datastore(corpus.embeddings, ref_config)
+    before_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    opt_store = cluster_datastore(corpus.embeddings, opt_config)
+    after_s = time.perf_counter() - t0
+
+    mono = MonolithicRetriever(corpus.embeddings)
+    _, truth = mono.ground_truth(queries, spec.k)
+    recall_before = _recall_at_k(ref_store, queries, truth, spec.k)
+    recall_after = _recall_at_k(opt_store, queries, truth, spec.k)
+    inertia_ratio = opt_store.clustering.inertia / ref_store.clustering.inertia
+    return {
+        "n_vectors": spec.n_vectors,
+        "dim": spec.dim,
+        "n_clusters": spec.n_clusters,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "inertia_ratio": inertia_ratio,
+        "recall_before": recall_before,
+        "recall_after": recall_after,
+        "recall_gap": abs(recall_before - recall_after),
+        "quality_parity": bool(
+            inertia_ratio <= INERTIA_RATIO_BOUND
+            and abs(recall_before - recall_after) <= RECALL_GAP_BOUND
+        ),
+    }
+
+
+def _bench_cache(spec: BenchSpec, corpus) -> dict:
+    """Cold build-and-store vs warm load through the fingerprinted cache."""
+    config = HermesConfig(
+        n_clusters=spec.n_clusters, clusters_to_search=min(3, spec.n_clusters)
+    )
+    stats = CacheStats()
+    tmp = tempfile.mkdtemp(prefix="hermes-bench-cache-")
+    try:
+        cache = BuildCache(tmp, stats=stats)
+        t0 = time.perf_counter()
+        cached_cluster_datastore(corpus.embeddings, config, cache=cache, use_cache=True)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        cached_cluster_datastore(corpus.embeddings, config, cache=cache, use_cache=True)
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "stores": stats.stores,
+    }
+
+
+def run_benchmarks(
+    *, smoke: bool = False, out: "str | Path | None" = "BENCH_build.json"
+) -> dict:
+    """Run the full harness; returns (and optionally writes) the report.
+
+    Raises ``AssertionError`` when quality parity fails (any mode) or when a
+    full run misses the end-to-end speedup floor.
+    """
+    spec = BenchSpec.smoke() if smoke else BenchSpec()
+    corpus = make_corpus(
+        spec.n_vectors, n_topics=spec.n_clusters, dim=spec.dim, seed=spec.seed
+    )
+    queries = trivia_queries(corpus.topic_model, spec.n_queries).embeddings
+    report = {
+        "bench": "build",
+        "smoke": smoke,
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "n_vectors": spec.n_vectors,
+            "dim": spec.dim,
+            "n_clusters": spec.n_clusters,
+            "k": spec.k,
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "kmeans": _bench_kmeans(spec, corpus.embeddings),
+        "quantizer": _bench_quantizer(spec, corpus.embeddings),
+        "datastore_build": _bench_datastore_build(spec, corpus, queries),
+        "cache": _bench_cache(spec, corpus),
+    }
+    build = report["datastore_build"]
+    assert build["inertia_ratio"] <= INERTIA_RATIO_BOUND, (
+        f"optimised build inertia ratio {build['inertia_ratio']:.4f} exceeds "
+        f"{INERTIA_RATIO_BOUND}"
+    )
+    assert build["recall_gap"] <= RECALL_GAP_BOUND, (
+        f"recall@{spec.k} gap {build['recall_gap']:.4f} exceeds {RECALL_GAP_BOUND} "
+        f"(before={build['recall_before']:.4f}, after={build['recall_after']:.4f})"
+    )
+    assert build["quality_parity"]
+    cache = report["cache"]
+    assert (cache["misses"], cache["hits"], cache["stores"]) == (1, 1, 1), (
+        f"cache did not behave as cold-miss/warm-hit: {cache}"
+    )
+    if not smoke:
+        assert build["speedup"] >= SPEEDUP_FLOOR, (
+            f"end-to-end build speedup {build['speedup']:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor"
+        )
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _format_report(report: dict) -> str:
+    lines = [
+        f"build bench (smoke={report['smoke']}, "
+        f"n={report['meta']['n_vectors']}, dim={report['meta']['dim']}, "
+        f"clusters={report['meta']['n_clusters']}, cpus={report['meta']['cpu_count']})"
+    ]
+    for row in report["kmeans"]:
+        lines.append(
+            f"  kmeans {row['case']:<12s} n={row['n']:<6d} k={row['k']:<4d} "
+            f"ref={row['reference_s'] * 1e3:8.1f} ms "
+            f"lloyd={row['lloyd_s'] * 1e3:7.1f} ms ({row['lloyd_speedup']:5.2f}x, "
+            f"inertia x{row['lloyd_inertia_ratio']:.4f}) "
+            f"minibatch={row['minibatch_s'] * 1e3:7.1f} ms "
+            f"({row['minibatch_speedup']:5.2f}x, inertia x{row['minibatch_inertia_ratio']:.4f})"
+        )
+    q = report["quantizer"]
+    lines.append(
+        f"  {q['scheme']} training n={q['n_train']}: full={q['full_s'] * 1e3:.1f} ms "
+        f"sampled[{q['train_sample']}]={q['sampled_s'] * 1e3:.1f} ms "
+        f"({q['speedup']:.2f}x, recon-error x{q['recon_error_ratio']:.4f})"
+    )
+    b = report["datastore_build"]
+    lines.append(
+        f"  datastore build {b['n_vectors']}x{b['dim']} -> {b['n_clusters']} shards: "
+        f"before={b['before_s']:.2f} s after={b['after_s']:.2f} s "
+        f"(speedup {b['speedup']:.2f}x, inertia x{b['inertia_ratio']:.4f}, "
+        f"recall@{report['meta']['k']} {b['recall_before']:.3f} -> {b['recall_after']:.3f})"
+    )
+    c = report["cache"]
+    lines.append(
+        f"  build cache: cold={c['cold_s']:.2f} s warm={c['warm_s']:.2f} s "
+        f"({c['speedup']:.1f}x; {c['hits']} hit, {c['misses']} miss, {c['stores']} store)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes so the harness fits tier-1 CI time budgets",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_build.json",
+        help="report path (default: ./BENCH_build.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(smoke=args.smoke, out=args.out)
+    print(_format_report(report))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

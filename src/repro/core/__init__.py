@@ -5,6 +5,12 @@ sample-then-deep search, fleet scheduling, DVFS load balancing, and the
 end-to-end RAG pipeline facade.
 """
 
+from .build_cache import (
+    BuildCache,
+    CacheStats,
+    build_fingerprint,
+    cached_cluster_datastore,
+)
 from .clustering import (
     ClusteredDatastore,
     IndexShard,
@@ -47,6 +53,10 @@ from .store_io import load_datastore, save_datastore
 from .session import SessionTrace, StridedRAGSession, StrideStep
 
 __all__ = [
+    "BuildCache",
+    "CacheStats",
+    "build_fingerprint",
+    "cached_cluster_datastore",
     "ClusteredDatastore",
     "IndexShard",
     "assign_queries_to_shards",

@@ -22,7 +22,8 @@ import numpy as np
 
 from ..ann.distances import as_matrix, pairwise_distance
 from ..ann.ivf import IVFIndex
-from ..ann.kmeans import KMeansResult, kmeans_seed_sweep
+from ..ann.kmeans import KMeansResult, assign_to_centroids, kmeans_seed_sweep
+from ..ann.parallel import run_tasks
 from ..ann.quantization import make_quantizer
 from .config import HermesConfig
 
@@ -78,8 +79,15 @@ def _build_shard(
         config.metric,
         nlist=nlist,
         nprobe=config.deep_nprobe,
-        quantizer=make_quantizer(config.quantization, dim),
+        quantizer=make_quantizer(
+            config.quantization,
+            dim,
+            train_sample=config.quantizer_train_sample,
+            train_algorithm=config.kmeans_algorithm,
+        ),
         train_seed=shard_id,
+        kmeans_algorithm=config.kmeans_algorithm,
+        kmeans_batch_size=config.kmeans_batch_size,
     )
     index.train(members)
     index.add(members)
@@ -155,7 +163,7 @@ class ClusteredDatastore:
             raise ValueError(
                 f"dim {vecs.shape[1]} != datastore dim {self.shards[0].index.dim}"
             )
-        targets = pairwise_distance(vecs, self.centroids(), "l2").argmin(axis=1)
+        targets = assign_to_centroids(vecs, self.centroids(), "l2")
         start = self.ntotal
         new_ids = np.arange(start, start + len(vecs), dtype=np.int64)
         for shard_id in np.unique(targets):
@@ -206,7 +214,9 @@ def cluster_datastore(
 
     Runs the paper's seed sweep on a small subset to pick the K-means seed
     with the least cluster-size imbalance, then builds one IVF index per
-    resulting cluster.
+    resulting cluster. Shard builds are independent seeded subproblems, so
+    they fan out on a thread pool (``config.build_workers``) with bit-exact
+    results at any worker count.
     """
     config = config or HermesConfig()
     emb = as_matrix(embeddings)
@@ -215,15 +225,25 @@ def cluster_datastore(
         config.n_clusters,
         seeds=config.kmeans_seeds,
         subset_fraction=config.kmeans_subset_fraction,
+        algorithm=config.kmeans_algorithm,
+        batch_size=config.kmeans_batch_size,
+        workers=config.build_workers,
     )
-    shards = []
+    members_per_cluster = []
     for cid in range(config.n_clusters):
         member_ids = np.flatnonzero(result.assignments == cid).astype(np.int64)
         if not len(member_ids):
             raise RuntimeError(
                 f"cluster {cid} is empty after K-means; use fewer clusters"
             )
-        shards.append(_build_shard(cid, emb, member_ids, config))
+        members_per_cluster.append(member_ids)
+    shards = run_tasks(
+        [
+            lambda cid=cid, ids=ids: _build_shard(cid, emb, ids, config)
+            for cid, ids in enumerate(members_per_cluster)
+        ],
+        workers=config.build_workers,
+    )
     return ClusteredDatastore(
         shards=shards, config=config, clustering=result, assignments=result.assignments
     )
@@ -244,12 +264,19 @@ def split_datastore_evenly(
     if n < config.n_clusters:
         raise ValueError(f"need at least {config.n_clusters} documents, got {n}")
     order = np.random.default_rng(seed).permutation(n)
-    shards = []
     assignments = np.empty(n, dtype=np.int64)
+    members_per_cluster = []
     for cid, member_ids in enumerate(np.array_split(order, config.n_clusters)):
         member_ids = np.sort(member_ids).astype(np.int64)
         assignments[member_ids] = cid
-        shards.append(_build_shard(cid, emb, member_ids, config))
+        members_per_cluster.append(member_ids)
+    shards = run_tasks(
+        [
+            lambda cid=cid, ids=ids: _build_shard(cid, emb, ids, config)
+            for cid, ids in enumerate(members_per_cluster)
+        ],
+        workers=config.build_workers,
+    )
     return ClusteredDatastore(
         shards=shards, config=config, clustering=None, assignments=assignments
     )

@@ -53,6 +53,18 @@ class HermesConfig:
     kmeans_seeds: tuple[int, ...] = field(default=(0, 1, 2, 3, 4, 5, 6, 7))
     #: Subset fraction for the cheap imbalance-estimation runs (§4.1: 1-2%).
     kmeans_subset_fraction: float = 0.02
+    #: Threads for shard builds / seed-sweep trials (None = one per task up
+    #: to the host CPUs). Does not change results, only wall-clock.
+    build_workers: int | None = None
+    #: K-means variant for the split and the per-shard coarse centroids:
+    #: "auto" (mini-batch for large inputs), "lloyd", "minibatch", or the
+    #: retained pre-optimisation "reference" path.
+    kmeans_algorithm: str = "auto"
+    #: Mini-batch size when the mini-batch K-means path is taken.
+    kmeans_batch_size: int = 4096
+    #: Training-row cap for codebook quantizers (PQ/OPQ); None trains on the
+    #: full shard. Scalar quantizers always see every row.
+    quantizer_train_sample: int | None = 16_384
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0:
@@ -72,3 +84,15 @@ class HermesConfig:
             raise ValueError("kmeans_seeds must be non-empty")
         if not 0 < self.kmeans_subset_fraction <= 1:
             raise ValueError("kmeans_subset_fraction must be in (0, 1]")
+        if self.build_workers is not None and self.build_workers <= 0:
+            raise ValueError("build_workers must be positive (or None for auto)")
+        from ..ann.kmeans import ALGORITHMS
+
+        if self.kmeans_algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"kmeans_algorithm must be one of {ALGORITHMS}, got {self.kmeans_algorithm!r}"
+            )
+        if self.kmeans_batch_size <= 0:
+            raise ValueError("kmeans_batch_size must be positive")
+        if self.quantizer_train_sample is not None and self.quantizer_train_sample <= 0:
+            raise ValueError("quantizer_train_sample must be positive (or None)")

@@ -5,6 +5,7 @@ Layout::
     <dir>/manifest.json        # config + shard inventory
     <dir>/shard_<i>.npz        # one IVF index per cluster (ann.persistence)
     <dir>/assignments.npy      # per-document shard assignment
+    <dir>/clustering.npz       # K-means split result (semantic splits only)
 
 Mirrors the paper artifact's offline index-construction outputs so a built
 deployment can be constructed once and served many times.
@@ -18,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..ann.kmeans import KMeansResult
 from ..ann.persistence import load_index, save_ivf
 from .clustering import ClusteredDatastore, IndexShard
 from .config import HermesConfig
@@ -41,6 +43,15 @@ def save_datastore(datastore: ClusteredDatastore, directory: "str | Path") -> No
             {"shard_id": shard.shard_id, "file": filename, "size": len(shard)}
         )
     np.save(directory / "assignments.npy", datastore.assignments)
+    if datastore.clustering is not None:
+        np.savez_compressed(
+            directory / "clustering.npz",
+            centroids=datastore.clustering.centroids,
+            assignments=datastore.clustering.assignments,
+            inertia=np.float64(datastore.clustering.inertia),
+            n_iter=np.int64(datastore.clustering.n_iter),
+            seed=np.int64(datastore.clustering.seed),
+        )
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
 
 
@@ -67,6 +78,17 @@ def load_datastore(directory: "str | Path") -> ClusteredDatastore:
             )
         )
     assignments = np.load(directory / "assignments.npy")
+    clustering = None
+    clustering_path = directory / "clustering.npz"
+    if clustering_path.exists():
+        with np.load(clustering_path, allow_pickle=False) as data:
+            clustering = KMeansResult(
+                centroids=data["centroids"],
+                assignments=data["assignments"],
+                inertia=float(data["inertia"]),
+                n_iter=int(data["n_iter"]),
+                seed=int(data["seed"]),
+            )
     return ClusteredDatastore(
-        shards=shards, config=config, clustering=None, assignments=assignments
+        shards=shards, config=config, clustering=clustering, assignments=assignments
     )

@@ -21,7 +21,8 @@ from functools import lru_cache
 import numpy as np
 
 from ..baselines.monolithic import MonolithicRetriever
-from ..core.clustering import ClusteredDatastore, cluster_datastore, split_datastore_evenly
+from ..core.build_cache import cached_cluster_datastore
+from ..core.clustering import ClusteredDatastore, split_datastore_evenly
 from ..core.config import HermesConfig
 from ..datastore.embeddings import SyntheticCorpus, make_corpus, zipf_weights
 from ..datastore.queries import QuerySet, natural_questions_queries, trivia_queries
@@ -74,8 +75,13 @@ def nq_queries() -> QuerySet:
 
 @lru_cache(maxsize=4)
 def clustered_accuracy_datastore(config: HermesConfig | None = None) -> ClusteredDatastore:
-    """Hermes clustering of the shared corpus (memoised per config)."""
-    return cluster_datastore(accuracy_corpus().embeddings, config or HermesConfig())
+    """Hermes clustering of the shared corpus (memoised per config).
+
+    Builds go through the fingerprinted build cache, so re-running any
+    experiment with an identical config loads the datastore from disk
+    instead of re-clustering (disable with ``HERMES_BUILD_CACHE=0``).
+    """
+    return cached_cluster_datastore(accuracy_corpus().embeddings, config or HermesConfig())
 
 
 @lru_cache(maxsize=1)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import sys
 
+from ..core.build_cache import GLOBAL_STATS
 from ..metrics.reporting import format_table
 from . import (
     fig04,
@@ -136,6 +137,9 @@ def run_all(*, fast: bool = False, plots: bool = False, out=sys.stdout) -> None:
     fault_fig = fig_faults.to_figure(fault_points)
     w(fault_fig.render() + "\n")
     chart(fault_fig)
+
+    if GLOBAL_STATS.lookups:
+        w(f"\n{GLOBAL_STATS.summary()}\n")
 
 
 if __name__ == "__main__":

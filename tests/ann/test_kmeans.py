@@ -136,3 +136,113 @@ class TestAssignToCentroids:
         centroids = np.array([[1, 0], [0, 1]], dtype=np.float32)
         points = np.array([[0.9, 0.1]], dtype=np.float32)
         assert assign_to_centroids(points, centroids, metric="ip")[0] == 0
+
+
+class TestMiniBatch:
+    def test_quality_within_bound_of_full_lloyd(self):
+        from repro.ann.kmeans import kmeans_minibatch
+
+        data, _ = blobs(k=6, per=600, dim=16, scale=4.0, seed=20)
+        full = kmeans(data, 6, seed=0)
+        mb = kmeans_minibatch(data, 6, seed=0, batch_size=512)
+        assert mb.inertia <= full.inertia * 1.05
+
+    def test_falls_back_to_lloyd_for_small_inputs(self):
+        from repro.ann.kmeans import kmeans_minibatch
+
+        data, _ = blobs(k=3, per=50, seed=21)
+        full = kmeans(data, 3, seed=0)
+        mb = kmeans_minibatch(data, 3, seed=0, batch_size=10_000)
+        assert np.allclose(mb.centroids, full.centroids)
+        assert mb.inertia == pytest.approx(full.inertia)
+
+    def test_assignments_match_nearest_centroid(self):
+        from repro.ann.kmeans import kmeans_minibatch
+
+        data, _ = blobs(k=4, per=400, seed=22)
+        result = kmeans_minibatch(data, 4, seed=0, batch_size=256)
+        expected = assign_to_centroids(data, result.centroids)
+        assert np.array_equal(result.assignments, expected)
+
+    def test_deterministic_under_fixed_seed(self):
+        from repro.ann.kmeans import kmeans_minibatch
+
+        data, _ = blobs(k=4, per=400, seed=23)
+        a = kmeans_minibatch(data, 4, seed=7, batch_size=256)
+        b = kmeans_minibatch(data, 4, seed=7, batch_size=256)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.assignments, b.assignments)
+
+
+class TestTrainKMeans:
+    def test_rejects_unknown_algorithm(self):
+        from repro.ann.kmeans import train_kmeans
+
+        data, _ = blobs()
+        with pytest.raises(ValueError, match="algorithm"):
+            train_kmeans(data, 3, algorithm="annealing")
+
+    def test_auto_dispatches_on_threshold(self):
+        from repro.ann.kmeans import kmeans_minibatch, train_kmeans
+
+        data, _ = blobs(k=4, per=100, seed=24)
+        small = train_kmeans(data, 4, seed=0, minibatch_threshold=10_000)
+        assert np.allclose(small.centroids, kmeans(data, 4, seed=0).centroids)
+        large = train_kmeans(data, 4, seed=0, minibatch_threshold=10)
+        assert np.allclose(
+            large.centroids, kmeans_minibatch(data, 4, seed=0).centroids
+        )
+
+    def test_reference_path_preserved(self):
+        from repro.ann.kmeans import kmeans_reference, train_kmeans
+
+        data, _ = blobs(k=3, per=80, seed=25)
+        forced = train_kmeans(data, 3, seed=1, algorithm="reference")
+        direct = kmeans_reference(data, 3, seed=1)
+        assert np.array_equal(forced.assignments, direct.assignments)
+        assert forced.inertia == pytest.approx(direct.inertia)
+
+    def test_chunked_estep_matches_reference_lloyd(self):
+        from repro.ann.kmeans import kmeans_reference
+
+        data, _ = blobs(k=5, per=200, dim=12, seed=26)
+        chunked = kmeans(data, 5, seed=0, chunk_size=64)
+        whole = kmeans(data, 5, seed=0)
+        reference = kmeans_reference(data, 5, seed=0)
+        assert np.array_equal(chunked.assignments, whole.assignments)
+        assert chunked.inertia == pytest.approx(whole.inertia, rel=1e-5)
+        assert chunked.inertia == pytest.approx(reference.inertia, rel=1e-3)
+
+
+class TestSeedSweepDeterminism:
+    def test_tie_breaks_to_lowest_seed(self):
+        # Well-separated equal-size blobs: every seed recovers the perfect
+        # clustering, so all imbalances tie and the lowest seed must win
+        # regardless of the order seeds are listed or evaluated in.
+        data, _ = blobs(k=4, per=150, scale=12.0, seed=27)
+        for seeds in [(5, 3, 9), (9, 5, 3), (3, 9, 5)]:
+            swept = kmeans_seed_sweep(data, 4, seeds=seeds)
+            assert swept.seed == 3
+
+    def test_workers_do_not_change_winner(self):
+        data, _ = blobs(k=5, per=120, scale=2.0, seed=28)
+        serial = kmeans_seed_sweep(data, 5, seeds=(0, 1, 2, 3), workers=1)
+        threaded = kmeans_seed_sweep(data, 5, seeds=(0, 1, 2, 3), workers=4)
+        assert serial.seed == threaded.seed
+        assert np.array_equal(serial.centroids, threaded.centroids)
+        assert np.array_equal(serial.assignments, threaded.assignments)
+
+
+class TestChunkedAssign:
+    def test_chunking_invariant(self):
+        data, _ = blobs(k=6, per=100, seed=29)
+        centroids = kmeans(data, 6, seed=0).centroids
+        whole = assign_to_centroids(data, centroids)
+        chunked = assign_to_centroids(data, centroids, chunk_size=37)
+        assert np.array_equal(whole, chunked)
+
+    def test_chunk_size_validated(self):
+        data, _ = blobs()
+        centroids = data[:3]
+        with pytest.raises(ValueError, match="chunk_size"):
+            assign_to_centroids(data, centroids, chunk_size=0)

@@ -82,3 +82,81 @@ class TestErrors:
         np.savez(path, header='{"format": 999, "type": "flat"}')
         with pytest.raises(ValueError, match="format"):
             load_index(path)
+
+
+class TestScanStateRoundTrip:
+    """Format 3 persists the derived scan state, so a loaded index serves
+    its first search without recompaction or a decode pass (PR issue: the
+    load-then-search latency regression)."""
+
+    def _built(self, data, scheme):
+        index = IVFIndex(
+            16, "l2", nlist=8, nprobe=8, quantizer=make_quantizer(scheme, 16)
+        )
+        index.train(data)
+        index.add(data)
+        index.compact()
+        return index
+
+    @pytest.mark.parametrize("scheme", ["sq8", "pq4"])
+    def test_loaded_index_is_compacted(self, scheme, data, tmp_path):
+        index = self._built(data, scheme)
+        path = tmp_path / "idx.npz"
+        save_ivf(index, path)
+        loaded = load_index(path)
+        assert loaded.is_compacted
+        assert loaded._code_cells is not None
+
+    @pytest.mark.parametrize("scheme", ["sq8", "pq4"])
+    def test_first_search_triggers_no_compaction(self, scheme, data, queries, tmp_path):
+        index = self._built(data, scheme)
+        path = tmp_path / "idx.npz"
+        save_ivf(index, path)
+        loaded = load_index(path)
+        before = loaded.compactions
+        loaded.search(queries, 5)
+        assert loaded.compactions == before
+
+    def test_code_sqnorms_persisted_for_adc_l2(self, data, queries, tmp_path):
+        # SQ under L2 needs per-code squared norms -- an expensive full
+        # decode pass if recomputed; the save must carry them. (PQ embeds
+        # the norm terms in its per-query ADC tables instead.)
+        index = self._built(data, "sq8")
+        index.search(queries, 5)  # materialise the norms
+        path = tmp_path / "idx.npz"
+        save_ivf(index, path)
+        loaded = load_index(path)
+        assert loaded._code_sqnorms is not None
+        assert np.allclose(loaded._code_sqnorms, index._code_sqnorms)
+
+    def test_save_computes_missing_sqnorms(self, data, tmp_path):
+        # Saving right after build (norms never materialised) must still
+        # persist them rather than leaving the cost to the loader.
+        index = self._built(data, "sq8")
+        assert index._code_sqnorms is None
+        save_ivf(index, tmp_path / "idx.npz")
+        loaded = load_index(tmp_path / "idx.npz")
+        assert loaded._code_sqnorms is not None
+
+    def test_format2_files_still_load(self, data, queries, tmp_path):
+        import json
+
+        from repro.ann import persistence
+
+        index = self._built(data, "sq8")
+        path = tmp_path / "v2.npz"
+        save_ivf(index, path)
+        # Rewrite the file as a format-2 payload (no derived scan state).
+        with np.load(path, allow_pickle=False) as saved:
+            arrays = {name: saved[name] for name in saved.files}
+        header = json.loads(str(arrays["header"]))
+        header["format"] = 2
+        arrays["header"] = json.dumps(header)
+        arrays.pop("code_sqnorms", None)
+        np.savez_compressed(path, **arrays)
+        assert persistence.FORMAT_VERSION >= 3
+        loaded = load_index(path)
+        d0, i0 = index.search(queries, 5)
+        d1, i1 = loaded.search(queries, 5)
+        assert np.array_equal(i0, i1)
+        assert np.allclose(d0, d1)

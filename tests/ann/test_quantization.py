@@ -151,3 +151,75 @@ class TestFactory:
     def test_unknown_scheme_raises(self):
         with pytest.raises(ValueError, match="unknown quantization"):
             make_quantizer("dct", 16)
+
+
+class TestSampledTraining:
+    """PQ/OPQ codebooks train on a bounded deterministic sample; the sample
+    size must not change the API contract and must stay reproducible."""
+
+    def _rows(self, n=6000, dim=16, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(scale=3.0, size=(16, dim))
+        return (
+            centers[rng.integers(0, 16, size=n)] + rng.normal(size=(n, dim))
+        ).astype(np.float32)
+
+    def test_sampled_training_deterministic(self):
+        from repro.ann.quantization import ProductQuantizer
+
+        rows = self._rows()
+        a = ProductQuantizer(16, m=4, train_seed=5, train_sample=2000)
+        b = ProductQuantizer(16, m=4, train_seed=5, train_sample=2000)
+        a.train(rows)
+        b.train(rows)
+        assert np.array_equal(a._codebooks, b._codebooks)
+
+    def test_sampled_quality_close_to_full(self):
+        from repro.ann.quantization import ProductQuantizer
+
+        rows = self._rows()
+        full = ProductQuantizer(16, m=4, train_seed=0)
+        sampled = ProductQuantizer(16, m=4, train_seed=0, train_sample=3000)
+        full.train(rows)
+        sampled.train(rows)
+        probe = rows[:1024]
+
+        def err(pq):
+            return float(np.mean((pq.decode(pq.encode(probe)) - probe) ** 2))
+
+        assert err(sampled) <= err(full) * 1.25
+
+    def test_sample_larger_than_data_is_noop(self):
+        from repro.ann.quantization import ProductQuantizer
+
+        rows = self._rows(n=1000)
+        capped = ProductQuantizer(16, m=4, train_seed=0, train_sample=50_000)
+        full = ProductQuantizer(16, m=4, train_seed=0)
+        capped.train(rows)
+        full.train(rows)
+        assert np.array_equal(capped._codebooks, full._codebooks)
+
+    def test_train_workers_bit_exact(self):
+        from repro.ann.quantization import ProductQuantizer
+
+        rows = self._rows(n=2000)
+        serial = ProductQuantizer(16, m=4, train_seed=0, train_workers=1)
+        threaded = ProductQuantizer(16, m=4, train_seed=0, train_workers=4)
+        serial.train(rows)
+        threaded.train(rows)
+        assert np.array_equal(serial._codebooks, threaded._codebooks)
+
+    def test_opq_sampled_training(self):
+        from repro.ann.quantization import OPQQuantizer
+
+        rows = self._rows(n=3000)
+        opq = OPQQuantizer(16, m=4, train_seed=0, train_sample=1500)
+        opq.train(rows)
+        codes = opq.encode(rows[:64])
+        assert opq.decode(codes).shape == (64, 16)
+
+    def test_invalid_train_sample_rejected(self):
+        from repro.ann.quantization import ProductQuantizer
+
+        with pytest.raises(ValueError, match="train_sample"):
+            ProductQuantizer(16, m=4, train_sample=0)

@@ -1,0 +1,40 @@
+"""The build bench harness: smoke-sized in CI, full-sized under -m bench."""
+
+import json
+
+import pytest
+
+from repro.bench.build import BenchSpec, run_benchmarks
+
+
+def test_smoke_report_structure(tmp_path):
+    out = tmp_path / "BENCH_build.json"
+    report = run_benchmarks(smoke=True, out=out)
+    assert report["smoke"] is True
+    assert json.loads(out.read_text())["bench"] == "build"
+    cases = {row["case"] for row in report["kmeans"]}
+    assert cases == {"split", "shard_coarse"}
+    for row in report["kmeans"]:
+        assert row["reference_s"] > 0 and row["lloyd_s"] > 0
+    # run_benchmarks itself asserts the quality-parity fields; reaching
+    # here means inertia ratio and recall gap passed at smoke size too.
+    build = report["datastore_build"]
+    assert build["quality_parity"] is True
+    assert build["inertia_ratio"] <= 1.05
+    assert build["recall_gap"] <= 0.02
+    cache = report["cache"]
+    assert (cache["misses"], cache["hits"], cache["stores"]) == (1, 1, 1)
+
+
+def test_smoke_spec_is_small():
+    spec = BenchSpec.smoke()
+    assert spec.n_vectors <= 5_000
+    assert spec.kmeans_repeats == 1
+
+
+@pytest.mark.bench
+def test_full_bench_meets_speedup_targets(tmp_path):
+    """The PR's acceptance thresholds, checked at full size (slow)."""
+    report = run_benchmarks(smoke=False, out=tmp_path / "BENCH_build.json")
+    assert report["datastore_build"]["speedup"] >= 3.0
+    assert report["cache"]["speedup"] >= 2.0

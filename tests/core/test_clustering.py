@@ -99,3 +99,53 @@ class TestErrorPaths:
         config = HermesConfig(n_clusters=3, clusters_to_search=2)
         ds = cluster_datastore(emb, config)
         assert ds.ntotal == 30
+
+
+class TestParallelBuilds:
+    """Shard builds and seed-sweep trials are independently seeded, so the
+    worker count must never change the built artifact."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, small_corpus):
+        return small_corpus.embeddings[:1500]
+
+    def _configs(self):
+        base = HermesConfig(n_clusters=4, clusters_to_search=2)
+        from dataclasses import replace
+
+        return replace(base, build_workers=1), replace(base, build_workers=4)
+
+    def test_clustered_bit_exact_across_workers(self, corpus):
+        serial_cfg, threaded_cfg = self._configs()
+        serial = cluster_datastore(corpus, serial_cfg)
+        threaded = cluster_datastore(corpus, threaded_cfg)
+        assert np.array_equal(serial.assignments, threaded.assignments)
+        for a, b in zip(serial.shards, threaded.shards):
+            assert np.array_equal(a.global_ids, b.global_ids)
+            assert np.array_equal(a.centroid, b.centroid)
+            a.index.compact()
+            b.index.compact()
+            assert np.array_equal(a.index._codes, b.index._codes)
+            assert np.array_equal(a.index._ids, b.index._ids)
+
+    def test_split_bit_exact_across_workers(self, corpus):
+        serial_cfg, threaded_cfg = self._configs()
+        serial = split_datastore_evenly(corpus, serial_cfg, seed=3)
+        threaded = split_datastore_evenly(corpus, threaded_cfg, seed=3)
+        assert np.array_equal(serial.assignments, threaded.assignments)
+        for a, b in zip(serial.shards, threaded.shards):
+            a.index.compact()
+            b.index.compact()
+            assert np.array_equal(a.index._codes, b.index._codes)
+
+    def test_add_documents_chunked_routing(self, small_corpus):
+        config = HermesConfig(n_clusters=4, clusters_to_search=2)
+        datastore = cluster_datastore(small_corpus.embeddings[:1200], config)
+        from repro.ann.kmeans import assign_to_centroids
+
+        new = small_corpus.embeddings[1200:1300]
+        expected = assign_to_centroids(new, datastore.centroids(), "l2")
+        before = datastore.ntotal
+        ids = datastore.add_documents(new)
+        assert np.array_equal(datastore.assignments[before:], expected)
+        assert len(ids) == 100

@@ -13,7 +13,7 @@ class TestParser:
         )
         commands = set(sub.choices)
         assert commands == {
-            "build-index", "accuracy", "profile", "multinode",
+            "build", "build-index", "accuracy", "profile", "multinode",
             "serve-sim", "faults", "reproduce",
         }
 
@@ -92,3 +92,30 @@ class TestModelCommands:
         payload = json.loads(open(out_path).read())
         assert payload["figure"] == "fig_faults"
         assert len(payload["points"]) == 2
+
+
+class TestBuildCommand:
+    def test_build_reports_cache_stats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = [
+            "build", "--docs", "600", "--clusters", "3", "--dim", "16",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "1 miss(es)" in cold and "1 store(s)" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "1 hit(s)" in warm and "0 miss(es)" in warm
+
+    def test_build_no_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "build", "--docs", "600", "--clusters", "3", "--dim", "16",
+            "--no-cache", "--out", str(tmp_path / "store"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "build-cache: disabled" in out
+        assert (tmp_path / "store" / "manifest.json").exists()
