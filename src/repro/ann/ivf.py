@@ -33,6 +33,8 @@ import math
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .base import VectorIndex, register_index
 from .distances import pairwise_distance, top_k
 from .kmeans import assign_to_centroids, train_kmeans
@@ -158,6 +160,10 @@ class IVFIndex(VectorIndex):
         """
         if self._codes is not None and not self._dirty:
             return
+        with get_tracer().span("ivf_compact", nlist=self.nlist, ntotal=self.ntotal):
+            self._compact_now()
+
+    def _compact_now(self) -> None:
         parts_codes: list[np.ndarray] = []
         parts_ids: list[np.ndarray] = []
         sizes = np.zeros(self.nlist, dtype=np.int64)
@@ -287,12 +293,27 @@ class IVFIndex(VectorIndex):
         # loop costs the probed work plus fixed per-cell overhead. How the
         # two per-element costs compare is a property of the codec.
         pair_work = int(sizes[probe_cells].sum())
-        if self.quantizer.adc_dense_advantage * pair_work >= nq * n_codes:
-            out_d, out_i, valid = self._scan_dense(q, k, probe_cells, use_adc, table, norms)
-        else:
-            out_d, out_i, valid = self._scan_sparse(
-                q, k, probe, probe_cells, use_adc, table, norms
-            )
+        dense = self.quantizer.adc_dense_advantage * pair_work >= nq * n_codes
+        strategy = "dense" if dense else "sparse"
+        get_registry().counter(
+            "ivf_scans_total", "IVF batched scans by strategy"
+        ).inc(strategy=strategy)
+        with get_tracer().span(
+            "ivf_scan",
+            strategy=strategy,
+            nq=nq,
+            nprobe=probe,
+            pair_work=pair_work,
+            adc=bool(use_adc),
+        ):
+            if dense:
+                out_d, out_i, valid = self._scan_dense(
+                    q, k, probe_cells, use_adc, table, norms
+                )
+            else:
+                out_d, out_i, valid = self._scan_sparse(
+                    q, k, probe, probe_cells, use_adc, table, norms
+                )
         if use_adc:
             bias = table.get("bias")
             if bias is not None:

@@ -34,6 +34,7 @@ from ..ann.quantization import make_quantizer
 from ..core.clustering import split_datastore_evenly
 from ..core.config import HermesConfig
 from ..core.hierarchical import HermesSearcher
+from ..obs.trace import disable_tracing, enable_tracing
 
 
 @dataclass(frozen=True)
@@ -230,6 +231,49 @@ def _bench_hierarchical(spec: BenchSpec, data, queries) -> dict:
     }
 
 
+def _bench_tracing(spec: BenchSpec, data, queries) -> dict:
+    """Tracing-overhead check on the IVF-SQ8 deep-search operating point.
+
+    Times the same batched search with the tracer disabled (the default: all
+    instrumentation collapses to a shared null context) and enabled, so the
+    report shows what the observability layer costs in each mode. The
+    acceptance bar is <5% overhead with tracing *disabled* relative to an
+    uninstrumented build — visible here as ``disabled_s`` tracking the
+    ``ivf_sq8`` ``after_s`` rows, which exercise the identical code path.
+    """
+    index = IVFIndex(
+        spec.dim,
+        "l2",
+        nlist=spec.nlist,
+        nprobe=spec.nprobe,
+        quantizer=make_quantizer("sq8", spec.dim),
+    )
+    index.train(data[: spec.n_train])
+    index.add(data)
+    index.compact()
+    batch = max(spec.batches)
+    q = queries[:batch]
+    repeats = max(spec.repeats, 3)
+    disabled = _best_of(lambda: index.search(q, spec.k), repeats)
+    tracer = enable_tracing()
+    try:
+
+        def traced() -> None:
+            tracer.clear()  # keep the span list from growing across repeats
+            index.search(q, spec.k)
+
+        enabled = _best_of(traced, repeats)
+    finally:
+        disable_tracing()
+    return {
+        "index": "ivf_sq8",
+        "batch": batch,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "enabled_overhead": enabled / disabled - 1.0,
+    }
+
+
 def run_benchmarks(
     *, smoke: bool = False, out: "str | Path | None" = "BENCH_retrieval.json"
 ) -> dict:
@@ -252,6 +296,7 @@ def run_benchmarks(
         },
         "single_index": _bench_single_indices(spec, data, queries, "l2"),
         "hierarchical": _bench_hierarchical(spec, data, queries),
+        "tracing": _bench_tracing(spec, data, queries),
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -284,6 +329,13 @@ def _format_report(report: dict) -> str:
         f"seq={h['after_sequential_s'] * 1e3:.2f} ms "
         f"threaded={h['after_threaded_s'] * 1e3:.2f} ms "
         f"(speedup {h['speedup']:.2f}x, threading {h['threading_speedup']:.2f}x)"
+    )
+    t = report["tracing"]
+    lines.append(
+        f"  tracing {t['index']} batch={t['batch']}: "
+        f"disabled={t['disabled_s'] * 1e3:.2f} ms "
+        f"enabled={t['enabled_s'] * 1e3:.2f} ms "
+        f"(enabled overhead {t['enabled_overhead']:+.1%})"
     )
     return "\n".join(lines)
 

@@ -12,6 +12,7 @@ reproduction::
     hermes-repro multinode --tokens 1e12 --clusters 10 --batch 128 --dvfs enhanced
     hermes-repro serve-sim --tokens 1e10 --batches 16
     hermes-repro faults --killed 0 1 2 3 --out faults.json
+    hermes-repro trace retrieval --out trace.json
     hermes-repro reproduce --fast
 
 Every subcommand is also reachable as ``python -m repro.cli <cmd>``.
@@ -233,6 +234,27 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments import tracing
+
+    run = tracing.run(args.experiment, seed=args.seed)
+    out = args.out or f"trace-{args.experiment}.json"
+    path = run.write(out)
+    print(
+        f"traced {args.experiment}: {len(run.roots)} root span(s), "
+        f"{run.n_spans} total, invariants OK"
+    )
+    print(f"chrome trace -> {path} (open in chrome://tracing or ui.perfetto.dev)")
+    print()
+    print(run.breakdown())
+    if args.metrics and run.metrics:
+        print()
+        print("metrics:")
+        for name, value in sorted(run.metrics.items()):
+            print(f"  {name} = {value:g}")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.runner import run_all
 
@@ -327,6 +349,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="write the JSON artifact here")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "trace", help="run a seeded traced experiment and export a Chrome trace"
+    )
+    p.add_argument(
+        "experiment",
+        choices=("retrieval", "generation", "serve-sim", "e2e"),
+        help="which pipeline slice to trace",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", default=None, help="artifact path (default trace-<experiment>.json)"
+    )
+    p.add_argument(
+        "--metrics", action="store_true", help="also print the metrics snapshot"
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("reproduce", help="regenerate every paper table/figure")
     p.add_argument("--fast", action="store_true")

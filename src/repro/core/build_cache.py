@@ -40,6 +40,8 @@ import numpy as np
 
 from ..ann.distances import as_matrix
 from ..ann.persistence import FORMAT_VERSION
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .clustering import ClusteredDatastore, cluster_datastore
 from .config import HermesConfig
 from .store_io import load_datastore, save_datastore
@@ -178,15 +180,27 @@ def cached_cluster_datastore(
         return cluster_datastore(embeddings, config)
     if cache is None:
         cache = BuildCache()
+    lookups = get_registry().counter(
+        "build_cache_lookups_total", "fingerprinted build-cache lookups by result"
+    )
     key = build_fingerprint(embeddings, config)
-    datastore = cache.load(key)
-    if datastore is not None:
-        cache.stats.hits += 1
-        logger.info("build-cache hit %s (%s)", key, cache.entry_path(key))
-        datastore.config = config
-        return datastore
-    cache.stats.misses += 1
+    with get_tracer().span("build_cache_lookup", key=key) as span:
+        datastore = cache.load(key)
+        if datastore is not None:
+            span.set(result="hit")
+            lookups.inc(result="hit")
+            cache.stats.hits += 1
+            logger.info("build-cache hit %s (%s)", key, cache.entry_path(key))
+            datastore.config = config
+            return datastore
+        span.set(result="miss")
+        lookups.inc(result="miss")
+        cache.stats.misses += 1
     logger.info("build-cache miss %s; building", key)
     datastore = cluster_datastore(embeddings, config)
-    cache.store(key, datastore)
+    with get_tracer().span("build_cache_store", key=key):
+        cache.store(key, datastore)
+        get_registry().counter(
+            "build_cache_stores_total", "datastores published into the build cache"
+        ).inc()
     return datastore

@@ -25,6 +25,7 @@ from ..ann.ivf import IVFIndex
 from ..ann.kmeans import KMeansResult, assign_to_centroids, kmeans_seed_sweep
 from ..ann.parallel import run_tasks
 from ..ann.quantization import make_quantizer
+from ..obs.trace import get_tracer
 from .config import HermesConfig
 
 
@@ -220,33 +221,72 @@ def cluster_datastore(
     """
     config = config or HermesConfig()
     emb = as_matrix(embeddings)
-    result = kmeans_seed_sweep(
-        emb,
-        config.n_clusters,
-        seeds=config.kmeans_seeds,
-        subset_fraction=config.kmeans_subset_fraction,
-        algorithm=config.kmeans_algorithm,
-        batch_size=config.kmeans_batch_size,
-        workers=config.build_workers,
-    )
-    members_per_cluster = []
-    for cid in range(config.n_clusters):
-        member_ids = np.flatnonzero(result.assignments == cid).astype(np.int64)
-        if not len(member_ids):
-            raise RuntimeError(
-                f"cluster {cid} is empty after K-means; use fewer clusters"
+    tracer = get_tracer()
+    with tracer.span(
+        "build_datastore", strategy="semantic", docs=len(emb), clusters=config.n_clusters
+    ) as build_span:
+        with tracer.span(
+            "kmeans_seed_sweep",
+            seeds=len(tuple(config.kmeans_seeds)),
+            subset_fraction=config.kmeans_subset_fraction,
+        ):
+            result = kmeans_seed_sweep(
+                emb,
+                config.n_clusters,
+                seeds=config.kmeans_seeds,
+                subset_fraction=config.kmeans_subset_fraction,
+                algorithm=config.kmeans_algorithm,
+                batch_size=config.kmeans_batch_size,
+                workers=config.build_workers,
             )
-        members_per_cluster.append(member_ids)
-    shards = run_tasks(
-        [
-            lambda cid=cid, ids=ids: _build_shard(cid, emb, ids, config)
-            for cid, ids in enumerate(members_per_cluster)
-        ],
-        workers=config.build_workers,
-    )
+        members_per_cluster = []
+        for cid in range(config.n_clusters):
+            member_ids = np.flatnonzero(result.assignments == cid).astype(np.int64)
+            if not len(member_ids):
+                raise RuntimeError(
+                    f"cluster {cid} is empty after K-means; use fewer clusters"
+                )
+            members_per_cluster.append(member_ids)
+        shards = _build_shards_traced(emb, members_per_cluster, config, build_span)
     return ClusteredDatastore(
         shards=shards, config=config, clustering=result, assignments=result.assignments
     )
+
+
+def _build_shards_traced(
+    emb: np.ndarray,
+    members_per_cluster: list,
+    config: HermesConfig,
+    parent,
+) -> list:
+    """Fan the per-shard builds out on a pool, one span per shard.
+
+    Shard builds run on pool threads, so their spans take an explicit parent
+    (thread-local nesting does not cross the pool boundary) and a distinct
+    ``worker`` label — parallel builds legitimately overlap in time.
+    """
+    tracer = get_tracer()
+    with tracer.span(
+        "build_shards", parent=parent, shards=len(members_per_cluster)
+    ) as fan_span:
+
+        def build_one(cid: int, ids: np.ndarray):
+            with tracer.span(
+                "build_shard",
+                parent=fan_span,
+                worker=f"builder{cid}",
+                shard=cid,
+                docs=len(ids),
+            ):
+                return _build_shard(cid, emb, ids, config)
+
+        return run_tasks(
+            [
+                lambda cid=cid, ids=ids: build_one(cid, ids)
+                for cid, ids in enumerate(members_per_cluster)
+            ],
+            workers=config.build_workers,
+        )
 
 
 def split_datastore_evenly(
@@ -270,13 +310,10 @@ def split_datastore_evenly(
         member_ids = np.sort(member_ids).astype(np.int64)
         assignments[member_ids] = cid
         members_per_cluster.append(member_ids)
-    shards = run_tasks(
-        [
-            lambda cid=cid, ids=ids: _build_shard(cid, emb, ids, config)
-            for cid, ids in enumerate(members_per_cluster)
-        ],
-        workers=config.build_workers,
-    )
+    with get_tracer().span(
+        "build_datastore", strategy="split", docs=n, clusters=config.n_clusters
+    ) as build_span:
+        shards = _build_shards_traced(emb, members_per_cluster, config, build_span)
     return ClusteredDatastore(
         shards=shards, config=config, clustering=None, assignments=assignments
     )

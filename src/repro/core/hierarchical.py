@@ -52,6 +52,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ann.distances import as_matrix
+from ..obs.metrics import get_registry
+from ..obs.trace import Span, Tracer, get_tracer
 from .clustering import ClusteredDatastore
 from .config import HermesConfig
 from .errors import (
@@ -150,7 +152,13 @@ class ShardHealth:
         with self._lock:
             self._consecutive[shard_id] += 1
             if self._consecutive[shard_id] >= self.threshold:
+                newly_open = self._open_for[shard_id] == 0
                 self._open_for[shard_id] = self.cooldown
+                if newly_open:
+                    get_registry().counter(
+                        "retrieval_breaker_trips_total",
+                        "circuit-breaker open transitions",
+                    ).inc(shard=shard_id)
 
     def consecutive_failures(self, shard_id: int) -> int:
         return int(self._consecutive[self._check(shard_id)])
@@ -181,6 +189,12 @@ class ShardCallStats:
     ``attempts`` counts issued requests including hedges, so
     ``queries * attempts`` is the work the perfmodel should charge; a
     healthy un-hedged shard has ``attempts == 1``.
+
+    ``latency_s`` is *attempt* time — the time requests to this shard were
+    actually in flight, summed across retries — and deliberately excludes
+    retry backoff sleeps; ``wall_s`` is the full wall-clock window from
+    first attempt to final outcome, backoffs included. The two are equal
+    for a shard that succeeded on its first attempt.
     """
 
     shard_id: int
@@ -189,6 +203,7 @@ class ShardCallStats:
     latency_s: float
     hedged: bool = False
     outcome: str = "ok"
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -210,6 +225,10 @@ class SearchResult:
     failed_shards: tuple = ()
     #: per-shard latency / attempt / outcome accounting
     shard_stats: tuple = ()
+    #: root :class:`~repro.obs.trace.Span` of this batch's trace, populated
+    #: when the search ran under an enabled tracer (``trace=True`` or a
+    #: process-wide tracer via :func:`repro.obs.enable_tracing`)
+    trace: "Span | None" = None
 
     @property
     def batch_size(self) -> int:
@@ -244,6 +263,9 @@ class HierarchicalSearcher:
         max_workers: int | None = None,
         policy: RetrievalPolicy | None = None,
         health: ShardHealth | None = None,
+        tracer: "Tracer | None" = None,
+        clock=None,
+        sleep=None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -259,6 +281,12 @@ class HierarchicalSearcher:
                 cooldown=policy.breaker_cooldown,
             )
         self.health = health
+        #: explicit tracer override; ``None`` defers to the process-wide one
+        self.tracer = tracer
+        # Injectable time sources (deterministic latency-accounting tests);
+        # production uses the monotonic wall clock and real sleeps.
+        self._clock = clock if clock is not None else time.perf_counter
+        self._sleep = sleep if sleep is not None else time.sleep
 
     # -- exclude validation -------------------------------------------------
     def _validated_exclude(self, exclude_clusters) -> frozenset:
@@ -338,13 +366,23 @@ class HierarchicalSearcher:
         attempt,
         policy: RetrievalPolicy,
         executor: ThreadPoolExecutor | None,
+        tracer: "Tracer | None" = None,
     ):
         """Run one shard's deep search under the retry/deadline/hedge policy.
 
         Returns ``(value_or_None, ShardCallStats)``; never raises — a
         failed shard degrades the batch instead of aborting it.
+
+        Each attempt is timed individually *inside* the retry loop, so the
+        reported ``latency_s`` is time requests were in flight — retry
+        backoff sleeps land only in ``wall_s``. (Timing the whole loop with
+        one clock-pair straddles the sleeps and inflates shard latencies by
+        the full backoff schedule.)
         """
-        t0 = time.perf_counter()
+        clock = self._clock
+        tracer = tracer if tracer is not None else get_tracer()
+        t0 = clock()
+        busy = 0.0
         attempts = 0
         hedges = 0
         outcome = "ok"
@@ -353,20 +391,30 @@ class HierarchicalSearcher:
         while True:
             attempts += 1
             meta = {"hedges": 0}
+            attempt_start = clock()
             try:
-                if executor is None:
-                    value = attempt()
-                else:
-                    value = self._attempt_with_deadline(
-                        shard_id, attempt, policy, executor, meta
-                    )
-                break
+                # Inner try/finally times exactly the in-flight attempt: the
+                # backoff sleep below runs in the except handler, after the
+                # finally has already banked this attempt's interval.
+                try:
+                    with tracer.span("attempt", try_index=attempts):
+                        if executor is None:
+                            value = attempt()
+                        else:
+                            value = self._attempt_with_deadline(
+                                shard_id, attempt, policy, executor, meta
+                            )
+                    break
+                finally:
+                    busy += clock() - attempt_start
+                    hedges += meta["hedges"]
             except TransientShardError:
                 if attempts >= policy.max_attempts:
                     outcome = "transient-exhausted"
                     break
                 if backoff > 0:
-                    time.sleep(backoff)
+                    with tracer.span("backoff", seconds=backoff):
+                        self._sleep(backoff)
                     backoff *= 2
             except ShardTimeoutError:
                 outcome = "timeout"
@@ -380,17 +428,30 @@ class HierarchicalSearcher:
             except Exception:  # noqa: BLE001 — degrade, never abort the batch
                 outcome = "error"
                 break
-            finally:
-                hedges += meta["hedges"]
         stats = ShardCallStats(
             shard_id=shard_id,
             queries=n_queries,
             # hedged duplicates are issued requests: charge them as attempts
             attempts=attempts + hedges,
-            latency_s=time.perf_counter() - t0,
+            latency_s=busy,
             hedged=hedges > 0,
             outcome=outcome,
+            wall_s=clock() - t0,
         )
+        registry = get_registry()
+        if attempts > 1:
+            registry.counter(
+                "retrieval_retries_total",
+                "transient-error retries issued by the deep-search fan-out",
+            ).inc(attempts - 1)
+        if hedges:
+            registry.counter(
+                "retrieval_hedges_total", "hedged duplicate shard requests"
+            ).inc(hedges)
+        registry.histogram(
+            "retrieval_shard_latency_seconds",
+            "per-shard in-flight deep-search time (excludes backoff sleeps)",
+        ).observe(stats.latency_s, outcome=outcome)
         return (value if outcome == "ok" else None), stats
 
     # -- the search itself --------------------------------------------------
@@ -404,8 +465,17 @@ class HierarchicalSearcher:
         exclude_clusters: "frozenset | set | None" = None,
         deep_patience: int | None = None,
         parallel: bool | None = None,
+        trace: bool = False,
     ) -> SearchResult:
         """Route then deep-search a query batch; returns global top-k.
+
+        ``trace=True`` opts this batch into span tracing even when no
+        process-wide tracer is enabled: the returned
+        :attr:`SearchResult.trace` carries the batch's span tree
+        (``retrieval`` → ``route`` / ``deep_search`` / ``merge``, with
+        per-shard children). When a tracer is already active (searcher
+        ``tracer=`` or :func:`repro.obs.enable_tracing`), spans are always
+        recorded there and ``trace`` is implied.
 
         ``exclude_clusters`` marks failed/unreachable nodes: their shards are
         neither sampled nor deep-searched, so the system degrades to the
@@ -441,10 +511,28 @@ class HierarchicalSearcher:
             raise ValueError(f"deep_nprobe must be positive, got {nprobe}")
         n_shards = self.datastore.n_clusters
         user_exclude = self._validated_exclude(exclude_clusters)
+        nq = len(q)
+
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        if trace and not tracer.enabled:
+            # Per-call opt-in: a private tracer so the caller gets a span
+            # tree on the result without turning on process-wide tracing.
+            tracer = Tracer(clock=self._clock)
+        registry = get_registry()
+        clock = self._clock
+        batch_start = clock()
+        latency = registry.histogram(
+            "retrieval_latency_seconds",
+            "hierarchical search phase latency (route/deep/merge/total)",
+        )
 
         if self.health is not None:
             self.health.tick()
             breaker_open = self.health.open_shards()
+            registry.gauge(
+                "retrieval_breaker_open_shards",
+                "shards currently auto-excluded by their circuit breaker",
+            ).set(len(breaker_open))
         else:
             breaker_open = frozenset()
         exclude = user_exclude | breaker_open
@@ -454,7 +542,67 @@ class HierarchicalSearcher:
                 f"{len(breaker_open)} by open circuit breakers)"
             )
 
-        routing = self.router.route(q, self.datastore, m, exclude=exclude)
+        root = tracer.start_span(
+            "retrieval",
+            batch=nq,
+            k=k,
+            clusters_to_search=m,
+            deep_nprobe=nprobe,
+        )
+        try:
+            return self._traced_search(
+                q,
+                k,
+                m,
+                nprobe,
+                exclude,
+                breaker_open,
+                deep_patience,
+                parallel,
+                tracer,
+                root,
+                registry,
+                latency,
+                batch_start,
+            )
+        finally:
+            if root.end_s is None:
+                root.finish(tracer.clock() if tracer.enabled else 0.0)
+            latency.observe(clock() - batch_start, phase="total")
+            registry.counter(
+                "retrieval_batches_total", "hierarchical search batches served"
+            ).inc()
+
+    def _traced_search(
+        self,
+        q: np.ndarray,
+        k: int,
+        m: int,
+        nprobe: int,
+        exclude: frozenset,
+        breaker_open: frozenset,
+        deep_patience: int | None,
+        parallel: bool | None,
+        tracer: Tracer,
+        root,
+        registry,
+        latency,
+        batch_start: float,
+    ) -> SearchResult:
+        """The sample → route → deep → merge body, under the batch's spans."""
+        n_shards = self.datastore.n_clusters
+        clock = self._clock
+        nq = len(q)
+
+        phase_start = clock()
+        with tracer.span(
+            "route", parent=root, router=type(self.router).__name__
+        ) as route_span:
+            routing = self.router.route(q, self.datastore, m, exclude=exclude)
+            route_span.set(
+                fanout=routing.fanout, failed_clusters=len(routing.failed_clusters)
+            )
+        latency.observe(clock() - phase_start, phase="route")
         if self.health is not None:
             for sid in routing.failed_clusters:
                 self.health.record_failure(sid)
@@ -464,7 +612,6 @@ class HierarchicalSearcher:
                 f"{sorted(routing.failed_clusters)} failed during sampling"
             )
         fanout = routing.fanout
-        nq = len(q)
 
         # Candidate pool: k results from each of the query's routed shards.
         # Slots of failed shards keep their (+inf, -1) fill — graceful
@@ -509,70 +656,117 @@ class HierarchicalSearcher:
                 thread_name_prefix="shard-attempt",
             )
 
-        def run_task(task):
-            shard, hit_q, hit_slot = task
-            sid = int(shard.shard_id)
-            if policy is None:
-                t0 = time.perf_counter()
-                try:
-                    dists, ids = deep_search_once(shard, hit_q)
-                except ShardError:
-                    raise  # already carries the shard id
-                except Exception as exc:
-                    raise ShardSearchError(sid, len(hit_q), exc) from exc
-                stats = ShardCallStats(
-                    shard_id=sid,
+        phase_start = clock()
+        with tracer.span(
+            "deep_search", parent=root, shards=len(tasks), nprobe=nprobe
+        ) as deep_span:
+
+            def run_task(task):
+                shard, hit_q, hit_slot = task
+                sid = int(shard.shard_id)
+                with tracer.span(
+                    "shard_search",
+                    parent=deep_span,
+                    worker=f"shard{sid}",
+                    shard=sid,
                     queries=len(hit_q),
-                    attempts=1,
-                    latency_s=time.perf_counter() - t0,
+                ) as shard_span:
+                    if policy is None:
+                        t0 = clock()
+                        try:
+                            dists, ids = deep_search_once(shard, hit_q)
+                        except ShardError:
+                            raise  # already carries the shard id
+                        except Exception as exc:
+                            raise ShardSearchError(sid, len(hit_q), exc) from exc
+                        elapsed = clock() - t0
+                        stats = ShardCallStats(
+                            shard_id=sid,
+                            queries=len(hit_q),
+                            attempts=1,
+                            latency_s=elapsed,
+                            wall_s=elapsed,
+                        )
+                        shard_span.set(attempts=1, outcome="ok")
+                        return hit_q, hit_slot, dists, ids, stats
+                    if attempt_pool is None:
+                        attempt = lambda: deep_search_once(shard, hit_q)
+                    else:
+                        # Pool attempts may outlive their deadline (abandoned
+                        # hedges/stragglers); suppress their nested spans so
+                        # no orphan escapes into the tree after it closes.
+                        def attempt():
+                            with tracer.suppressed():
+                                return deep_search_once(shard, hit_q)
+
+                    value, stats = self._run_with_policy(
+                        sid, len(hit_q), attempt, policy, attempt_pool, tracer
+                    )
+                    shard_span.set(
+                        attempts=stats.attempts,
+                        outcome=stats.outcome,
+                        hedged=stats.hedged,
+                    )
+                    if self.health is not None:
+                        if stats.ok:
+                            self.health.record_success(sid)
+                        else:
+                            self.health.record_failure(sid)
+                    if value is None:
+                        return hit_q, hit_slot, None, None, stats
+                    dists, ids = value
+                    return hit_q, hit_slot, dists, ids, stats
+
+            try:
+                use_threads = (
+                    (self.max_workers is not None) if parallel is None else bool(parallel)
                 )
-                return hit_q, hit_slot, dists, ids, stats
-            value, stats = self._run_with_policy(
-                sid, len(hit_q), lambda: deep_search_once(shard, hit_q), policy, attempt_pool
-            )
-            if self.health is not None:
-                if stats.ok:
-                    self.health.record_success(sid)
+                if use_threads and len(tasks) > 1:
+                    workers = min(self.max_workers or len(tasks), len(tasks))
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        results = list(pool.map(run_task, tasks))
                 else:
-                    self.health.record_failure(sid)
-            if value is None:
-                return hit_q, hit_slot, None, None, stats
-            dists, ids = value
-            return hit_q, hit_slot, dists, ids, stats
+                    results = [run_task(task) for task in tasks]
+            finally:
+                if attempt_pool is not None:
+                    # Abandoned hedges/stragglers finish on their own; don't wait.
+                    attempt_pool.shutdown(wait=False)
+        latency.observe(clock() - phase_start, phase="deep")
 
-        try:
-            use_threads = (
-                (self.max_workers is not None) if parallel is None else bool(parallel)
+        phase_start = clock()
+        with tracer.span("merge", parent=root, k=k):
+            kcols = np.arange(k)
+            all_stats = []
+            deep_failed = []
+            for hit_q, hit_slot, dists, ids, stats in results:
+                all_stats.append(stats)
+                if dists is None:
+                    deep_failed.append(stats.shard_id)
+                    continue
+                cols = hit_slot[:, np.newaxis] * k + kcols[np.newaxis, :]
+                cand_d[hit_q[:, np.newaxis], cols] = dists
+                cand_i[hit_q[:, np.newaxis], cols] = ids
+
+            failed = sorted(
+                set(deep_failed) | set(routing.failed_clusters) | breaker_open
             )
-            if use_threads and len(tasks) > 1:
-                workers = min(self.max_workers or len(tasks), len(tasks))
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(run_task, tasks))
-            else:
-                results = [run_task(task) for task in tasks]
-        finally:
-            if attempt_pool is not None:
-                # Abandoned hedges/stragglers finish on their own; don't wait.
-                attempt_pool.shutdown(wait=False)
 
-        kcols = np.arange(k)
-        all_stats = []
-        deep_failed = []
-        for hit_q, hit_slot, dists, ids, stats in results:
-            all_stats.append(stats)
-            if dists is None:
-                deep_failed.append(stats.shard_id)
-                continue
-            cols = hit_slot[:, np.newaxis] * k + kcols[np.newaxis, :]
-            cand_d[hit_q[:, np.newaxis], cols] = dists
-            cand_i[hit_q[:, np.newaxis], cols] = ids
+            # Merge: global top-k by distance (the rerank step; for normalised
+            # embeddings this is the paper's inner-product rerank).
+            order = np.argsort(cand_d, axis=1)[:, :k]
+            rows = np.arange(nq)[:, np.newaxis]
+        latency.observe(clock() - phase_start, phase="merge")
 
-        failed = sorted(set(deep_failed) | set(routing.failed_clusters) | breaker_open)
-
-        # Merge: global top-k by distance (the rerank step; for normalised
-        # embeddings this is the paper's inner-product rerank).
-        order = np.argsort(cand_d, axis=1)[:, :k]
-        rows = np.arange(nq)[:, np.newaxis]
+        registry.counter(
+            "retrieval_shard_queries_total",
+            "deep-search (query, shard) pairs issued",
+        ).inc(shard_queries)
+        if failed:
+            registry.counter(
+                "retrieval_degraded_batches_total",
+                "batches merged without at least one shard's candidates",
+            ).inc()
+            root.set(failed_shards=list(failed))
         return SearchResult(
             distances=cand_d[rows, order],
             ids=cand_i[rows, order],
@@ -580,6 +774,7 @@ class HierarchicalSearcher:
             shard_queries=shard_queries,
             failed_shards=tuple(failed),
             shard_stats=tuple(all_stats),
+            trace=root if tracer.enabled else None,
         )
 
 
@@ -594,6 +789,7 @@ class HermesSearcher(HierarchicalSearcher):
         max_workers: int | None = None,
         policy: RetrievalPolicy | None = None,
         health: ShardHealth | None = None,
+        **kwargs,
     ) -> None:
         cfg = config or datastore.config
         super().__init__(
@@ -605,6 +801,7 @@ class HermesSearcher(HierarchicalSearcher):
             max_workers=max_workers,
             policy=policy,
             health=health,
+            **kwargs,
         )
 
 
@@ -619,6 +816,7 @@ class ExhaustiveSplitSearcher(HierarchicalSearcher):
         max_workers: int | None = None,
         policy: RetrievalPolicy | None = None,
         health: ShardHealth | None = None,
+        **kwargs,
     ) -> None:
         super().__init__(
             datastore,
@@ -627,6 +825,7 @@ class ExhaustiveSplitSearcher(HierarchicalSearcher):
             max_workers=max_workers,
             policy=policy,
             health=health,
+            **kwargs,
         )
 
     def search(self, queries: np.ndarray, *, k: int | None = None, **kwargs) -> SearchResult:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ann.distances import as_matrix, pairwise_distance, top_k
+from ..obs.trace import get_tracer
 from .clustering import ClusteredDatastore
 from .errors import ShardError
 
@@ -117,16 +118,18 @@ class SampledRouter(ClusterRouter):
         m = self._check_fanout(m, datastore, exclude)
         scores = np.full((len(q), datastore.n_clusters), np.inf, dtype=np.float32)
         failed = set()
+        tracer = get_tracer()
         for shard in datastore.shards:
             if shard.shard_id in exclude:
                 continue  # a failed node cannot be sampled
-            try:
-                dists, _ = shard.search(q, sample_k, nprobe=nprobe)
-            except ShardError:
-                failed.add(int(shard.shard_id))
-                continue  # score stays inf: routing flows to survivors
-            # Best (smallest) sampled distance represents the cluster.
-            scores[:, shard.shard_id] = dists[:, 0]
+            with tracer.span("sample", shard=int(shard.shard_id), nprobe=nprobe):
+                try:
+                    dists, _ = shard.search(q, sample_k, nprobe=nprobe)
+                except ShardError:
+                    failed.add(int(shard.shard_id))
+                    continue  # score stays inf: routing flows to survivors
+                # Best (smallest) sampled distance represents the cluster.
+                scores[:, shard.shard_id] = dists[:, 0]
         _, ranked = top_k(scores, m)
         return RoutingDecision(
             clusters=ranked, scores=scores, failed_clusters=frozenset(failed)

@@ -1,0 +1,156 @@
+"""Seeded trace-emitting runs behind ``hermes-repro trace``.
+
+Each experiment here is a tiny, deterministic slice of the pipeline run with
+tracing enabled, producing a span forest suitable for the Chrome trace
+viewer and the latency-breakdown table — the reproduction's analogue of the
+paper's Fig. 7/12 stage decompositions:
+
+- ``retrieval``: build a small clustered datastore (build + cache spans) and
+  run one traced hierarchical search batch (route/sample, per-shard deep
+  search, merge) on the wall clock;
+- ``generation``: the strided RAG generation timeline on a virtual clock,
+  pipelined and prefix-cached, with cross-worker overlap visible;
+- ``serve-sim``: the discrete-event serving simulator's per-batch span
+  trees in simulated time — phase children tile each batch's latency
+  exactly;
+- ``e2e``: retrieval followed by generation in one artifact (mixed clocks;
+  export with ``align_roots=True``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.clustering import cluster_datastore
+from ..core.config import HermesConfig
+from ..core.hierarchical import HermesSearcher
+from ..datastore.embeddings import make_corpus, zipf_weights
+from ..llm.generation import (
+    GenerationConfig,
+    RetrievalCost,
+    constant_retrieval,
+    simulate_generation,
+)
+from ..llm.inference import InferenceModel
+from ..metrics.reporting import latency_breakdown
+from ..obs.metrics import MetricsRegistry, get_registry, set_registry
+from ..obs.trace import Tracer, chrome_trace, set_tracer
+from ..obs.validate import validate_trace
+from ..perfmodel.aggregate import expected_deep_loads
+from ..serving import PipelineSimulator, plan_from_models
+
+TRACE_EXPERIMENTS = ("retrieval", "generation", "serve-sim", "e2e")
+
+
+@dataclass
+class TraceRun:
+    """Outcome of one trace experiment: validated spans + summaries."""
+
+    experiment: str
+    roots: list
+    metrics: dict
+    #: True when the artifact mixes wall-clock and virtual-clock trees.
+    mixed_clocks: bool = False
+
+    @property
+    def n_spans(self) -> int:
+        return sum(1 for r in self.roots for _ in r.walk())
+
+    def breakdown(self) -> str:
+        return latency_breakdown(
+            self.roots, title=f"latency breakdown: {self.experiment}"
+        )
+
+    def chrome(self) -> dict:
+        return chrome_trace(self.roots, align_roots=self.mixed_clocks)
+
+    def write(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome(), indent=2))
+        return path
+
+
+def _traced_retrieval(seed: int, tracer: Tracer) -> list:
+    """Build a small datastore and run one traced search batch."""
+    corpus = make_corpus(2_000, n_topics=4, dim=32, seed=seed)
+    config = HermesConfig(
+        n_clusters=4,
+        clusters_to_search=2,
+        nlist=8,
+        build_workers=2,
+        kmeans_seeds=(0, 1),
+    )
+    previous = set_tracer(tracer)
+    try:
+        datastore = cluster_datastore(corpus.embeddings, config)
+        queries, _ = corpus.topic_model.sample_documents(8)
+        searcher = HermesSearcher(datastore)
+        searcher.search(np.asarray(queries), k=5)
+    finally:
+        set_tracer(previous)
+    return tracer.finished_roots()
+
+
+def _traced_generation(seed: int, tracer: Tracer) -> list:
+    del seed  # the timeline is deterministic given the config
+    config = GenerationConfig(
+        batch=32, output_tokens=64, stride=16, pipelined=True, prefix_cached=True
+    )
+    simulate_generation(
+        constant_retrieval(RetrievalCost(latency_s=0.05, energy_j=25.0)),
+        InferenceModel(),
+        config,
+        tracer=tracer,
+    )
+    return tracer.finished_roots()
+
+
+def _traced_serve_sim(seed: int, tracer: Tracer) -> list:
+    config = GenerationConfig(batch=32, output_tokens=48, stride=16)
+    n_clusters = 4
+    shard_tokens = [2.5e9] * n_clusters
+    loads = expected_deep_loads(
+        config.batch, zipf_weights(n_clusters, exponent=0.45), 2
+    )
+    plan = plan_from_models(config, shard_tokens=shard_tokens, deep_loads=loads)
+    sim = PipelineSimulator(plan, batch_size=config.batch, tracer=tracer)
+    sim.run_poisson(4, mean_interval_s=1.0, seed=seed)
+    return tracer.finished_roots()
+
+
+def run(experiment: str, *, seed: int = 0) -> TraceRun:
+    """Run one seeded trace experiment; spans are invariant-validated."""
+    if experiment not in TRACE_EXPERIMENTS:
+        raise ValueError(
+            f"unknown trace experiment {experiment!r}; "
+            f"choose from {', '.join(TRACE_EXPERIMENTS)}"
+        )
+    registry = MetricsRegistry()
+    previous_registry = set_registry(registry)
+    mixed = experiment == "e2e"
+    try:
+        if experiment == "retrieval":
+            roots = _traced_retrieval(seed, Tracer(enabled=True))
+        elif experiment == "generation":
+            roots = _traced_generation(seed, Tracer(enabled=True))
+        elif experiment == "serve-sim":
+            roots = _traced_serve_sim(seed, Tracer(enabled=True))
+        else:  # e2e: wall-clock retrieval + virtual-clock generation
+            roots = _traced_retrieval(seed, Tracer(enabled=True))
+            roots += _traced_generation(seed, Tracer(enabled=True))
+    finally:
+        set_registry(previous_registry)
+    validate_trace(roots)
+    return TraceRun(
+        experiment=experiment,
+        roots=roots,
+        metrics=registry.snapshot(),
+        mixed_clocks=mixed,
+    )
+
+
+__all__ = ["TRACE_EXPERIMENTS", "TraceRun", "run"]

@@ -26,6 +26,7 @@ from typing import Callable
 
 from typing import TYPE_CHECKING
 
+from ..obs.trace import Tracer
 from ..perfmodel.measurements import EncoderCostModel
 from .inference import InferenceModel
 
@@ -126,6 +127,7 @@ def simulate_generation(
     *,
     encoder: EncoderCostModel | None = None,
     meter: "EnergyMeter | None" = None,
+    tracer: Tracer | None = None,
 ) -> GenerationResult:
     """Run the strided-generation timeline and return its latency/energy.
 
@@ -192,6 +194,11 @@ def simulate_generation(
             else:
                 e2e_s += inference_block
 
+    if tracer is not None and tracer.enabled:
+        _emit_generation_trace(
+            tracer, config, encode_s, retrieval_costs, prefill_costs, decode_costs, e2e_s
+        )
+
     return GenerationResult(
         ttft_s=ttft_s,
         e2e_s=e2e_s,
@@ -205,6 +212,94 @@ def simulate_generation(
         gpu_energy_j=gpu_energy,
         config=config,
     )
+
+
+def _emit_generation_trace(
+    tracer: Tracer,
+    config: GenerationConfig,
+    encode_s: float,
+    retrieval_costs: list,
+    prefill_costs: list,
+    decode_costs: list,
+    e2e_s: float,
+) -> None:
+    """Reconstruct the strided timeline as a span tree on a virtual clock.
+
+    Time runs from 0; retrieval spans live on worker ``"cpu"``, GPU stages on
+    ``"gpu"``. Under pipelining, stride *i+1*'s retrieval span starts with
+    stride *i*'s prefill — the cross-worker overlap is visible in the trace —
+    and the cursor advances by ``max(inference, retrieval)``, mirroring the
+    latency arithmetic above. The root closes at the final cursor, which
+    equals ``e2e_s`` up to floating-point association order.
+    """
+    n = config.n_strides
+    root = tracer.start_span(
+        "generation",
+        start_s=0.0,
+        worker="timeline",
+        batch=config.batch,
+        strides=n,
+        pipelined=config.pipelined,
+        prefix_cached=config.prefix_cached,
+        e2e_s=e2e_s,
+    )
+    tracer.record("encode", start_s=0.0, end_s=encode_s, parent=root, worker="gpu")
+    t = encode_s
+    if not config.pipelined:
+        for i in range(n):
+            r = retrieval_costs[i].latency_s
+            tracer.record(
+                "retrieval", start_s=t, end_s=t + r, parent=root, worker="cpu", stride=i
+            )
+            t += r
+            p = prefill_costs[i].latency_s
+            tracer.record(
+                "prefill", start_s=t, end_s=t + p, parent=root, worker="gpu", stride=i
+            )
+            t += p
+            d = decode_costs[i].latency_s
+            tracer.record(
+                "decode", start_s=t, end_s=t + d, parent=root, worker="gpu", stride=i
+            )
+            t += d
+        root.finish(t)
+        return
+    r0 = retrieval_costs[0].latency_s
+    tracer.record(
+        "retrieval", start_s=t, end_s=t + r0, parent=root, worker="cpu", stride=0
+    )
+    t += r0
+    for i in range(n):
+        p = prefill_costs[i].latency_s
+        d = decode_costs[i].latency_s
+        block = p + d  # same grouping as the e2e arithmetic above
+        prefill_end = t + p
+        block_end = t + block
+        tracer.record(
+            "prefill", start_s=t, end_s=prefill_end, parent=root, worker="gpu", stride=i
+        )
+        tracer.record(
+            "decode",
+            start_s=prefill_end,
+            end_s=block_end,
+            parent=root,
+            worker="gpu",
+            stride=i,
+        )
+        if i + 1 < n:
+            r = retrieval_costs[i + 1].latency_s
+            tracer.record(
+                "retrieval",
+                start_s=t,
+                end_s=t + r,
+                parent=root,
+                worker="cpu",
+                stride=i + 1,
+            )
+            t += max(block, r)
+        else:
+            t = block_end
+    root.finish(t)
 
 
 def steady_state_throughput_qps(

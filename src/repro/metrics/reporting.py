@@ -85,6 +85,52 @@ class FigureResult:
         return "\n".join(lines)
 
 
+def latency_breakdown(
+    roots,
+    *,
+    title: str | None = "latency breakdown",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Aggregate a span tree (or forest) into a per-stage latency table.
+
+    Accepts anything shaped like :class:`repro.obs.trace.Span` — duck-typed
+    on ``walk()``/``name``/``duration_s`` so this module needs no dependency
+    on the tracer. Spans are grouped by name; the share column is relative to
+    the summed root durations, so nested stages can exceed 100% only when a
+    name repeats along one path (e.g. per-stride phases).
+    """
+    if hasattr(roots, "walk"):
+        roots = [roots]
+    else:
+        roots = list(roots)
+    if not roots:
+        return "(no finished spans)"
+    root_total = sum(r.duration_s for r in roots)
+    order: list[str] = []
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for root in roots:
+        for span in root.walk():
+            if span.name not in totals:
+                order.append(span.name)
+                totals[span.name] = 0.0
+                counts[span.name] = 0
+            totals[span.name] += span.duration_s
+            counts[span.name] += 1
+    rows = []
+    for name in sorted(order, key=lambda n: -totals[n]):
+        total = totals[name]
+        count = counts[name]
+        share = (total / root_total * 100.0) if root_total > 0 else 0.0
+        rows.append((name, count, total, total / count, f"{share:.1f}%"))
+    return format_table(
+        ["stage", "spans", "total (s)", "mean (s)", "share"],
+        rows,
+        title=title,
+        float_fmt=float_fmt,
+    )
+
+
 def speedup(baseline: float, improved: float) -> float:
     """Ratio ``baseline / improved`` (>1 means *improved* is better/lower)."""
     if improved <= 0:

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..llm.generation import GenerationConfig
 from ..llm.inference import InferenceModel
+from ..obs.trace import Tracer
 from ..perfmodel.measurements import EncoderCostModel, RetrievalCostModel
 from .events import EventLoop, Resource
 from .faults import FleetFaultSchedule
@@ -211,6 +212,7 @@ class PipelineSimulator:
         batch_size: int,
         faults: FleetFaultSchedule | None = None,
         dead_node_policy: str = "skip",
+        tracer: Tracer | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -233,18 +235,34 @@ class PipelineSimulator:
         self.batch_size = batch_size
         self.faults = faults
         self.dead_node_policy = dead_node_policy
+        self.tracer = tracer
         self.loop = EventLoop()
         self.gpu = Resource(self.loop, "gpu")
         self.nodes = [
             Resource(self.loop, f"node{i}") for i in range(plan.n_nodes)
         ]
         self._records: list[BatchRecord] = []
+        #: per-batch phase marks ``(name, end_time, attrs, node_holds)``; the
+        #: span tree is reconstructed from these in virtual time at report
+        #: time, so simulated traces decompose exactly like measured ones.
+        self._marks: list[list] = []
+
+    @property
+    def _tracing(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
+
+    def _mark(self, record: BatchRecord, name: str, holds=None, **attrs) -> None:
+        if self._tracing:
+            self._marks[record.batch_id].append(
+                (name, self.loop.now, attrs, holds or [])
+            )
 
     # -- batch state machine -----------------------------------------------
     def submit(self, delay: float = 0.0) -> None:
         """Enqueue one batch *delay* seconds from now."""
         record = BatchRecord(batch_id=len(self._records), submitted_at=0.0)
         self._records.append(record)
+        self._marks.append([])
 
         def arrive() -> None:
             record.submitted_at = self.loop.now
@@ -258,14 +276,49 @@ class PipelineSimulator:
 
             def done() -> None:
                 self.gpu.release()
+                # The encode phase is charged from submission, so the span
+                # includes time queued behind the GPU (reported separately).
+                self._mark(
+                    record,
+                    "encode",
+                    queue_wait_s=record.started_at - record.submitted_at,
+                )
                 self._start_stride(record, stride=0)
 
             self.loop.schedule(self.plan.encode_s, done)
 
         self.gpu.acquire(begin)
 
+    def _hold_node(self, i: int, duration: float, then, holds: "list | None") -> None:
+        """Occupy node *i* for *duration*, logging the actual busy interval.
+
+        The interval starts when the node is *acquired* (FIFO queueing behind
+        other batches shifts it past phase entry), which is what a per-node
+        span should show.
+        """
+        if holds is None:
+            self.nodes[i].hold_for(duration, then=then)
+            return
+        node = self.nodes[i]
+
+        def occupied() -> None:
+            start = self.loop.now
+
+            def done() -> None:
+                node.release()
+                holds.append((i, start, self.loop.now))
+                then()
+
+            self.loop.schedule(duration, done)
+
+        node.acquire(occupied)
+
     def _retrieval_phase(
-        self, durations: np.ndarray, record: BatchRecord, then_continue
+        self,
+        durations: np.ndarray,
+        record: BatchRecord,
+        then_continue,
+        holds: "list | None" = None,
     ) -> None:
         """Scatter a phase to all involved nodes; continue when all finish.
 
@@ -297,25 +350,32 @@ class PipelineSimulator:
                     duration *= self.faults.slowdown(i, recovery)
                     self.loop.schedule(
                         recovery - now,
-                        lambda i=i, d=duration: self.nodes[i].hold_for(d, then=node_done),
+                        lambda i=i, d=duration: self._hold_node(
+                            i, d, node_done, holds
+                        ),
                     )
                     continue
                 duration *= self.faults.slowdown(i, now)
-            self.nodes[i].hold_for(duration, then=node_done)
+            self._hold_node(i, duration, node_done, holds)
 
     def _start_stride(self, record: BatchRecord, stride: int) -> None:
         plan = self.plan
+        sample_holds = [] if self._tracing else None
+        deep_holds = [] if self._tracing else None
 
         def after_deep() -> None:
+            self._mark(record, "deep_search", holds=deep_holds, stride=stride)
             prefill = plan.first_prefill_s if stride == 0 else plan.later_prefill_s
 
             def begin_gpu() -> None:
                 def prefill_done() -> None:
                     if stride == 0:
                         record.first_token_at = self.loop.now
+                    self._mark(record, "prefill", stride=stride)
 
                     def decode_done() -> None:
                         self.gpu.release()
+                        self._mark(record, "decode", stride=stride)
                         if stride + 1 < plan.n_strides:
                             self._start_stride(record, stride + 1)
                         else:
@@ -328,9 +388,14 @@ class PipelineSimulator:
             self.gpu.acquire(begin_gpu)
 
         def after_sample() -> None:
-            self._retrieval_phase(plan.deep_seconds, record, after_deep)
+            self._mark(record, "sample", holds=sample_holds, stride=stride)
+            self._retrieval_phase(
+                plan.deep_seconds, record, after_deep, holds=deep_holds
+            )
 
-        self._retrieval_phase(plan.sample_seconds, record, after_sample)
+        self._retrieval_phase(
+            plan.sample_seconds, record, after_sample, holds=sample_holds
+        )
 
     # -- driving ---------------------------------------------------------------
     def run(
@@ -371,7 +436,45 @@ class PipelineSimulator:
         self.loop.run()
         return self._report()
 
+    def _emit_trace(self) -> None:
+        """Reconstruct per-batch span trees in virtual (simulated) time.
+
+        Each batch becomes a root span ``[submitted_at, completed_at]`` whose
+        phase children tile the interval exactly — consecutive phases share a
+        boundary, so child durations telescope to the reported batch latency
+        with no gaps. Queue waits are charged to the phase that waited. Node
+        busy intervals hang off their phase with ``worker="node<i>"``.
+        """
+        tracer = self.tracer
+        for record, marks in zip(self._records, self._marks):
+            root = tracer.record(
+                "sim_batch",
+                start_s=record.submitted_at,
+                end_s=record.completed_at,
+                worker=f"batch{record.batch_id}",
+                batch_id=record.batch_id,
+                batch_size=self.batch_size,
+                degraded=record.degraded,
+            )
+            prev = record.submitted_at
+            for name, end, attrs, holds in marks:
+                phase = tracer.record(
+                    name, start_s=prev, end_s=end, parent=root, **attrs
+                )
+                for node_id, start, stop in holds:
+                    tracer.record(
+                        "node_busy",
+                        start_s=start,
+                        end_s=stop,
+                        parent=phase,
+                        worker=f"node{node_id}",
+                        node=node_id,
+                    )
+                prev = end
+
     def _report(self) -> ServingReport:
+        if self._tracing:
+            self._emit_trace()
         makespan = max(r.completed_at for r in self._records)
         gpu_util = self.gpu.busy_seconds / makespan if makespan else 0.0
         node_util = np.array(

@@ -293,3 +293,97 @@ class TestShardErrorContext:
         assert exc.value.n_queries == len(small_queries)
         assert "32 routed queries" in str(exc.value)
         assert isinstance(exc.value.__cause__, RuntimeError)
+
+
+class _TimedFlakyShard:
+    """Wraps a shard: each search advances a fake clock, the first throws."""
+
+    def __init__(self, inner, clock, busy_s=0.05):
+        self._inner = inner
+        self._clock = clock
+        self._busy_s = busy_s
+        self.calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def search(self, queries, k, nprobe=None):
+        self.calls += 1
+        self._clock.advance(self._busy_s)
+        if self.calls == 1:
+            from repro.core.errors import TransientShardError
+
+            raise TransientShardError(self._inner.shard_id, "transient blip")
+        return self._inner.search(queries, k, nprobe=nprobe)
+
+
+class TestRetryLatencyAccounting:
+    def test_backoff_sleep_excluded_from_shard_latency(
+        self, clustered, small_queries
+    ):
+        """Reported shard latency is in-flight time only; retry backoff
+        sleeps land in ``wall_s``. Regression: timing the whole retry loop
+        with one clock pair straddled the sleep and inflated the flaky
+        shard's latency 6x (0.6s reported for 0.1s of work here)."""
+        import dataclasses
+
+        from repro.core.hierarchical import RetrievalPolicy
+        from repro.obs.trace import ManualClock
+
+        clock = ManualClock()
+        flaky_id = 2
+        flaky = _TimedFlakyShard(clustered.shards[flaky_id], clock)
+        shards = [
+            flaky if s.shard_id == flaky_id else s for s in clustered.shards
+        ]
+        broken = dataclasses.replace(clustered, shards=shards)
+        searcher = HierarchicalSearcher(
+            broken,
+            router=CentroidRouter(),
+            policy=RetrievalPolicy(max_attempts=3, backoff_s=0.5),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        result = searcher.search(
+            small_queries.embeddings, clusters_to_search=10
+        )
+        assert not result.degraded
+        assert flaky.calls == 2
+        stats = next(
+            s for s in result.shard_stats if s.shard_id == flaky_id
+        )
+        assert stats.attempts == 2
+        # two 0.05s attempts in flight; the 0.5s backoff is excluded
+        assert stats.latency_s == pytest.approx(0.10)
+        # ...but the full window (attempts + backoff) is still visible
+        assert stats.wall_s == pytest.approx(0.60)
+
+    def test_healthy_shard_latency_equals_wall(self, clustered, small_queries):
+        """No retries: in-flight time and the wall window coincide."""
+        import dataclasses
+
+        from repro.core.hierarchical import RetrievalPolicy
+        from repro.obs.trace import ManualClock
+
+        clock = ManualClock()
+        timed_id = 1
+        timed = _TimedFlakyShard(clustered.shards[timed_id], clock)
+        timed.calls = 1  # skip the failure branch: every call succeeds
+        shards = [
+            timed if s.shard_id == timed_id else s for s in clustered.shards
+        ]
+        searcher = HierarchicalSearcher(
+            dataclasses.replace(clustered, shards=shards),
+            router=CentroidRouter(),
+            policy=RetrievalPolicy(max_attempts=3, backoff_s=0.5),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        result = searcher.search(small_queries.embeddings, clusters_to_search=10)
+        stats = next(s for s in result.shard_stats if s.shard_id == timed_id)
+        assert stats.attempts == 1
+        assert stats.latency_s == pytest.approx(0.05)
+        assert stats.wall_s == pytest.approx(stats.latency_s)

@@ -1,0 +1,283 @@
+"""Metrics registry tests: labels, registry semantics, quantile accuracy.
+
+The load-bearing pieces are the hypothesis property test (histogram
+quantile estimates stay within one bucket boundary of exact numpy
+quantiles across randomized workloads) and the thread hammer (counters
+and histograms survive the PR 1/3 thread pools recording concurrently).
+"""
+
+import bisect
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+    get_registry,
+    set_registry,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_inc_and_value_per_labelset(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(2.0, shard=1)
+        c.inc(shard=1)
+        assert c.value() == 1.0
+        assert c.value(shard=1) == 3.0
+        assert c.total() == 4.0
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("hits_total")
+        c.inc(shard=1, phase="deep")
+        c.inc(phase="deep", shard=1)
+        assert c.value(shard=1, phase="deep") == 2.0
+        assert c.labelsets() == [(("phase", "deep"), ("shard", "1"))]
+
+    def test_negative_increment_rejected(self):
+        c = Counter("ups_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_invalid_name_rejected(self):
+        for bad in ("", "has space", "dash-ed", "per/sec"):
+            with pytest.raises(ValueError):
+                Counter(bad)
+
+    def test_counter_thread_hammer(self):
+        c = Counter("hammer_total")
+        n_threads, n_incs = 8, 5000
+
+        def hammer(tid):
+            for _ in range(n_incs):
+                c.inc(thread=tid % 2)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # without the lock, read-modify-write races would drop increments
+        assert c.total() == n_threads * n_incs
+        assert c.value(thread=0) + c.value(thread=1) == n_threads * n_incs
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        g = Gauge("queue_depth")
+        g.set(4.0, node=0)
+        g.add(-1.0, node=0)
+        g.add(2.5)
+        assert g.value(node=0) == 3.0
+        assert g.value() == 2.5
+
+    def test_collect_keys_are_label_tuples(self):
+        g = Gauge("breakers_open")
+        g.set(1.0, shard=3)
+        assert g.collect() == {(("shard", "3"),): 1.0}
+
+
+class TestHistogram:
+    def test_snapshot_counts_and_sum(self):
+        h = Histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v, phase="deep")
+        snap = h.snapshot(phase="deep")
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.05)
+        assert h.mean(phase="deep") == pytest.approx(6.05 / 4)
+
+    def test_empty_labelset_reads(self):
+        h = Histogram("lat_seconds")
+        assert h.count() == 0
+        assert h.total() == 0.0
+        assert math.isnan(h.mean())
+        assert math.isnan(h.quantile(0.5))
+
+    def test_non_finite_observation_rejected(self):
+        h = Histogram("lat_seconds")
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                h.observe(bad)
+
+    def test_bad_bucket_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(3.0, 2.0))
+
+    def test_bad_quantile_rejected(self):
+        h = Histogram("lat_seconds")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_clamped_to_observed_range(self):
+        # one sample deep inside a wide bucket: interpolation must not
+        # report below the observed min or above the observed max
+        h = Histogram("lat_seconds", buckets=(10.0, 100.0))
+        h.observe(42.0)
+        assert h.quantile(0.01) == 42.0
+        assert h.quantile(0.99) == 42.0
+
+    def test_overflow_bucket_uses_observed_max(self):
+        h = Histogram("lat_seconds", buckets=(1.0,))
+        h.observe(50.0)
+        h.observe(90.0)
+        assert h.quantile(1.0) == pytest.approx(90.0)
+        assert 1.0 <= h.quantile(0.5) <= 90.0
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_LATENCY_BUCKETS[-1] > 30.0
+        assert all(
+            b2 > b1
+            for b1, b2 in zip(DEFAULT_LATENCY_BUCKETS, DEFAULT_LATENCY_BUCKETS[1:])
+        )
+
+    def test_histogram_thread_hammer(self):
+        h = Histogram("lat_seconds", buckets=(0.5,))
+        n_threads, n_obs = 8, 2000
+
+        def hammer(tid):
+            for i in range(n_obs):
+                h.observe(0.25 if i % 2 else 0.75, thread=tid % 2)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = h.count(thread=0) + h.count(thread=1)
+        assert total == n_threads * n_obs
+        expected_sum = n_threads * n_obs * 0.5  # half 0.25, half 0.75
+        assert h.total(thread=0) + h.total(thread=1) == pytest.approx(expected_sum)
+
+
+def _bucket_index(bounds, value):
+    """Index of the bucket a value lands in (len(bounds) = overflow)."""
+    return bisect.bisect_left(bounds, value)
+
+
+class TestQuantileProperty:
+    """Estimates land in the same bucket as the exact sample quantile.
+
+    Fixed-bucket histograms cannot beat bucket resolution, but the docstring
+    contract is that the interpolated estimate never leaves the bucket that
+    contains the target rank — so it is within one bucket boundary of the
+    exact rank-based sample quantile (numpy's ``inverted_cdf`` method, the
+    same rank definition the bucket walk uses; at a bucket edge the exact
+    value may sit in the adjacent bucket).
+    """
+
+    BOUNDS = DEFAULT_LATENCY_BUCKETS
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-6, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=400,
+        ),
+        q=st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+    )
+    def test_estimate_within_one_bucket_of_numpy(self, samples, q):
+        h = Histogram("lat_seconds", buckets=self.BOUNDS)
+        for v in samples:
+            h.observe(v)
+        estimate = h.quantile(q)
+        exact = float(np.quantile(np.asarray(samples), q, method="inverted_cdf"))
+        est_idx = _bucket_index(self.BOUNDS, estimate)
+        exact_idx = _bucket_index(self.BOUNDS, exact)
+        assert abs(est_idx - exact_idx) <= 1, (
+            f"estimate {estimate} (bucket {est_idx}) vs numpy {exact} "
+            f"(bucket {exact_idx}) for q={q}, n={len(samples)}"
+        )
+        # and the estimate always stays inside the observed value range
+        assert min(samples) <= estimate <= max(samples)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    def test_median_monotone_in_rank(self, samples):
+        h = Histogram("lat_seconds", buckets=self.BOUNDS)
+        for v in samples:
+            h.observe(v)
+        # quantile estimates must be monotonically non-decreasing in q
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert all(b >= a for a, b in zip(qs, qs[1:]))
+
+
+class TestFormatLabels:
+    def test_empty_and_rendered(self):
+        assert format_labels(()) == ""
+        assert format_labels((("phase", "deep"), ("shard", "2"))) == (
+            '{phase="deep",shard="2"}'
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+        assert reg.get("x_total") is reg.counter("x_total")
+        assert reg.get("missing") is None
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_snapshot_flat_rendered_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total").inc(3.0, shard=1)
+        reg.gauge("depth").set(2.0)
+        h = reg.histogram("lat_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5, phase="deep")
+        snap = reg.snapshot()
+        assert snap['hits_total{shard="1"}'] == 3.0
+        assert snap["depth"] == 2.0
+        assert snap['lat_seconds_count{phase="deep"}'] == 1
+        assert snap['lat_seconds_sum{phase="deep"}'] == 0.5
+        assert snap['lat_seconds_p50{phase="deep"}'] == 0.5
+
+    def test_reset_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        reg.reset()
+        assert reg.names() == []
+
+    def test_set_registry_swaps_default(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            restored = set_registry(previous)
+            assert restored is fresh

@@ -1,0 +1,92 @@
+"""repro.obs stays stdlib-only: no numpy/scipy, no imports of the package.
+
+Instrumentation is woven through every hot loop, so ``repro.obs`` must be
+importable with nothing but the standard library on the path — a heavy (or
+circular) dependency here would tax the whole pipeline. Ruff enforces the
+same contract in CI (TID251 banned-api scoped to ``src/repro/obs/**``);
+this test walks the ASTs directly so the check also runs where ruff isn't
+installed.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.obs
+
+pytestmark = pytest.mark.obs
+
+OBS_DIR = Path(repro.obs.__file__).parent
+OBS_FILES = sorted(OBS_DIR.glob("*.py"))
+
+#: Top-level module names repro.obs may import. Everything here ships with
+#: CPython; notably absent: numpy, scipy, and repro itself.
+ALLOWED = frozenset(sys.stdlib_module_names)
+
+
+def _imported_modules(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative: stays inside repro.obs by definition
+                yield node, "." * node.level + (node.module or "")
+            else:
+                yield node, node.module or ""
+
+
+def test_found_the_module_files():
+    names = {p.name for p in OBS_FILES}
+    assert {"__init__.py", "trace.py", "metrics.py", "validate.py"} <= names
+
+
+@pytest.mark.parametrize("path", OBS_FILES, ids=lambda p: p.name)
+def test_only_stdlib_imports(path):
+    violations = []
+    for node, module in _imported_modules(path):
+        if module.startswith("."):
+            if module.startswith(".."):
+                violations.append(
+                    f"{path.name}:{node.lineno} escapes the package: {module}"
+                )
+            continue
+        top = module.split(".")[0]
+        if top not in ALLOWED:
+            violations.append(f"{path.name}:{node.lineno} imports {module}")
+    assert not violations, "repro.obs must be stdlib-only:\n" + "\n".join(violations)
+
+
+def test_numpy_not_required_to_import_obs():
+    # the duck-typed scalar coercion means numpy never has to be loaded for
+    # the tracer itself; guard against an accidental module-level import
+    import subprocess
+
+    code = (
+        "import sys, types; "
+        "sys.modules['numpy'] = None; sys.modules['scipy'] = None; "
+        # stub the parent package: repro/__init__ pulls in numpy-heavy
+        # subpackages, but repro.obs itself must load without them
+        "pkg = types.ModuleType('repro'); "
+        f"pkg.__path__ = [{str(OBS_DIR.parent)!r}]; "
+        "sys.modules['repro'] = pkg; "
+        "import repro.obs; "
+        "t = repro.obs.Tracer(enabled=True); "
+        "import repro.obs.trace as tr; c = tr.ManualClock(); "
+        "t2 = repro.obs.Tracer(clock=c, enabled=True); "
+        "ctx = t2.span('x'); ctx.__enter__(); c.advance(1.0); ctx.__exit__(None, None, None); "
+        "assert t2.finished_roots()[0].duration_s == 1.0; "
+        "print('ok')"
+    )
+    src_dir = str(OBS_DIR.parent.parent)
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": src_dir, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "ok"

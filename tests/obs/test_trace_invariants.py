@@ -1,0 +1,329 @@
+"""Latency-accounting invariants over real pipeline traces.
+
+The harness half of the observability PR: every traced slice of the
+pipeline — hierarchical retrieval on the wall clock, the DES simulator and
+the generation timeline on virtual clocks — must produce span trees where
+time is accounted coherently (children inside parents, same-worker siblings
+serialized, same-worker child durations summing to at most the parent).
+The DES case is held to the strictest bar: phase children tile each batch's
+interval exactly, so their durations reconstruct the simulator's own
+reported latency to the last bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import HermesSearcher
+from repro.llm.generation import (
+    GenerationConfig,
+    RetrievalCost,
+    constant_retrieval,
+    simulate_generation,
+)
+from repro.llm.inference import InferenceModel
+from repro.obs.trace import Tracer
+from repro.obs.validate import (
+    TraceInvariantError,
+    validate_span_tree,
+    validate_trace,
+)
+from repro.serving.faults import FleetFaultSchedule, NodeOutage, NodeSlowdown
+from repro.serving.simulator import PipelineSimulator, StagePlan
+
+pytestmark = pytest.mark.obs
+
+
+# ---------------------------------------------------------------------------
+# Validator semantics (synthetic trees)
+# ---------------------------------------------------------------------------
+
+
+def _span_tree(tracer_builder):
+    tracer = Tracer(enabled=True)
+    tracer_builder(tracer)
+    return tracer.finished_roots()
+
+
+class TestValidatorSemantics:
+    def test_accepts_wellformed_tree(self):
+        def build(t):
+            root = t.start_span("root", start_s=0.0, worker="w")
+            t.record("a", start_s=0.0, end_s=1.0, parent=root)
+            t.record("b", start_s=1.0, end_s=2.0, parent=root)
+            root.finish(2.0)
+
+        roots = _span_tree(build)
+        assert validate_trace(roots) == 3
+
+    def test_rejects_unfinished_span(self):
+        tracer = Tracer(enabled=True)
+        root = tracer.start_span("root", start_s=0.0)
+        with pytest.raises(TraceInvariantError, match="never finished"):
+            validate_span_tree(root)
+
+    def test_rejects_child_escaping_parent(self):
+        def build(t):
+            root = t.start_span("root", start_s=0.0, worker="w")
+            t.record("late", start_s=1.5, end_s=2.5, parent=root)
+            root.finish(2.0)
+
+        with pytest.raises(TraceInvariantError, match="escapes"):
+            validate_trace(_span_tree(build))
+
+    def test_rejects_same_worker_sibling_overlap(self):
+        def build(t):
+            root = t.start_span("root", start_s=0.0, worker="w")
+            t.record("a", start_s=0.0, end_s=1.2, parent=root)
+            t.record("b", start_s=1.0, end_s=2.0, parent=root)
+            root.finish(2.0)
+
+        with pytest.raises(TraceInvariantError, match="overlap"):
+            validate_trace(_span_tree(build))
+
+    def test_allows_cross_worker_overlap(self):
+        """Pipelined retrieval vs GPU: different workers may overlap."""
+
+        def build(t):
+            root = t.start_span("root", start_s=0.0, worker="timeline")
+            t.record("gpu_work", start_s=0.0, end_s=1.5, parent=root, worker="gpu")
+            t.record("cpu_work", start_s=0.0, end_s=1.8, parent=root, worker="cpu")
+            root.finish(2.0)
+
+        assert validate_trace(_span_tree(build)) == 3
+
+    def test_touching_boundaries_are_not_overlap(self):
+        def build(t):
+            root = t.start_span("root", start_s=0.0, worker="w")
+            t.record("a", start_s=0.0, end_s=1.0, parent=root)
+            t.record("zero", start_s=1.0, end_s=1.0, parent=root)
+            t.record("b", start_s=1.0, end_s=2.0, parent=root)
+            root.finish(2.0)
+
+        assert validate_trace(_span_tree(build)) == 4
+
+    def test_eps_absorbs_float_noise(self):
+        def build(t):
+            root = t.start_span("root", start_s=0.0, worker="w")
+            t.record("a", start_s=-1e-12, end_s=1.0, parent=root)
+            root.finish(1.0)
+
+        roots = _span_tree(build)
+        with pytest.raises(TraceInvariantError):
+            validate_trace(roots)
+        assert validate_trace(roots, eps=1e-9) == 2
+
+
+# ---------------------------------------------------------------------------
+# Real traced retrieval (wall clock)
+# ---------------------------------------------------------------------------
+
+
+class TestTracedRetrieval:
+    @pytest.fixture(scope="class")
+    def traced_result(self, clustered, small_queries):
+        tracer = Tracer(enabled=True)
+        searcher = HermesSearcher(clustered, tracer=tracer)
+        result = searcher.search(
+            small_queries.embeddings, k=5, clusters_to_search=3
+        )
+        return result, tracer
+
+    def test_trace_validates(self, traced_result):
+        result, tracer = traced_result
+        assert validate_trace(tracer.finished_roots()) > 0
+
+    def test_result_carries_root_span(self, traced_result):
+        result, _ = traced_result
+        assert result.trace is not None
+        assert result.trace.name == "retrieval"
+        assert result.trace.finished
+
+    def test_phase_children_in_order(self, traced_result):
+        result, _ = traced_result
+        names = [c.name for c in result.trace.children]
+        assert names == ["route", "deep_search", "merge"]
+
+    def test_phases_sum_to_at_most_total(self, traced_result):
+        result, _ = traced_result
+        total = result.trace.duration_s
+        assert sum(c.duration_s for c in result.trace.children) <= total
+
+    def test_shard_fanout_spans_cover_routed_shards(self, traced_result, clustered):
+        result, _ = traced_result
+        shard_spans = result.trace.find_all("shard_search")
+        routed = set(np.unique(result.routing.clusters))
+        assert {s.attrs["shard"] for s in shard_spans} == routed
+        assert all(s.worker == f"shard{s.attrs['shard']}" for s in shard_spans)
+
+    def test_threaded_fanout_also_validates(self, clustered, small_queries):
+        """Parallel shard spans overlap in time but live on distinct
+        workers, so the same-worker serialization invariant still holds."""
+        tracer = Tracer(enabled=True)
+        searcher = HermesSearcher(clustered, max_workers=4, tracer=tracer)
+        result = searcher.search(small_queries.embeddings, clusters_to_search=3)
+        assert validate_trace(tracer.finished_roots()) > 0
+        assert result.trace is not None
+
+    def test_opt_in_trace_flag(self, clustered, small_queries):
+        """``search(trace=True)`` yields a validated local trace even with
+        the process-wide tracer disabled."""
+        searcher = HermesSearcher(clustered)
+        result = searcher.search(small_queries.embeddings, trace=True)
+        assert result.trace is not None
+        assert validate_span_tree(result.trace) > 0
+
+    def test_no_trace_by_default(self, clustered, small_queries):
+        result = HermesSearcher(clustered).search(small_queries.embeddings)
+        assert result.trace is None
+
+
+# ---------------------------------------------------------------------------
+# DES simulator: virtual-time spans reconstruct reported latency exactly
+# ---------------------------------------------------------------------------
+
+
+def _plan(n_nodes: int = 3, n_strides: int = 3) -> StagePlan:
+    return StagePlan(
+        encode_s=0.002,
+        sample_seconds=np.array([0.001, 0.0015, 0.001][:n_nodes]),
+        deep_seconds=np.array([0.011, 0.0, 0.023][:n_nodes]),
+        first_prefill_s=0.031,
+        later_prefill_s=0.0052,
+        decode_stride_s=0.041,
+        n_strides=n_strides,
+    )
+
+
+class TestSimulatorVirtualTime:
+    def test_phase_children_tile_batch_latency_exactly(self):
+        tracer = Tracer(enabled=True)
+        sim = PipelineSimulator(_plan(), batch_size=16, tracer=tracer)
+        report = sim.run(5)
+        roots = tracer.finished_roots()
+        assert len(roots) == len(report.batches)
+        validate_trace(roots)
+        for root, batch in zip(roots, report.batches):
+            assert root.attrs["batch_id"] == batch.batch_id
+            # exact reconstruction: no tolerance — children share boundaries
+            assert root.duration_s == batch.latency_s
+            assert sum(c.duration_s for c in root.children) == batch.latency_s
+
+    def test_phase_order_per_stride(self):
+        tracer = Tracer(enabled=True)
+        sim = PipelineSimulator(_plan(n_strides=2), batch_size=4, tracer=tracer)
+        sim.run(1)
+        (root,) = tracer.finished_roots()
+        assert [c.name for c in root.children] == [
+            "encode",
+            "sample", "deep_search", "prefill", "decode",
+            "sample", "deep_search", "prefill", "decode",
+        ]
+
+    def test_node_busy_spans_nest_in_their_phase(self):
+        tracer = Tracer(enabled=True)
+        sim = PipelineSimulator(_plan(), batch_size=4, tracer=tracer)
+        sim.run(2)
+        roots = tracer.finished_roots()
+        deep_phases = [s for r in roots for s in r.find_all("deep_search")]
+        assert deep_phases
+        for phase in deep_phases:
+            # plan routes deep search to nodes 0 and 2 only
+            assert sorted(c.attrs["node"] for c in phase.children) == [0, 2]
+            for child in phase.children:
+                assert child.worker == f"node{child.attrs['node']}"
+
+    def test_queued_batches_still_account_exactly(self):
+        """A closed burst makes batches queue behind the GPU and each
+        other's nodes; queue waits are charged to phases, never lost."""
+        tracer = Tracer(enabled=True)
+        sim = PipelineSimulator(_plan(), batch_size=8, tracer=tracer)
+        report = sim.run(8, arrival_interval_s=0.0)
+        roots = tracer.finished_roots()
+        validate_trace(roots)
+        for root, batch in zip(roots, report.batches):
+            assert sum(c.duration_s for c in root.children) == batch.latency_s
+
+    def test_faulted_fleet_traces_validate(self):
+        faults = FleetFaultSchedule(
+            3,
+            outages=[NodeOutage(node=0, start_s=0.0, end_s=0.05)],
+            slowdowns=[NodeSlowdown(node=2, start_s=0.0, end_s=10.0, factor=3.0)],
+        )
+        tracer = Tracer(enabled=True)
+        sim = PipelineSimulator(
+            _plan(), batch_size=4, faults=faults, tracer=tracer
+        )
+        report = sim.run(4)
+        roots = tracer.finished_roots()
+        validate_trace(roots)
+        for root, batch in zip(roots, report.batches):
+            assert sum(c.duration_s for c in root.children) == batch.latency_s
+            assert root.attrs["degraded"] == batch.degraded
+
+    def test_untraced_simulator_emits_nothing(self):
+        sim = PipelineSimulator(_plan(), batch_size=4)
+        sim.run(2)
+        assert sim.tracer is None
+
+
+# ---------------------------------------------------------------------------
+# Generation timeline (virtual clock, cross-worker overlap)
+# ---------------------------------------------------------------------------
+
+
+class TestGenerationTimeline:
+    @pytest.mark.parametrize("pipelined", [False, True])
+    @pytest.mark.parametrize("prefix_cached", [False, True])
+    def test_timeline_validates_and_matches_e2e(self, pipelined, prefix_cached):
+        tracer = Tracer(enabled=True)
+        config = GenerationConfig(
+            batch=8,
+            output_tokens=64,
+            stride=16,
+            pipelined=pipelined,
+            prefix_cached=prefix_cached,
+        )
+        result = simulate_generation(
+            constant_retrieval(RetrievalCost(latency_s=0.05, energy_j=10.0)),
+            InferenceModel(),
+            config,
+            tracer=tracer,
+        )
+        (root,) = tracer.finished_roots()
+        validate_span_tree(root)
+        assert root.duration_s == pytest.approx(result.e2e_s, abs=1e-9)
+        assert root.total("retrieval") == pytest.approx(result.retrieval_s)
+        assert root.total("prefill") == pytest.approx(result.prefill_s)
+        assert root.total("decode") == pytest.approx(result.decode_s)
+
+    def test_pipelined_overlap_visible_cross_worker(self):
+        """Under pipelining, stride i+1's retrieval (cpu) starts exactly
+        with stride i's prefill (gpu) — TeleRAG-style overlap analysis."""
+        tracer = Tracer(enabled=True)
+        config = GenerationConfig(
+            batch=8, output_tokens=48, stride=16, pipelined=True
+        )
+        simulate_generation(
+            constant_retrieval(RetrievalCost(latency_s=0.5, energy_j=10.0)),
+            InferenceModel(),
+            config,
+            tracer=tracer,
+        )
+        (root,) = tracer.finished_roots()
+        retrievals = {s.attrs["stride"]: s for s in root.find_all("retrieval")}
+        prefills = {s.attrs["stride"]: s for s in root.find_all("prefill")}
+        for i in range(config.n_strides - 1):
+            assert retrievals[i + 1].start_s == prefills[i].start_s
+        assert all(s.worker == "cpu" for s in retrievals.values())
+        assert all(s.worker == "gpu" for s in prefills.values())
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = Tracer(enabled=False)
+        config = GenerationConfig(batch=8, output_tokens=32, stride=16)
+        simulate_generation(
+            constant_retrieval(RetrievalCost(latency_s=0.05, energy_j=10.0)),
+            InferenceModel(),
+            config,
+            tracer=tracer,
+        )
+        assert tracer.finished_roots() == []
