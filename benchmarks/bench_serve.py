@@ -1,0 +1,20 @@
+"""Thin launcher for the serving cache/batching benchmark harness.
+
+Usage (from the repo root)::
+
+    python benchmarks/bench_serve.py [--smoke] [--out BENCH_serve.json]
+
+The harness itself lives in :mod:`repro.bench.serve` so it is importable and
+installable (``hermes-bench-serve`` console entry); this wrapper only makes
+the checkout runnable without an install.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.serve import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

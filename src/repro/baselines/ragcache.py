@@ -34,16 +34,34 @@ def stride_overlap_fraction(stride_results: list[np.ndarray]) -> float:
 
     ``stride_results`` is one query's retrieved-id matrix per stride (each
     ``(k,)``). This is the quantity RAGCache's real hit rate tracks.
+
+    Vectorized: uniform-``k`` traces stack into ``(n-1, k)`` previous/current
+    matrices and a single broadcasted membership test replaces the per-row
+    Python sets (``-1`` padding never matches because current ids are masked
+    to valid entries first). Ragged traces fall back to per-pair ``np.isin``.
     """
     if len(stride_results) < 2:
         raise ValueError("need at least two strides to measure overlap")
+    strides = [np.asarray(s).ravel() for s in stride_results]
+    lengths = {len(s) for s in strides}
+    if len(lengths) == 1 and lengths != {0}:
+        prev = np.stack(strides[:-1])
+        cur = np.stack(strides[1:])
+        valid = cur >= 0
+        # (n-1, k, k) membership: does cur[r, i] appear anywhere in prev[r]?
+        seen = (cur[:, :, np.newaxis] == prev[:, np.newaxis, :]).any(axis=2)
+        counts = valid.sum(axis=1)
+        rows = counts > 0
+        if not rows.any():
+            raise ValueError("no valid documents in stride results")
+        hits = (seen & valid).sum(axis=1)
+        return float(np.mean(hits[rows] / counts[rows]))
     overlaps = []
-    for prev, cur in zip(stride_results, stride_results[1:]):
-        prev_set = {int(x) for x in np.asarray(prev).ravel() if x >= 0}
-        cur_ids = [int(x) for x in np.asarray(cur).ravel() if x >= 0]
-        if not cur_ids:
+    for prev, cur in zip(strides, strides[1:]):
+        cur = cur[cur >= 0]
+        if not len(cur):
             continue
-        overlaps.append(sum(1 for d in cur_ids if d in prev_set) / len(cur_ids))
+        overlaps.append(float(np.isin(cur, prev[prev >= 0]).mean()))
     if not overlaps:
         raise ValueError("no valid documents in stride results")
     return float(np.mean(overlaps))

@@ -2,5 +2,12 @@
 
 from .build import run_benchmarks as run_build_benchmarks
 from .retrieval import run_benchmarks
+from .serve import run_benchmarks as run_serve_benchmarks
+from .sysinfo import cpu_metadata
 
-__all__ = ["run_benchmarks", "run_build_benchmarks"]
+__all__ = [
+    "cpu_metadata",
+    "run_benchmarks",
+    "run_build_benchmarks",
+    "run_serve_benchmarks",
+]

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import shutil
 import tempfile
 import time
@@ -38,6 +37,7 @@ from ..core.config import HermesConfig
 from ..core.hierarchical import HermesSearcher
 from ..datastore.embeddings import make_corpus
 from ..datastore.queries import trivia_queries
+from .sysinfo import cpu_metadata
 
 #: Quality-parity bounds (the issue's acceptance criteria): the optimised
 #: build's final K-means inertia must be within 5% of serial full Lloyd's,
@@ -244,8 +244,8 @@ def run_benchmarks(
             "dim": spec.dim,
             "n_clusters": spec.n_clusters,
             "k": spec.k,
-            "cpu_count": os.cpu_count(),
             "numpy": np.__version__,
+            **cpu_metadata(),
         },
         "kmeans": _bench_kmeans(spec, corpus.embeddings),
         "quantizer": _bench_quantizer(spec, corpus.embeddings),

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,6 +34,7 @@ from ..core.clustering import split_datastore_evenly
 from ..core.config import HermesConfig
 from ..core.hierarchical import HermesSearcher
 from ..obs.trace import disable_tracing, enable_tracing
+from .sysinfo import cpu_metadata
 
 
 @dataclass(frozen=True)
@@ -291,8 +291,8 @@ def run_benchmarks(
             "nprobe": spec.nprobe,
             "k": spec.k,
             "repeats": spec.repeats,
-            "cpu_count": os.cpu_count(),
             "numpy": np.__version__,
+            **cpu_metadata(),
         },
         "single_index": _bench_single_indices(spec, data, queries, "l2"),
         "hierarchical": _bench_hierarchical(spec, data, queries),

@@ -11,6 +11,7 @@ reproduction::
     hermes-repro profile --tokens 1e10 --batch 128
     hermes-repro multinode --tokens 1e12 --clusters 10 --batch 128 --dvfs enhanced
     hermes-repro serve-sim --tokens 1e10 --batches 16
+    hermes-repro cache --alphas 0 0.5 1.0 1.5 --out cache_sweep.json
     hermes-repro faults --killed 0 1 2 3 --out faults.json
     hermes-repro trace retrieval --out trace.json
     hermes-repro reproduce --fast
@@ -212,6 +213,43 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments import serve_cache
+    from .metrics.reporting import format_table
+    from .obs.metrics import get_registry
+
+    points = serve_cache.run(
+        tuple(args.alphas),
+        n_unique=args.unique,
+        n_requests=args.requests,
+        batch=args.batch,
+        k=args.k,
+        capacity=args.capacity,
+        jitter=args.jitter,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            serve_cache.TABLE_HEADERS,
+            serve_cache.table_rows(points),
+            title=(
+                f"serve cache skew sweep: {args.unique} unique queries, "
+                f"{args.requests} requests, batch {args.batch}, "
+                f"capacity {args.capacity}, k={args.k}"
+            ),
+        )
+    )
+    snapshot = get_registry().snapshot()
+    print("cache metrics:")
+    for name in sorted(snapshot):
+        if name.startswith(("retrieval_cache_", "frontend_")):
+            print(f"  {name} = {snapshot[name]:g}")
+    if args.out:
+        serve_cache.write_artifact(points, args.out, k=args.k)
+        print(f"skew sweep -> {args.out}")
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from .experiments import fig_faults
 
@@ -336,6 +374,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-tokens", type=int, default=256)
     p.add_argument("--batches", type=int, default=8)
     p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser(
+        "cache", help="serve-time retrieval-cache skew sweep (hit rate vs latency)"
+    )
+    p.add_argument(
+        "--alphas", type=float, nargs="+", default=[0.0, 0.5, 1.0, 1.5],
+        help="Zipf exponents of the request stream to sweep",
+    )
+    p.add_argument("--unique", type=int, default=128, help="unique query pool size")
+    p.add_argument("--requests", type=int, default=1024)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--capacity", type=int, default=512, help="cache entries (LRU)")
+    p.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="perturbation scale for near-duplicate requests (semantic tier)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write the JSON artifact here")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser(
         "faults", help="fault sweep: graceful degradation vs killed nodes"

@@ -466,8 +466,20 @@ class HierarchicalSearcher:
         deep_patience: int | None = None,
         parallel: bool | None = None,
         trace: bool = False,
+        routing: "RoutingDecision | None" = None,
     ) -> SearchResult:
         """Route then deep-search a query batch; returns global top-k.
+
+        ``routing`` reuses a prior batch's :class:`RoutingDecision` instead
+        of re-running the sample-search fan-out — the serve-time hook behind
+        the routing cache tier and stride-aware sessions (near-duplicate
+        queries route identically, so the cheap probes are pure overhead).
+        The decision must cover this batch (same ``batch_size``) and have
+        been produced against this datastore. Reuse is an optimisation, not
+        a contract: if the reused decision routes to a shard that is now
+        excluded (caller exclude or open breaker), it is discarded and the
+        batch re-routes freshly, counted on
+        ``retrieval_route_reuse_invalidated_total``.
 
         ``trace=True`` opts this batch into span tracing even when no
         process-wide tracer is enabled: the returned
@@ -512,6 +524,18 @@ class HierarchicalSearcher:
         n_shards = self.datastore.n_clusters
         user_exclude = self._validated_exclude(exclude_clusters)
         nq = len(q)
+        if routing is not None:
+            if routing.batch_size != nq:
+                raise ValueError(
+                    f"reused routing covers {routing.batch_size} queries, "
+                    f"batch has {nq}"
+                )
+            routed_ids = routing.clusters
+            if routed_ids.size and int(routed_ids.max()) >= n_shards:
+                raise ValueError(
+                    f"reused routing references shard {int(routed_ids.max())}; "
+                    f"datastore has shards 0..{n_shards - 1}"
+                )
 
         tracer = self.tracer if self.tracer is not None else get_tracer()
         if trace and not tracer.enabled:
@@ -541,6 +565,15 @@ class HierarchicalSearcher:
                 f"all {n_shards} shards excluded ({len(user_exclude)} by caller, "
                 f"{len(breaker_open)} by open circuit breakers)"
             )
+        if routing is not None and exclude:
+            used = {int(c) for c in np.unique(routing.clusters) if c >= 0}
+            if used & exclude:
+                # Stale decision routes to a dead/excluded shard: re-route.
+                registry.counter(
+                    "retrieval_route_reuse_invalidated_total",
+                    "reused routing decisions discarded for touching excluded shards",
+                ).inc()
+                routing = None
 
         root = tracer.start_span(
             "retrieval",
@@ -564,6 +597,7 @@ class HierarchicalSearcher:
                 registry,
                 latency,
                 batch_start,
+                reuse=routing,
             )
         finally:
             if root.end_s is None:
@@ -588,6 +622,7 @@ class HierarchicalSearcher:
         registry,
         latency,
         batch_start: float,
+        reuse: "RoutingDecision | None" = None,
     ) -> SearchResult:
         """The sample → route → deep → merge body, under the batch's spans."""
         n_shards = self.datastore.n_clusters
@@ -598,12 +633,22 @@ class HierarchicalSearcher:
         with tracer.span(
             "route", parent=root, router=type(self.router).__name__
         ) as route_span:
-            routing = self.router.route(q, self.datastore, m, exclude=exclude)
+            if reuse is not None:
+                routing = reuse
+                route_span.set(reused=True)
+                registry.counter(
+                    "retrieval_route_reused_total",
+                    "sample-search phases skipped by reusing a prior RoutingDecision",
+                ).inc()
+            else:
+                routing = self.router.route(q, self.datastore, m, exclude=exclude)
             route_span.set(
                 fanout=routing.fanout, failed_clusters=len(routing.failed_clusters)
             )
         latency.observe(clock() - phase_start, phase="route")
-        if self.health is not None:
+        if self.health is not None and reuse is None:
+            # A reused decision's failed_clusters describe a *past* batch;
+            # re-penalising them would double-count old failures.
             for sid in routing.failed_clusters:
                 self.health.record_failure(sid)
         if len(exclude | routing.failed_clusters) >= n_shards:

@@ -1,13 +1,31 @@
-"""Online serving simulator: event-driven execution of the Hermes pipeline.
+"""Online serving: cache/batching frontend plus the event-driven simulator.
 
-Complements the closed-form multi-node model with a discrete-event simulation
-of batches contending for the GPU and the retrieval fleet, plus the fault
-models (crash-stop, transient, straggler) that chaos-test the fleet both
-per-batch (:mod:`repro.serving.faults` wrapping live shards) and at serving
-scale (:class:`FleetFaultSchedule` driving the simulator).
+Three layers:
+
+- the **serve-time frontend** (:mod:`repro.serving.cache`,
+  :mod:`repro.serving.frontend`): a multi-tier retrieval cache (exact /
+  semantic / routing reuse) and a dynamic batcher that coalesces and dedupes
+  cache-missing queries in front of the hierarchical searcher;
+- the **discrete-event simulator** complementing the closed-form multi-node
+  model with batches contending for the GPU and the retrieval fleet;
+- the **fault models** (crash-stop, transient, straggler) that chaos-test
+  the fleet both per-batch (:mod:`repro.serving.faults` wrapping live
+  shards) and at serving scale (:class:`FleetFaultSchedule` driving the
+  simulator).
 """
 
+from .cache import (
+    EXACT_HIT,
+    MISS,
+    ROUTING_HIT,
+    SEMANTIC_HIT,
+    CacheConfig,
+    CacheLookup,
+    RetrievalCache,
+    RetrievalCacheStats,
+)
 from .events import EventLoop, Resource
+from .frontend import BatcherStats, DynamicBatcher, FrontendResult, ServingFrontend
 from .faults import (
     CrashStop,
     FaultEvent,
@@ -33,6 +51,18 @@ from .simulator import (
 )
 
 __all__ = [
+    "MISS",
+    "EXACT_HIT",
+    "SEMANTIC_HIT",
+    "ROUTING_HIT",
+    "CacheConfig",
+    "CacheLookup",
+    "RetrievalCache",
+    "RetrievalCacheStats",
+    "BatcherStats",
+    "DynamicBatcher",
+    "FrontendResult",
+    "ServingFrontend",
     "EventLoop",
     "Resource",
     "CrashStop",

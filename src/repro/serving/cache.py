@@ -1,0 +1,416 @@
+"""Serve-time multi-tier retrieval cache (the RAGCache idea, retrieval-side).
+
+Hermes's own evaluation (Fig. 13) shows serve traffic is heavily skewed:
+NQ-like workloads concentrate on a few hot topics, so the same (or nearly the
+same) queries arrive over and over. RAGCache [Jin et al. 2024] exploits that
+redundancy on the *generation* side by caching document KV prefixes; this
+module exploits it on the *retrieval* side, in front of
+:class:`~repro.core.hierarchical.HierarchicalSearcher`, with three tiers of
+decreasing strictness:
+
+- **exact tier** — a dict keyed by the blake2b digest of the raw query
+  embedding bytes plus the search parameters. A hit returns the cached
+  ``(distances, ids)`` rows *bit-identically*: the exact path never changes
+  results, only latency.
+- **semantic tier** — an LRU ring of cached query vectors, matched by cosine
+  similarity in **one GEMM per lookup batch**. A query within
+  ``semantic_threshold`` of a cached query reuses that query's results; this
+  trades a measured (benchmarked) NDCG delta for skipping retrieval entirely.
+- **routing tier** — a looser cosine threshold under which only the cached
+  :class:`~repro.core.router.RoutingDecision` is reused: the query still
+  deep-searches, but skips the sample-search fan-out across every shard
+  (the dominant fixed cost for small batches).
+
+All entries share one LRU ring bounded by ``capacity``; eviction, hits, and
+misses are counted both on :class:`RetrievalCacheStats` (per-cache, for
+tests/benchmarks) and on the process metrics registry
+(``retrieval_cache_lookups_total`` / ``_evictions_total`` / ``_size``), and
+each batched lookup runs under a ``cache_lookup`` span.
+
+Degraded search results (missing shards) are never inserted: caching a
+partial answer would keep serving it after the fleet recovers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ann.distances import as_matrix
+from ..core.router import RoutingDecision
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+
+__all__ = [
+    "MISS",
+    "EXACT_HIT",
+    "SEMANTIC_HIT",
+    "ROUTING_HIT",
+    "TIER_NAMES",
+    "CacheConfig",
+    "RetrievalCacheStats",
+    "CacheLookup",
+    "RetrievalCache",
+    "query_digest",
+]
+
+#: Lookup outcome kinds, strongest to weakest.
+MISS, EXACT_HIT, SEMANTIC_HIT, ROUTING_HIT = 0, 1, 2, 3
+TIER_NAMES = {
+    MISS: "miss",
+    EXACT_HIT: "exact_hit",
+    SEMANTIC_HIT: "semantic_hit",
+    ROUTING_HIT: "routing_hit",
+}
+
+
+def query_digest(row: np.ndarray, params_key: tuple) -> bytes:
+    """Exact-tier key: digest of the raw embedding bytes + search params.
+
+    Keyed on the float32 bit pattern, so two queries collide only when they
+    are the *same vector* — the precondition for the bit-identical contract.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(row, dtype=np.float32).tobytes())
+    h.update(repr(params_key).encode())
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Tunables of the serve-time retrieval cache.
+
+    ``capacity`` bounds the number of cached query entries (one LRU ring
+    shared by every tier). ``semantic_threshold`` / ``routing_threshold`` are
+    cosine similarities in (0, 1]; ``None`` disables that tier. The routing
+    threshold must be the looser (smaller) of the two: a query similar enough
+    to reuse full results is certainly similar enough to reuse routing.
+    """
+
+    capacity: int = 1024
+    semantic_threshold: float | None = 0.995
+    routing_threshold: float | None = 0.98
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        for name in ("semantic_threshold", "routing_threshold"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if (
+            self.semantic_threshold is not None
+            and self.routing_threshold is not None
+            and self.routing_threshold > self.semantic_threshold
+        ):
+            raise ValueError(
+                "routing_threshold must not exceed semantic_threshold "
+                f"({self.routing_threshold} > {self.semantic_threshold})"
+            )
+
+
+@dataclass
+class RetrievalCacheStats:
+    """Per-cache counters (the registry carries the process-wide view)."""
+
+    exact_hits: int = 0
+    semantic_hits: int = 0
+    routing_hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.exact_hits + self.semantic_hits + self.routing_hits + self.misses
+
+    @property
+    def result_hits(self) -> int:
+        """Lookups that skipped retrieval entirely (exact + semantic)."""
+        return self.exact_hits + self.semantic_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that returned full cached results."""
+        if not self.lookups:
+            return 0.0
+        return self.result_hits / self.lookups
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One cached query: its results and the routing that produced them."""
+
+    digest: bytes
+    params_key: tuple
+    distances: np.ndarray
+    ids: np.ndarray
+    routing_clusters: np.ndarray
+    routing_scores: np.ndarray
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of one batched lookup.
+
+    ``kinds[i]`` classifies query *i* (``MISS`` / ``EXACT_HIT`` /
+    ``SEMANTIC_HIT`` / ``ROUTING_HIT``); ``distances`` / ``ids`` rows are
+    populated for result hits (exact + semantic) and are undefined (inf/-1)
+    elsewhere. ``routing_entries[i]`` carries the cached
+    ``(clusters, scores)`` rows for routing hits. ``digests`` are the
+    exact-tier keys, reusable by the caller for in-batch deduplication.
+    """
+
+    kinds: np.ndarray
+    distances: np.ndarray
+    ids: np.ndarray
+    similarities: np.ndarray
+    digests: list
+    routing_entries: list = field(default_factory=list)
+
+    @property
+    def result_rows(self) -> np.ndarray:
+        """Indices whose distances/ids rows are served from cache."""
+        return np.flatnonzero(
+            (self.kinds == EXACT_HIT) | (self.kinds == SEMANTIC_HIT)
+        )
+
+    @property
+    def miss_rows(self) -> np.ndarray:
+        """Indices that must deep-search (full misses + routing-only hits)."""
+        return np.flatnonzero((self.kinds == MISS) | (self.kinds == ROUTING_HIT))
+
+    def routing_for(self, rows: np.ndarray) -> RoutingDecision:
+        """Stack the cached routing rows for *rows* into one batch decision."""
+        entries = [self.routing_entries[int(r)] for r in rows]
+        if any(e is None for e in entries):
+            raise ValueError("routing_for called on rows without a routing hit")
+        clusters = np.stack([e.routing_clusters for e in entries]).astype(np.int64)
+        scores = np.stack([e.routing_scores for e in entries]).astype(np.float32)
+        return RoutingDecision(clusters=clusters, scores=scores)
+
+
+class RetrievalCache:
+    """The multi-tier cache itself. Thread-safe; one lock, GEMM inside.
+
+    Vectors live in a pre-allocated ``(capacity, dim)`` ring so the semantic
+    and routing tiers cost exactly one ``(batch, capacity)`` GEMM per lookup
+    batch regardless of occupancy; recency is a vectorized ``last_used``
+    array and eviction is ``argmin`` over it (true LRU).
+    """
+
+    def __init__(self, config: CacheConfig | None = None, *, dim: int | None = None) -> None:
+        self.config = config or CacheConfig()
+        self.stats = RetrievalCacheStats()
+        self._lock = threading.Lock()
+        self._dim = dim
+        self._vectors: np.ndarray | None = None
+        if dim is not None:
+            self._vectors = np.zeros((self.config.capacity, dim), dtype=np.float32)
+        self._entries: list = [None] * self.config.capacity
+        self._valid = np.zeros(self.config.capacity, dtype=bool)
+        self._last_used = np.zeros(self.config.capacity, dtype=np.int64)
+        self._clock = 0
+        self._exact: dict = {}
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return int(self._valid.sum())
+
+    @property
+    def capacity(self) -> int:
+        return self.config.capacity
+
+    def cached_digests(self) -> set:
+        with self._lock:
+            return set(self._exact)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries = [None] * self.config.capacity
+            self._valid[:] = False
+            self._last_used[:] = 0
+            self._exact.clear()
+
+    # -- internals (caller holds the lock) ----------------------------------
+    def _ensure_dim(self, dim: int) -> None:
+        if self._vectors is None:
+            self._dim = dim
+            self._vectors = np.zeros((self.config.capacity, dim), dtype=np.float32)
+        elif dim != self._dim:
+            raise ValueError(f"query dim {dim} != cache dim {self._dim}")
+
+    def _touch(self, slot: int) -> None:
+        self._clock += 1
+        self._last_used[slot] = self._clock
+
+    def _normalized(self, q: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(q, axis=1, keepdims=True)
+        return q / np.maximum(norms, 1e-12)
+
+    # -- lookup -------------------------------------------------------------
+    def lookup(self, queries: np.ndarray, k: int, params_key: tuple) -> CacheLookup:
+        """Classify a query batch against all three tiers.
+
+        ``k`` sizes the output rows; ``params_key`` must capture every
+        parameter that changes search results (k, fanout, nprobe, ...) —
+        entries cached under different parameters never match.
+        """
+        q = as_matrix(queries)
+        nq = len(q)
+        cfg = self.config
+        registry = get_registry()
+        lookups = registry.counter(
+            "retrieval_cache_lookups_total",
+            "serve-time retrieval cache lookups by outcome tier",
+        )
+        kinds = np.zeros(nq, dtype=np.int8)
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+        sims = np.full(nq, np.nan, dtype=np.float64)
+        routing_entries: list = [None] * nq
+        digests = [query_digest(row, params_key) for row in q]
+        semantic_on = cfg.semantic_threshold is not None
+        routing_on = cfg.routing_threshold is not None
+
+        with self._lock, get_tracer().span("cache_lookup", batch=nq) as span:
+            self._ensure_dim(q.shape[1])
+            # Tier 1: exact digests.
+            pending = []
+            for i, digest in enumerate(digests):
+                slot = self._exact.get(digest)
+                if slot is not None:
+                    entry = self._entries[slot]
+                    kinds[i] = EXACT_HIT
+                    out_d[i] = entry.distances
+                    out_i[i] = entry.ids
+                    sims[i] = 1.0
+                    self._touch(slot)
+                else:
+                    pending.append(i)
+
+            # Tiers 2+3: one GEMM against the whole ring for the remainder.
+            valid_slots = np.flatnonzero(self._valid)
+            if pending and len(valid_slots) and (semantic_on or routing_on):
+                rows = np.asarray(pending, dtype=np.int64)
+                qn = self._normalized(q[rows].astype(np.float32, copy=False))
+                ring = self._vectors[valid_slots]
+                gram = qn @ ring.T  # cached vectors are stored normalized
+                best = np.argmax(gram, axis=1)
+                best_sim = gram[np.arange(len(rows)), best]
+                sims[rows] = best_sim
+                for j, i in enumerate(rows):
+                    slot = int(valid_slots[best[j]])
+                    entry = self._entries[slot]
+                    sim = float(best_sim[j])
+                    if entry.params_key != params_key:
+                        continue  # cached under different search params
+                    if semantic_on and sim >= cfg.semantic_threshold:
+                        kinds[i] = SEMANTIC_HIT
+                        out_d[i] = entry.distances
+                        out_i[i] = entry.ids
+                        self._touch(slot)
+                    elif routing_on and sim >= cfg.routing_threshold:
+                        kinds[i] = ROUTING_HIT
+                        routing_entries[i] = entry
+                        self._touch(slot)
+
+            counts = {
+                name: int((kinds == kind).sum()) for kind, name in TIER_NAMES.items()
+            }
+            span.set(**counts)
+            self.stats.exact_hits += counts["exact_hit"]
+            self.stats.semantic_hits += counts["semantic_hit"]
+            self.stats.routing_hits += counts["routing_hit"]
+            self.stats.misses += counts["miss"]
+        for name, count in counts.items():
+            if count:
+                lookups.inc(count, tier=name)
+        return CacheLookup(
+            kinds=kinds,
+            distances=out_d,
+            ids=out_i,
+            similarities=sims,
+            digests=digests,
+            routing_entries=routing_entries,
+        )
+
+    # -- insertion ----------------------------------------------------------
+    def insert(
+        self,
+        queries: np.ndarray,
+        result,
+        params_key: tuple,
+        *,
+        rows: np.ndarray | None = None,
+    ) -> int:
+        """Cache the search outcome of (a subset of) a query batch.
+
+        ``result`` is the :class:`~repro.core.hierarchical.SearchResult` of
+        searching exactly these queries; ``rows`` optionally restricts the
+        insertion to a subset of batch indices (e.g. only the deduplicated
+        representatives). Degraded results are refused — a partial answer
+        must not outlive the fault that caused it. Returns entries written.
+        """
+        if getattr(result, "degraded", False):
+            return 0
+        q = as_matrix(queries)
+        if rows is None:
+            rows = np.arange(len(q))
+        registry = get_registry()
+        written = 0
+        with self._lock:
+            self._ensure_dim(q.shape[1])
+            for i in rows:
+                i = int(i)
+                digest = query_digest(q[i], params_key)
+                entry = _Entry(
+                    digest=digest,
+                    params_key=params_key,
+                    distances=np.array(result.distances[i], copy=True),
+                    ids=np.array(result.ids[i], copy=True),
+                    routing_clusters=np.array(result.routing.clusters[i], copy=True),
+                    routing_scores=np.array(result.routing.scores[i], copy=True),
+                )
+                slot = self._exact.get(digest)
+                if slot is None:
+                    slot = self._allocate_slot()
+                    self._exact[digest] = slot
+                self._entries[slot] = entry
+                self._vectors[slot] = self._normalized(
+                    q[i : i + 1].astype(np.float32, copy=False)
+                )[0]
+                self._valid[slot] = True
+                self._touch(slot)
+                written += 1
+            self.stats.inserts += written
+            size = int(self._valid.sum())
+        if written:
+            registry.counter(
+                "retrieval_cache_inserts_total", "entries written to the retrieval cache"
+            ).inc(written)
+        registry.gauge(
+            "retrieval_cache_size", "live entries in the retrieval cache"
+        ).set(size)
+        return written
+
+    def _allocate_slot(self) -> int:
+        """Free slot if any, else evict the least-recently-used entry."""
+        free = np.flatnonzero(~self._valid)
+        if len(free):
+            return int(free[0])
+        used = np.where(self._valid, self._last_used, np.iinfo(np.int64).max)
+        victim = int(np.argmin(used))
+        evicted = self._entries[victim]
+        if evicted is not None:
+            self._exact.pop(evicted.digest, None)
+        self._valid[victim] = False
+        self.stats.evictions += 1
+        get_registry().counter(
+            "retrieval_cache_evictions_total", "LRU evictions from the retrieval cache"
+        ).inc()
+        return victim

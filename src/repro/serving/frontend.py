@@ -1,0 +1,388 @@
+"""Serving frontend: retrieval cache + in-batch dedupe + dynamic batching.
+
+The piece that turns the offline :class:`HierarchicalSearcher` into a
+serve-time component. Two layers:
+
+- :class:`ServingFrontend` — synchronous batch façade. Each batch is looked
+  up in the :class:`~repro.serving.cache.RetrievalCache` first; exact and
+  semantic hits are answered from cache, identical cache-missing queries are
+  collapsed to one representative (in-batch dedupe), routing-tier hits
+  deep-search with their cached
+  :class:`~repro.core.router.RoutingDecision` (skipping sample search), and
+  only the remaining unique misses pay the full route + deep-search path.
+  Fresh results are inserted back into the cache.
+- :class:`DynamicBatcher` — request-level coalescing. Callers ``submit()``
+  single queries and get futures; a worker thread drains the queue, holding
+  the first request of a batch for at most ``max_wait_s`` while up to
+  ``max_batch`` compatible requests (same search parameters) accumulate,
+  then executes the merged batch through the frontend under a ``coalesce``
+  span. This is the deadline-budget batching that converts redundant serve
+  traffic into the cell-major scan's batch efficiency.
+
+Exact-hit answers replay the cached rows bit-for-bit, so a warm pass is
+bit-identical to the search that populated it; when dedupe or partial hits
+shrink the sub-batch that re-searches, ids still match an uncached run of
+the whole batch exactly and distances to float32 GEMM accumulation
+(``tests/serving/test_frontend.py`` asserts both). The semantic tier's NDCG
+delta is measured by ``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ann.distances import as_matrix
+from ..core.hierarchical import HierarchicalSearcher, SearchResult
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .cache import (
+    EXACT_HIT,
+    MISS,
+    ROUTING_HIT,
+    SEMANTIC_HIT,
+    CacheConfig,
+    CacheLookup,
+    RetrievalCache,
+)
+
+__all__ = ["FrontendResult", "ServingFrontend", "DynamicBatcher", "BatcherStats"]
+
+#: Coalesced-batch-size histogram buckets (requests, not seconds).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class FrontendResult:
+    """One served batch: merged cache hits + fresh search results.
+
+    ``kinds`` carries the per-query cache classification
+    (:data:`~repro.serving.cache.MISS` / ``EXACT_HIT`` / ``SEMANTIC_HIT`` /
+    ``ROUTING_HIT``); ``searched`` counts the unique queries that actually
+    reached the searcher after dedupe, and ``shard_queries`` the deep-search
+    work they issued (0 for a fully cache-served batch).
+    """
+
+    distances: np.ndarray
+    ids: np.ndarray
+    kinds: np.ndarray
+    searched: int
+    shard_queries: int
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.ids)
+
+    @property
+    def exact_hits(self) -> int:
+        return int((self.kinds == EXACT_HIT).sum())
+
+    @property
+    def semantic_hits(self) -> int:
+        return int((self.kinds == SEMANTIC_HIT).sum())
+
+    @property
+    def routing_hits(self) -> int:
+        return int((self.kinds == ROUTING_HIT).sum())
+
+    @property
+    def misses(self) -> int:
+        return int((self.kinds == MISS).sum())
+
+
+class ServingFrontend:
+    """Cache-fronted façade over a :class:`HierarchicalSearcher`."""
+
+    def __init__(
+        self,
+        searcher: HierarchicalSearcher,
+        *,
+        cache: RetrievalCache | None = None,
+        cache_config: CacheConfig | None = None,
+    ) -> None:
+        if cache is not None and cache_config is not None:
+            raise ValueError("pass either cache or cache_config, not both")
+        self.searcher = searcher
+        self.cache = cache if cache is not None else RetrievalCache(cache_config)
+
+    # -- parameter resolution (mirrors HierarchicalSearcher.search) ---------
+    def _params_key(
+        self, k: int | None, clusters_to_search: int | None, deep_nprobe: int | None
+    ) -> tuple:
+        cfg = self.searcher.config
+        k = cfg.k if k is None else int(k)
+        m = cfg.clusters_to_search if clusters_to_search is None else int(clusters_to_search)
+        nprobe = cfg.deep_nprobe if deep_nprobe is None else int(deep_nprobe)
+        return (k, m, nprobe)
+
+    def search(
+        self,
+        queries: np.ndarray,
+        *,
+        k: int | None = None,
+        clusters_to_search: int | None = None,
+        deep_nprobe: int | None = None,
+    ) -> FrontendResult:
+        """Serve a query batch through the cache, searching only the misses."""
+        q = as_matrix(queries)
+        nq = len(q)
+        k_eff, m_eff, nprobe_eff = self._params_key(k, clusters_to_search, deep_nprobe)
+        params_key = (k_eff, m_eff, nprobe_eff)
+        registry = get_registry()
+        registry.counter(
+            "frontend_requests_total", "queries served by the frontend"
+        ).inc(nq)
+
+        lookup = self.cache.lookup(q, k_eff, params_key)
+        out_d = lookup.distances.copy()
+        out_i = lookup.ids.copy()
+
+        searched = 0
+        shard_queries = 0
+        miss_rows = lookup.miss_rows
+        if len(miss_rows):
+            searched, shard_queries = self._search_misses(
+                q, lookup, miss_rows, out_d, out_i, params_key
+            )
+        if searched < len(miss_rows):
+            registry.counter(
+                "frontend_dedup_collapsed_total",
+                "cache-missing queries answered by an in-batch duplicate",
+            ).inc(len(miss_rows) - searched)
+        return FrontendResult(
+            distances=out_d,
+            ids=out_i,
+            kinds=lookup.kinds,
+            searched=searched,
+            shard_queries=shard_queries,
+        )
+
+    def _search_misses(
+        self,
+        q: np.ndarray,
+        lookup: CacheLookup,
+        miss_rows: np.ndarray,
+        out_d: np.ndarray,
+        out_i: np.ndarray,
+        params_key: tuple,
+    ) -> tuple:
+        """Dedupe + fan the cache-missing rows into the searcher.
+
+        Identical queries (same digest) collapse to one representative; the
+        representatives split into two sub-batches — full misses (fresh
+        routing) and routing-tier hits (cached routing) — each searched once.
+        """
+        k_eff, m_eff, nprobe_eff = params_key
+        rep_of: dict = {}
+        groups: dict = {}
+        for i in miss_rows:
+            i = int(i)
+            digest = lookup.digests[i]
+            rep = rep_of.setdefault(digest, i)
+            groups.setdefault(rep, []).append(i)
+        reps = sorted(groups)
+        plain = [r for r in reps if lookup.kinds[r] == MISS]
+        routed = [r for r in reps if lookup.kinds[r] == ROUTING_HIT]
+
+        searched = 0
+        shard_queries = 0
+
+        def run(rows: list, routing) -> SearchResult:
+            sub = q[np.asarray(rows, dtype=np.int64)]
+            return self.searcher.search(
+                sub,
+                k=k_eff,
+                clusters_to_search=m_eff,
+                deep_nprobe=nprobe_eff,
+                routing=routing,
+            )
+
+        for rows, routing in (
+            (plain, None),
+            (routed, lookup.routing_for(np.asarray(routed)) if routed else None),
+        ):
+            if not rows:
+                continue
+            result = run(rows, routing)
+            searched += len(rows)
+            shard_queries += result.shard_queries
+            for j, rep in enumerate(rows):
+                for i in groups[rep]:
+                    out_d[i] = result.distances[j]
+                    out_i[i] = result.ids[j]
+            self.cache.insert(
+                q[np.asarray(rows, dtype=np.int64)], result, params_key
+            )
+        return searched, shard_queries
+
+
+@dataclass
+class BatcherStats:
+    """Coalescing accounting for one :class:`DynamicBatcher`."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.requests / self.batches
+
+
+class _Pending:
+    __slots__ = ("query", "params", "future", "enqueued_s")
+
+    def __init__(self, query, params, future, enqueued_s):
+        self.query = query
+        self.params = params
+        self.future = future
+        self.enqueued_s = enqueued_s
+
+
+class DynamicBatcher:
+    """Deadline-budget coalescing of single-query requests.
+
+    ``submit()`` returns a future resolving to ``(distances, ids, kind)`` for
+    that one query. The worker thread holds a batch open for at most
+    ``max_wait_s`` after its first request arrives (the deadline budget),
+    coalescing up to ``max_batch`` requests with identical search parameters;
+    requests with different parameters stay queued for the next batch.
+    """
+
+    def __init__(
+        self,
+        frontend: ServingFrontend,
+        *,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        clock=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be non-negative, got {max_wait_s}")
+        self.frontend = frontend
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.stats = BatcherStats()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._queue: deque = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="serving-frontend-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- client side --------------------------------------------------------
+    def submit(
+        self,
+        query: np.ndarray,
+        *,
+        k: int | None = None,
+        clusters_to_search: int | None = None,
+        deep_nprobe: int | None = None,
+    ) -> Future:
+        """Enqueue one query; resolves to ``(distances, ids, kind)`` rows."""
+        query = np.asarray(query, dtype=np.float32)
+        if query.ndim != 1:
+            raise ValueError(f"submit takes one (dim,) query, got shape {query.shape}")
+        params = (k, clusters_to_search, deep_nprobe)
+        future: Future = Future()
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.append(_Pending(query, params, future, self._clock()))
+            self._cv.notify()
+        return future
+
+    def close(self) -> None:
+        """Drain outstanding requests, then stop the worker."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        self._worker.join()
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- worker side --------------------------------------------------------
+    def _take_batch(self) -> list:
+        """Block for the first request, then coalesce under the deadline."""
+        with self._cv:
+            while not self._queue:
+                if self._closed:
+                    return []
+                self._cv.wait(0.05)
+            head = self._queue.popleft()
+            batch = [head]
+            deadline = self._clock() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                if not self._queue:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._cv.wait(min(remaining, 0.05))
+                    continue
+                if self._queue[0].params != head.params:
+                    break  # incompatible request opens the next batch
+                batch.append(self._queue.popleft())
+        return batch
+
+    def _run(self) -> None:
+        registry = get_registry()
+        tracer = get_tracer()
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                with self._cv:
+                    if self._closed and not self._queue:
+                        return
+                continue
+            queries = np.stack([p.query for p in batch])
+            k, m, nprobe = batch[0].params
+            wait_s = self._clock() - batch[0].enqueued_s
+            try:
+                with tracer.span(
+                    "coalesce", batch=len(batch), wait_s=round(wait_s, 6)
+                ):
+                    result = self.frontend.search(
+                        queries, k=k, clusters_to_search=m, deep_nprobe=nprobe
+                    )
+            except BaseException as exc:  # noqa: BLE001 — fail the futures, not the worker
+                for p in batch:
+                    p.future.set_exception(exc)
+                continue
+            self.stats.requests += len(batch)
+            self.stats.batches += 1
+            self.stats.max_batch = max(self.stats.max_batch, len(batch))
+            registry.counter(
+                "frontend_coalesced_batches_total", "batches formed by the dynamic batcher"
+            ).inc()
+            registry.histogram(
+                "frontend_batch_size",
+                "requests coalesced per frontend batch",
+                buckets=BATCH_SIZE_BUCKETS,
+            ).observe(len(batch))
+            registry.histogram(
+                "frontend_coalesce_wait_seconds",
+                "time the head request waited while its batch formed",
+            ).observe(max(wait_s, 0.0))
+            for row, p in enumerate(batch):
+                p.future.set_result(
+                    (
+                        result.distances[row],
+                        result.ids[row],
+                        int(result.kinds[row]),
+                    )
+                )

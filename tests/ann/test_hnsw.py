@@ -102,3 +102,44 @@ class TestMemory:
         big = HNSWIndex(16, m=16, ef_construction=24, seed=0)
         big.add(data[:200])
         assert big.memory_bytes() > small.memory_bytes()
+
+
+class TestNeighbourSelection:
+    @staticmethod
+    def _reference_select(index, candidates, m):
+        """Algorithm 4 with per-candidate distance calls (pre-vectorization)."""
+        selected = []
+        for dist, cand in candidates:
+            if len(selected) >= m:
+                break
+            if not selected or all(
+                dist <= float(index._distance(index._vectors[cand], [s])[0])
+                for s in selected
+            ):
+                selected.append(cand)
+        if len(selected) < m:
+            chosen = set(selected)
+            for _, cand in candidates:
+                if len(selected) >= m:
+                    break
+                if cand not in chosen:
+                    selected.append(cand)
+                    chosen.add(cand)
+        return selected
+
+    def test_matches_reference_randomized(self, built, data):
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            query = data[rng.integers(len(data))]
+            n_cand = int(rng.integers(2, 24))
+            ids = rng.choice(built.ntotal, size=n_cand, replace=False)
+            dists = built._distance(query, ids)
+            candidates = sorted(zip(dists.tolist(), ids.tolist()))
+            m = int(rng.integers(1, 12))
+            fast = built._select_neighbours(candidates, m)
+            ref = self._reference_select(built, candidates, m)
+            assert fast == ref, trial
+
+    def test_single_candidate(self, built):
+        assert built._select_neighbours([(0.5, 7)], 4) == [7]
+        assert built._select_neighbours([], 4) == []

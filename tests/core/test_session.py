@@ -105,3 +105,73 @@ class TestSessionAnalyses:
             trace.document_overlap()
         with pytest.raises(ValueError):
             trace.routing_stability()
+
+
+class TestRoutingReuse:
+    def make_session(self, stack, **kwargs):
+        _, searcher, encoder, store = stack
+        return StridedRAGSession(
+            searcher, encoder, store, stride_tokens=16, seed=1, **kwargs
+        )
+
+    def test_reuse_skips_sample_search(self, stack):
+        vocab = stack[0]
+        trace = self.make_session(stack, reuse_routing=True).run(
+            topic_query(vocab, 0), n_strides=10
+        )
+        assert trace.routing_reuse_fraction > 0
+        # The first stride has no previous routing to reuse, and reuse only
+        # starts after two fresh routings agree.
+        assert not trace.steps[0].routing_reused
+        assert not trace.steps[1].routing_reused
+
+    def test_reuse_bounded_by_max_routing_reuse(self, stack):
+        vocab = stack[0]
+        trace = self.make_session(
+            stack, reuse_routing=True, max_routing_reuse=2
+        ).run(topic_query(vocab, 1), n_strides=12)
+        run_length = 0
+        for step in trace.steps:
+            run_length = run_length + 1 if step.routing_reused else 0
+            assert run_length <= 2
+
+    def test_disabled_by_default(self, stack):
+        vocab = stack[0]
+        trace = self.make_session(stack).run(topic_query(vocab, 2), n_strides=8)
+        assert trace.routing_reuse_fraction == 0.0
+
+    def test_validation(self, stack):
+        with pytest.raises(ValueError):
+            self.make_session(stack, routing_stability_threshold=1.5)
+        with pytest.raises(ValueError):
+            self.make_session(stack, max_routing_reuse=0)
+
+
+class TestPrefixCacheReplay:
+    def test_measured_hit_rate_matches_offline_replay(self, stack):
+        from repro.baselines.ragcache import simulate_cache_hit_rate
+        from repro.llm.kvcache import PrefixCache
+
+        vocab, searcher, encoder, store = stack
+        capacity = 1_000_000  # big enough that nothing evicts
+        session = StridedRAGSession(
+            searcher,
+            encoder,
+            store,
+            stride_tokens=16,
+            seed=1,
+            prefix_cache=PrefixCache(capacity=capacity),
+        )
+        trace = session.run(topic_query(vocab, 3), n_strides=8)
+        assert trace.measured_prefix_hit_rate is not None
+        offline = simulate_cache_hit_rate(trace.stride_results(), capacity=capacity)
+        assert trace.measured_prefix_hit_rate == pytest.approx(offline)
+
+    def test_not_measured_without_cache(self, stack):
+        vocab = stack[0]
+        _, searcher, encoder, store = stack
+        trace = StridedRAGSession(searcher, encoder, store, seed=1).run(
+            topic_query(vocab, 0), n_strides=4
+        )
+        assert trace.prefix_stats is None
+        assert trace.measured_prefix_hit_rate is None

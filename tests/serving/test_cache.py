@@ -1,0 +1,248 @@
+"""Tests for the serve-time multi-tier retrieval cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchical import HermesSearcher
+from repro.core.router import RoutingDecision
+from repro.datastore.embeddings import zipf_weights
+from repro.serving.cache import (
+    EXACT_HIT,
+    MISS,
+    ROUTING_HIT,
+    SEMANTIC_HIT,
+    CacheConfig,
+    RetrievalCache,
+    query_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def searcher(clustered):
+    return HermesSearcher(clustered)
+
+
+@pytest.fixture(scope="module")
+def queries(small_queries):
+    return small_queries.embeddings
+
+
+PARAMS = (5, 3, 128)  # (k, clusters_to_search, deep_nprobe)
+
+
+class FakeResult:
+    """Minimal SearchResult stand-in for cache-only tests."""
+
+    def __init__(self, nq: int, k: int = 4, m: int = 2, n_clusters: int = 4):
+        self.distances = np.zeros((nq, k), dtype=np.float32)
+        self.ids = np.arange(nq * k, dtype=np.int64).reshape(nq, k)
+        self.routing = RoutingDecision(
+            clusters=np.zeros((nq, m), dtype=np.int64),
+            scores=np.zeros((nq, n_clusters), dtype=np.float32),
+        )
+        self.degraded = False
+
+
+def key_vector(key: int, dim: int = 6) -> np.ndarray:
+    """A deterministic, well-separated unit vector per integer key."""
+    rng = np.random.default_rng(10_000 + key)
+    v = rng.normal(size=dim).astype(np.float32)
+    return v / np.linalg.norm(v)
+
+
+def rotated(q: np.ndarray, cosine: float, seed: int = 0) -> np.ndarray:
+    """A vector at exactly the requested cosine similarity to *q*."""
+    qn = q / np.linalg.norm(q)
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=q.shape).astype(np.float64)
+    u -= (u @ qn) * qn
+    u /= np.linalg.norm(u)
+    out = cosine * qn + np.sqrt(1.0 - cosine**2) * u
+    return out.astype(np.float32)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=0)
+        with pytest.raises(ValueError):
+            CacheConfig(semantic_threshold=1.5)
+        with pytest.raises(ValueError):
+            CacheConfig(routing_threshold=0.0)
+        # Routing must be the looser (smaller) threshold.
+        with pytest.raises(ValueError):
+            CacheConfig(semantic_threshold=0.9, routing_threshold=0.99)
+
+    def test_single_tier_configs_allowed(self):
+        CacheConfig(semantic_threshold=None, routing_threshold=0.8)
+        CacheConfig(semantic_threshold=0.99, routing_threshold=None)
+
+
+class TestDigest:
+    def test_sensitive_to_vector_bits_and_params(self):
+        q = key_vector(1)
+        assert query_digest(q, PARAMS) == query_digest(q.copy(), PARAMS)
+        bumped = q.copy()
+        bumped[0] = np.nextafter(bumped[0], np.float32(np.inf))
+        assert query_digest(bumped, PARAMS) != query_digest(q, PARAMS)
+        assert query_digest(q, (10, 3, 128)) != query_digest(q, PARAMS)
+
+
+class TestExactTier:
+    def test_warm_lookup_bit_identical(self, searcher, queries):
+        q = queries[:8]
+        cache = RetrievalCache(CacheConfig(capacity=32))
+        cold = cache.lookup(q, PARAMS[0], PARAMS)
+        assert (cold.kinds == MISS).all()
+        result = searcher.search(q, k=PARAMS[0])
+        cache.insert(q, result, PARAMS)
+        warm = cache.lookup(q, PARAMS[0], PARAMS)
+        assert (warm.kinds == EXACT_HIT).all()
+        assert np.array_equal(warm.ids, result.ids)
+        assert np.array_equal(warm.distances, result.distances)
+
+    def test_params_mismatch_never_matches(self, searcher, queries):
+        q = queries[:2]
+        cache = RetrievalCache(CacheConfig(capacity=8))
+        cache.insert(q, searcher.search(q, k=5), PARAMS)
+        other = (10, 3, 128)
+        miss = cache.lookup(q, 10, other)
+        assert (miss.kinds == MISS).all()
+
+    def test_degraded_results_refused(self, queries):
+        cache = RetrievalCache(CacheConfig(capacity=8))
+        fake = FakeResult(2)
+        fake.degraded = True
+        assert cache.insert(queries[:2], fake, PARAMS) == 0
+        assert len(cache) == 0
+
+
+class TestSemanticAndRoutingTiers:
+    def make_cache(self, **kwargs):
+        cfg = CacheConfig(
+            capacity=16,
+            semantic_threshold=kwargs.pop("semantic_threshold", 0.95),
+            routing_threshold=kwargs.pop("routing_threshold", 0.80),
+        )
+        return RetrievalCache(cfg)
+
+    def test_tier_assignment_by_similarity(self, searcher, queries):
+        base = queries[:1]
+        cache = self.make_cache()
+        result = searcher.search(base, k=5)
+        cache.insert(base, result, PARAMS)
+        semantic = cache.lookup(rotated(base[0], 0.99)[np.newaxis], 5, PARAMS)
+        routing = cache.lookup(rotated(base[0], 0.90)[np.newaxis], 5, PARAMS)
+        miss = cache.lookup(rotated(base[0], 0.50)[np.newaxis], 5, PARAMS)
+        assert semantic.kinds[0] == SEMANTIC_HIT
+        assert np.array_equal(semantic.ids[0], result.ids[0])
+        assert routing.kinds[0] == ROUTING_HIT
+        assert miss.kinds[0] == MISS
+
+    def test_routing_for_returns_cached_decision(self, searcher, queries):
+        base = queries[:1]
+        cache = self.make_cache()
+        result = searcher.search(base, k=5)
+        cache.insert(base, result, PARAMS)
+        lookup = cache.lookup(rotated(base[0], 0.90)[np.newaxis], 5, PARAMS)
+        decision = lookup.routing_for(lookup.miss_rows)
+        assert np.array_equal(decision.clusters, result.routing.clusters)
+        assert np.array_equal(decision.scores, result.routing.scores)
+
+    def test_disabled_tiers_miss(self, searcher, queries):
+        base = queries[:1]
+        cache = RetrievalCache(
+            CacheConfig(capacity=16, semantic_threshold=None, routing_threshold=None)
+        )
+        cache.insert(base, searcher.search(base, k=5), PARAMS)
+        near = cache.lookup(rotated(base[0], 0.9999)[np.newaxis], 5, PARAMS)
+        assert near.kinds[0] == MISS
+
+
+class TestEviction:
+    CAPACITY = 8
+
+    def fresh(self):
+        return RetrievalCache(
+            CacheConfig(
+                capacity=self.CAPACITY,
+                semantic_threshold=None,
+                routing_threshold=None,
+            )
+        )
+
+    def test_lru_evicts_oldest(self):
+        cache = self.fresh()
+        for key in range(10):
+            cache.insert(key_vector(key)[np.newaxis], FakeResult(1), PARAMS)
+        assert len(cache) == self.CAPACITY
+        assert cache.stats.evictions == 2
+        for key, expected in [(0, MISS), (1, MISS), (2, EXACT_HIT), (9, EXACT_HIT)]:
+            kind = cache.lookup(key_vector(key)[np.newaxis], 4, PARAMS).kinds[0]
+            assert kind == expected, key
+
+    def test_touch_on_hit_protects_entry(self):
+        cache = self.fresh()
+        for key in range(self.CAPACITY):
+            cache.insert(key_vector(key)[np.newaxis], FakeResult(1), PARAMS)
+        cache.lookup(key_vector(0)[np.newaxis], 4, PARAMS)  # refresh key 0
+        cache.insert(key_vector(100)[np.newaxis], FakeResult(1), PARAMS)
+        assert cache.lookup(key_vector(0)[np.newaxis], 4, PARAMS).kinds[0] == EXACT_HIT
+        assert cache.lookup(key_vector(1)[np.newaxis], 4, PARAMS).kinds[0] == MISS
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_respected_under_random_workload(self, keys):
+        cache = self.fresh()
+        for key in keys:
+            cache.insert(key_vector(key)[np.newaxis], FakeResult(1), PARAMS)
+            assert len(cache) <= self.CAPACITY
+            assert len(cache.cached_digests()) == len(cache)
+        if keys:
+            # The most recent insert always survives.
+            last = cache.lookup(key_vector(keys[-1])[np.newaxis], 4, PARAMS)
+            assert last.kinds[0] == EXACT_HIT
+        assert cache.stats.inserts == len(keys)
+
+
+class TestSkewSweep:
+    def test_hit_rate_monotone_in_zipf_skew(self):
+        """With the cache smaller than the pool, skew drives the hit rate."""
+        pool = np.stack([key_vector(i, dim=8) for i in range(64)])
+        rates = []
+        for alpha in (0.0, 0.8, 1.6, 2.4):
+            rng = np.random.default_rng(0)
+            stream = rng.choice(64, size=512, p=zipf_weights(64, exponent=alpha))
+            cache = RetrievalCache(
+                CacheConfig(
+                    capacity=16, semantic_threshold=None, routing_threshold=None
+                )
+            )
+            for idx in stream:
+                q = pool[int(idx)][np.newaxis]
+                if cache.lookup(q, 4, PARAMS).kinds[0] == MISS:
+                    cache.insert(q, FakeResult(1), PARAMS)
+            rates.append(cache.stats.hit_rate)
+        assert all(b > a for a, b in zip(rates, rates[1:])), rates
+
+
+class TestMetrics:
+    def test_registry_counters_emitted(self, queries):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            cache = RetrievalCache(CacheConfig(capacity=4))
+            cache.lookup(queries[:3], 4, PARAMS)
+            cache.insert(queries[:3], FakeResult(3), PARAMS)
+            cache.lookup(queries[:3], 4, PARAMS)
+            snap = fresh.snapshot()
+            assert snap['retrieval_cache_lookups_total{tier="miss"}'] == 3
+            assert snap['retrieval_cache_lookups_total{tier="exact_hit"}'] == 3
+            assert snap["retrieval_cache_inserts_total"] == 3
+            assert snap["retrieval_cache_size"] == 3
+        finally:
+            set_registry(previous)

@@ -1,0 +1,170 @@
+"""Tests for the serving frontend: cache façade + dynamic batcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import HermesSearcher
+from repro.serving.cache import (
+    EXACT_HIT,
+    MISS,
+    ROUTING_HIT,
+    SEMANTIC_HIT,
+    CacheConfig,
+    RetrievalCache,
+)
+from repro.serving.frontend import DynamicBatcher, ServingFrontend
+
+
+@pytest.fixture(scope="module")
+def searcher(clustered):
+    return HermesSearcher(clustered)
+
+
+@pytest.fixture(scope="module")
+def queries(small_queries):
+    return small_queries.embeddings
+
+
+def exact_only_frontend(searcher, capacity=64):
+    return ServingFrontend(
+        searcher,
+        cache_config=CacheConfig(
+            capacity=capacity, semantic_threshold=None, routing_threshold=None
+        ),
+    )
+
+
+def jitter(q: np.ndarray, scale: float, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (q + rng.normal(scale=scale, size=q.shape)).astype(np.float32)
+
+
+class TestExactPathEquivalence:
+    def test_cold_and_warm_match_direct_search(self, searcher, queries):
+        q = queries[:12]
+        frontend = exact_only_frontend(searcher)
+        direct = searcher.search(q, k=5)
+        cold = frontend.search(q, k=5)
+        warm = frontend.search(q, k=5)
+        for res, kinds in ((cold, MISS), (warm, EXACT_HIT)):
+            assert (res.kinds == kinds).all()
+            assert np.array_equal(res.ids, direct.ids)
+            assert np.array_equal(res.distances, direct.distances)
+        assert cold.searched == 12
+        assert warm.searched == 0 and warm.shard_queries == 0
+
+    def test_partial_hits_mix(self, searcher, queries):
+        frontend = exact_only_frontend(searcher)
+        frontend.search(queries[:4], k=5)
+        mixed = frontend.search(queries[:8], k=5)
+        assert (mixed.kinds[:4] == EXACT_HIT).all()
+        assert (mixed.kinds[4:] == MISS).all()
+        direct = searcher.search(queries[:8], k=5)
+        assert np.array_equal(mixed.ids, direct.ids)
+        # The miss rows re-search as a smaller sub-batch, so distances only
+        # match up to float32 GEMM accumulation (ids must still be exact).
+        assert np.allclose(mixed.distances, direct.distances, rtol=1e-5, atol=1e-6)
+
+    def test_in_batch_dedupe(self, searcher, queries):
+        q = np.repeat(queries[:4], 4, axis=0)  # 16 rows, 4 unique
+        frontend = exact_only_frontend(searcher)
+        res = frontend.search(q, k=5)
+        assert res.searched == 4
+        direct = searcher.search(q, k=5)
+        assert np.array_equal(res.ids, direct.ids)
+        # Dedupe searches 4 unique rows instead of 16: same ids, distances
+        # equal up to float32 GEMM accumulation.
+        assert np.allclose(res.distances, direct.distances, rtol=1e-5, atol=1e-6)
+        assert frontend.cache.stats.inserts == 4
+
+    def test_per_call_params_respected(self, searcher, queries):
+        frontend = exact_only_frontend(searcher)
+        frontend.search(queries[:2], k=5)
+        other_k = frontend.search(queries[:2], k=3)
+        assert (other_k.kinds == MISS).all()  # different params never hit
+        assert other_k.ids.shape == (2, 3)
+
+
+class TestSemanticAndRoutingPaths:
+    def test_near_duplicates_hit_semantic_tier(self, searcher, queries):
+        q = queries[:6]
+        frontend = ServingFrontend(
+            searcher,
+            cache_config=CacheConfig(
+                capacity=64, semantic_threshold=0.995, routing_threshold=0.98
+            ),
+        )
+        base = frontend.search(q, k=5)
+        near = frontend.search(jitter(q, 1e-3), k=5)
+        assert (near.kinds == SEMANTIC_HIT).all()
+        assert np.array_equal(near.ids, base.ids)
+        assert near.shard_queries == 0
+
+    def test_routing_tier_skips_sample_search(self, searcher, queries):
+        q = queries[:4]
+        cache = RetrievalCache(
+            CacheConfig(capacity=64, semantic_threshold=None, routing_threshold=0.9)
+        )
+        frontend = ServingFrontend(searcher, cache=cache)
+        frontend.search(q, k=5)
+        res = frontend.search(jitter(q, 2e-2), k=5)
+        assert (res.kinds == ROUTING_HIT).all()
+        assert res.searched == 4  # deep search still runs ...
+        assert cache.stats.routing_hits == 4  # ... but without sample search
+        assert (res.ids >= -1).all() and res.ids.shape == (4, 5)
+
+    def test_cache_and_config_mutually_exclusive(self, searcher):
+        with pytest.raises(ValueError):
+            ServingFrontend(
+                searcher, cache=RetrievalCache(), cache_config=CacheConfig()
+            )
+
+
+class TestDynamicBatcher:
+    def test_futures_match_batch_search(self, searcher, queries):
+        q = queries[:8]
+        frontend = exact_only_frontend(searcher)
+        direct = searcher.search(q, k=5)
+        with DynamicBatcher(frontend, max_batch=8, max_wait_s=0.05) as batcher:
+            futures = [batcher.submit(row, k=5) for row in q]
+            rows = [f.result(timeout=10) for f in futures]
+        for i, (dists, ids, kind) in enumerate(rows):
+            assert np.array_equal(ids, direct.ids[i])
+            assert np.array_equal(dists, direct.distances[i])
+            assert kind in (MISS, EXACT_HIT)
+        assert batcher.stats.requests == 8
+        assert batcher.stats.batches < 8  # coalescing actually happened
+
+    def test_max_batch_bounds_coalescing(self, searcher, queries):
+        frontend = exact_only_frontend(searcher)
+        with DynamicBatcher(frontend, max_batch=4, max_wait_s=0.05) as batcher:
+            futures = [batcher.submit(row, k=5) for row in queries[:8]]
+            for f in futures:
+                f.result(timeout=10)
+        assert batcher.stats.max_batch <= 4
+        assert batcher.stats.batches >= 2
+
+    def test_incompatible_params_split_batches(self, searcher, queries):
+        frontend = exact_only_frontend(searcher)
+        with DynamicBatcher(frontend, max_batch=8, max_wait_s=0.05) as batcher:
+            f1 = batcher.submit(queries[0], k=5)
+            f2 = batcher.submit(queries[1], k=3)
+            assert f1.result(timeout=10)[1].shape == (5,)
+            assert f2.result(timeout=10)[1].shape == (3,)
+        assert batcher.stats.batches == 2
+
+    def test_submit_after_close_raises(self, searcher, queries):
+        batcher = DynamicBatcher(exact_only_frontend(searcher), max_wait_s=0.0)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(queries[0])
+
+    def test_validation(self, searcher):
+        frontend = exact_only_frontend(searcher)
+        with pytest.raises(ValueError):
+            DynamicBatcher(frontend, max_batch=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(frontend, max_wait_s=-1.0)
+        with DynamicBatcher(frontend) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit(np.zeros((2, 4), dtype=np.float32))

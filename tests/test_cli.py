@@ -14,7 +14,7 @@ class TestParser:
         commands = set(sub.choices)
         assert commands == {
             "build", "build-index", "accuracy", "profile", "multinode",
-            "serve-sim", "faults", "trace", "reproduce",
+            "serve-sim", "cache", "faults", "trace", "reproduce",
         }
 
     def test_missing_command_errors(self):
@@ -78,6 +78,24 @@ class TestModelCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "throughput" in out and "gpu utilization" in out
+
+    def test_cache_sweep_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "cache_sweep.json")
+        assert main([
+            "cache", "--alphas", "0", "1.0", "--unique", "16",
+            "--requests", "64", "--batch", "16", "--k", "3",
+            "--capacity", "32", "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out and "speedup" in out
+        # The acceptance criterion: cache counters surface via obs metrics.
+        assert "retrieval_cache_lookups_total" in out
+        payload = json.loads(open(out_path).read())
+        assert payload["experiment"] == "serve_cache_skew_sweep"
+        assert len(payload["points"]) == 2
+        assert all(0.0 <= p["hit_rate"] <= 1.0 for p in payload["points"])
 
     def test_faults_sweep_writes_artifact(self, tmp_path, capsys):
         import json
