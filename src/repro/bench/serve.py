@@ -260,7 +260,7 @@ def _bench_batcher(spec: BenchSpec, searcher, pool, truth) -> dict:
         futures = [batcher.submit(pool[i], k=spec.k) for i in stream]
         rows = [f.result() for f in futures]
     wall = time.perf_counter() - t0
-    ids = np.stack([ids for _, ids, _ in rows])
+    ids = np.stack([served.ids for served in rows])
     stats = batcher.stats
     return {
         "requests": stats.requests,

@@ -13,6 +13,7 @@ reproduction::
     hermes-repro serve-sim --tokens 1e10 --batches 16
     hermes-repro cache --alphas 0 0.5 1.0 1.5 --out cache_sweep.json
     hermes-repro faults --killed 0 1 2 3 --out faults.json
+    hermes-repro overload --loads 0.5 1 2 --out overload.json
     hermes-repro trace retrieval --out trace.json
     hermes-repro reproduce --fast
 
@@ -272,6 +273,68 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from .experiments import overload
+    from .metrics.reporting import format_table
+    from .obs.metrics import get_registry
+
+    if args.smoke:
+        loads = tuple(args.loads) if 2.0 in args.loads else tuple(args.loads) + (2.0,)
+        report = overload.run(
+            loads,
+            n_requests=min(args.requests, 480),
+            deadline_ms=args.deadline_ms,
+            max_queue=args.max_queue,
+            k=args.k,
+            n_failover_queries=64,
+            seed=args.seed,
+        )
+    else:
+        report = overload.run(
+            tuple(args.loads),
+            n_requests=args.requests,
+            deadline_ms=args.deadline_ms,
+            max_queue=args.max_queue,
+            k=args.k,
+            seed=args.seed,
+        )
+    print(
+        format_table(
+            overload.TABLE_HEADERS,
+            overload.table_rows(report),
+            title=(
+                f"overload sweep: capacity {report.capacity_qps:.0f} qps, "
+                f"deadline {report.deadline_ms:.0f} ms, max queue {report.max_queue}"
+            ),
+        )
+    )
+    print("failover (mid-run node kill):")
+    for p in report.failover:
+        print(
+            f"  {p.config:12s} NDCG@{args.k} before {p.ndcg_before:.3f} / "
+            f"after {p.ndcg_after:.3f}"
+            + (f", failovers {p.failovers}, replicas out {p.replicas_out}"
+               if p.config == "replicated" else "")
+        )
+    snapshot = get_registry().snapshot()
+    print("overload metrics:")
+    for name in sorted(snapshot):
+        if name.startswith(("serving_", "retrieval_failovers", "retrieval_replica",
+                            "retrieval_deadline", "retrieval_retry_budget")):
+            print(f"  {name} = {snapshot[name]:g}")
+    if args.out:
+        overload.write_artifact(report, args.out)
+        print(f"overload artifact -> {args.out}")
+    if args.smoke:
+        problems = overload.smoke_check(report)
+        if problems:
+            for problem in problems:
+                print(f"SMOKE FAIL: {problem}")
+            return 1
+        print("smoke checks passed: admission goodput >= unbounded at 2x; failover holds NDCG")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .experiments import tracing
 
@@ -407,6 +470,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="write the JSON artifact here")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "overload",
+        help="open-loop overload sweep: goodput/p99/shedding + replica failover",
+    )
+    p.add_argument(
+        "--loads", type=float, nargs="+", default=[0.5, 1.0, 2.0],
+        help="offered load as multiples of calibrated capacity",
+    )
+    p.add_argument("--requests", type=int, default=600, help="requests per load point")
+    p.add_argument("--deadline-ms", type=float, default=50.0)
+    p.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission queue bound (default: derived from calibrated capacity)",
+    )
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write the JSON artifact here")
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="reduced sizes + assert the overload/failover acceptance properties",
+    )
+    p.set_defaults(func=_cmd_overload)
 
     p = sub.add_parser(
         "trace", help="run a seeded traced experiment and export a Chrome trace"

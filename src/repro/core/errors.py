@@ -17,6 +17,16 @@ failed to pick the right response:
 :class:`RetrievalUnavailableError` is the terminal case: no live shard is
 left to serve the query batch, so no degraded result can be produced.
 
+Two request-scoped (not shard-scoped) failures support the overload story:
+
+- :class:`AdmissionRejectedError` — the serving queue is full; the request
+  is refused *at submit time* so the client can back off or retry elsewhere
+  instead of queueing behind work that will miss its deadline anyway.
+- :class:`DeadlineExceededError` — the request's end-to-end budget ran out
+  before a result could be produced (shed at dequeue, or expired mid-search).
+  Distinct from :class:`ShardTimeoutError`, which is one shard missing its
+  *per-attempt* deadline inside a batch that may still succeed.
+
 The fault *models* that raise these live in :mod:`repro.serving.faults`;
 keeping the types here lets the core searcher stay import-free of the
 serving/chaos tooling.
@@ -31,6 +41,41 @@ class RetrievalError(RuntimeError):
 
 class RetrievalUnavailableError(RetrievalError):
     """Every shard is excluded, open-circuit, or failed: nothing can serve."""
+
+
+class AdmissionRejectedError(RetrievalError):
+    """The bounded serving queue is full: fail fast instead of queueing."""
+
+    def __init__(self, queue_depth: int, max_queue: int, message: str | None = None) -> None:
+        self.queue_depth = int(queue_depth)
+        self.max_queue = int(max_queue)
+        super().__init__(
+            message
+            or f"admission rejected: queue holds {queue_depth} of {max_queue} requests"
+        )
+
+
+class DeadlineExceededError(RetrievalError):
+    """The request's end-to-end deadline elapsed before it could be served.
+
+    ``stage`` records where the budget ran out: ``"queue"`` (shed at dequeue
+    because the remaining budget cannot cover the estimated service time) or
+    ``"search"`` (expired while the search was in flight).
+    """
+
+    def __init__(
+        self,
+        deadline_s: float | None = None,
+        *,
+        stage: str = "search",
+        message: str | None = None,
+    ) -> None:
+        self.deadline_s = deadline_s
+        self.stage = stage
+        if message is None:
+            suffix = f" ({deadline_s:.3g}s budget)" if deadline_s is not None else ""
+            message = f"deadline exceeded in {stage}{suffix}"
+        super().__init__(message)
 
 
 class ShardError(RetrievalError):

@@ -47,7 +47,7 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -57,6 +57,7 @@ from ..obs.trace import Span, Tracer, get_tracer
 from .clustering import ClusteredDatastore
 from .config import HermesConfig
 from .errors import (
+    DeadlineExceededError,
     RetrievalUnavailableError,
     ShardCrashedError,
     ShardError,
@@ -65,6 +66,63 @@ from .errors import (
     TransientShardError,
 )
 from .router import AllRouter, ClusterRouter, RoutingDecision, SampledRouter
+
+
+class RetryBudget:
+    """Fleet-wide token bucket bounding the *total* retry volume.
+
+    Per-shard retry policies multiply during a correlated outage: with 10
+    shards each allowed 2 retries, one bad window turns every batch into up
+    to 30 shard calls — a retry storm that keeps the fleet saturated long
+    after the fault clears. The classic fix (Finagle/SRE "retry budgets") is
+    a shared bucket: every *primary* attempt deposits ``fill_rate`` tokens
+    (capped at ``capacity``) and every retry withdraws one, so sustained
+    retry traffic is bounded to ``fill_rate`` of primary traffic while short
+    bursts can still spend the accumulated capacity.
+
+    Thread-safe — the deep-search fan-out spends from pool threads. Share
+    one instance across every :class:`RetrievalPolicy` of a fleet (it is
+    deliberately *not* created per policy).
+    """
+
+    def __init__(self, capacity: float = 10.0, fill_rate: float = 0.1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 <= fill_rate <= 1.0:
+            raise ValueError(f"fill_rate must be in [0, 1], got {fill_rate}")
+        self.capacity = float(capacity)
+        self.fill_rate = float(fill_rate)
+        self._lock = threading.Lock()
+        self._tokens = float(capacity)
+        self.exhausted = 0
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def deposit(self) -> None:
+        """Credit one primary attempt's worth of retry allowance."""
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + self.fill_rate)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False (and counted) when the bucket is dry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self.exhausted += 1
+        get_registry().counter(
+            "retry_budget_exhausted_total",
+            "retries suppressed because the fleet-wide retry budget ran dry",
+        ).inc()
+        return False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._tokens = self.capacity
+            self.exhausted = 0
 
 
 @dataclass(frozen=True)
@@ -77,7 +135,10 @@ class RetrievalPolicy:
     duplicate request if the primary has not answered in time — the
     tail-tolerance mechanism, distinct from retries which handle *errors*.
     ``breaker_threshold`` consecutive shard failures open the circuit for
-    ``breaker_cooldown`` subsequent search batches.
+    ``breaker_cooldown`` subsequent search batches. ``retry_budget`` is an
+    optional *shared* :class:`RetryBudget`: when its bucket is dry, a shard
+    fails after its primary attempt instead of retrying, so per-shard retry
+    allowances cannot multiply into a fleet-wide retry storm.
     """
 
     deadline_s: float | None = None
@@ -86,6 +147,7 @@ class RetrievalPolicy:
     hedge_delay_s: float | None = None
     breaker_threshold: int | None = None
     breaker_cooldown: int = 2
+    retry_budget: "RetryBudget | None" = None
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -159,6 +221,21 @@ class ShardHealth:
                         "retrieval_breaker_trips_total",
                         "circuit-breaker open transitions",
                     ).inc(shard=shard_id)
+
+    def trip(self, shard_id: int) -> None:
+        """Open the circuit immediately (crash-stop: no point counting up)."""
+        shard_id = self._check(shard_id)
+        with self._lock:
+            self._consecutive[shard_id] = max(
+                self.threshold, int(self._consecutive[shard_id]) + 1
+            )
+            newly_open = self._open_for[shard_id] == 0
+            self._open_for[shard_id] = self.cooldown
+        if newly_open:
+            get_registry().counter(
+                "retrieval_breaker_trips_total",
+                "circuit-breaker open transitions",
+            ).inc(shard=shard_id)
 
     def consecutive_failures(self, shard_id: int) -> int:
         return int(self._consecutive[self._check(shard_id)])
@@ -387,6 +464,9 @@ class HierarchicalSearcher:
         hedges = 0
         outcome = "ok"
         backoff = policy.backoff_s
+        budget = policy.retry_budget
+        if budget is not None:
+            budget.deposit()
         value = None
         while True:
             attempts += 1
@@ -411,6 +491,11 @@ class HierarchicalSearcher:
             except TransientShardError:
                 if attempts >= policy.max_attempts:
                     outcome = "transient-exhausted"
+                    break
+                if budget is not None and not budget.try_spend():
+                    # Fleet-wide budget dry: degrade now rather than join a
+                    # retry storm already in progress.
+                    outcome = "retry-budget-exhausted"
                     break
                 if backoff > 0:
                     with tracer.span("backoff", seconds=backoff):
@@ -467,8 +552,19 @@ class HierarchicalSearcher:
         parallel: bool | None = None,
         trace: bool = False,
         routing: "RoutingDecision | None" = None,
+        deadline_s: float | None = None,
     ) -> SearchResult:
         """Route then deep-search a query batch; returns global top-k.
+
+        ``deadline_s`` is the request's *remaining end-to-end budget* at call
+        time (seconds). It is accounted against this searcher's clock: after
+        routing, the per-attempt deadline of the deep-search policy is
+        clamped to what is left of the budget, so a 50 ms request never
+        launches a deep search allowed to run 200 ms. A budget that is
+        already spent (or runs out before the deep phase starts) raises
+        :class:`~repro.core.errors.DeadlineExceededError` and counts on
+        ``retrieval_deadline_exceeded_total`` — callers under admission
+        control shed the request instead of serving it late.
 
         ``routing`` reuses a prior batch's :class:`RoutingDecision` instead
         of re-running the sample-search fan-out — the serve-time hook behind
@@ -511,6 +607,15 @@ class HierarchicalSearcher:
         k = self.config.k if k is None else int(k)
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        deadline_at = None
+        if deadline_s is not None:
+            if deadline_s <= 0:
+                get_registry().counter(
+                    "retrieval_deadline_exceeded_total",
+                    "searches refused or cut short by an exhausted request budget",
+                ).inc(stage="submit")
+                raise DeadlineExceededError(deadline_s, stage="submit")
+            deadline_at = self._clock() + float(deadline_s)
         m = (
             self.config.clusters_to_search
             if clusters_to_search is None
@@ -598,6 +703,7 @@ class HierarchicalSearcher:
                 latency,
                 batch_start,
                 reuse=routing,
+                deadline_at=deadline_at,
             )
         finally:
             if root.end_s is None:
@@ -623,6 +729,7 @@ class HierarchicalSearcher:
         latency,
         batch_start: float,
         reuse: "RoutingDecision | None" = None,
+        deadline_at: float | None = None,
     ) -> SearchResult:
         """The sample → route → deep → merge body, under the batch's spans."""
         n_shards = self.datastore.n_clusters
@@ -692,6 +799,22 @@ class HierarchicalSearcher:
             return shard.search(q[hit_q], k, nprobe=nprobe)
 
         policy = self.policy
+        if deadline_at is not None:
+            # Deadline propagation: the per-attempt deep-search deadline is
+            # whatever is left of the request budget after routing. An
+            # exhausted budget sheds here, before any deep search launches.
+            remaining = deadline_at - clock()
+            if remaining <= 0:
+                registry.counter(
+                    "retrieval_deadline_exceeded_total",
+                    "searches refused or cut short by an exhausted request budget",
+                ).inc(stage="route")
+                raise DeadlineExceededError(remaining, stage="route")
+            root.set(budget_s=round(remaining, 6))
+            if policy is None:
+                policy = RetrievalPolicy(deadline_s=remaining)
+            elif policy.deadline_s is None or policy.deadline_s > remaining:
+                policy = replace(policy, deadline_s=remaining)
         attempt_pool: ThreadPoolExecutor | None = None
         if policy is not None and policy.needs_executor and tasks:
             # Attempts need own threads so deadlines can abandon stragglers;

@@ -24,6 +24,8 @@ from . import (
     fig20,
     fig21,
     fig_faults,
+    overload,
+    serve_cache,
     table1,
 )
 
@@ -46,5 +48,7 @@ __all__ = [
     "fig20",
     "fig21",
     "fig_faults",
+    "overload",
+    "serve_cache",
     "table1",
 ]

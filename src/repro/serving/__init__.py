@@ -11,9 +11,19 @@ Three layers:
 - the **fault models** (crash-stop, transient, straggler) that chaos-test
   the fleet both per-batch (:mod:`repro.serving.faults` wrapping live
   shards) and at serving scale (:class:`FleetFaultSchedule` driving the
-  simulator).
+  simulator);
+- the **overload layer** (:mod:`repro.serving.admission`,
+  :mod:`repro.serving.replication`): bounded-queue admission control,
+  deadline shedding, the brownout degradation ladder, and health-aware
+  replica groups with automatic failover and probe-based recovery.
 """
 
+from .admission import (
+    DEGRADATION_BUCKETS,
+    AdmissionConfig,
+    AdmissionController,
+    BrownoutKnobs,
+)
 from .cache import (
     EXACT_HIT,
     MISS,
@@ -25,7 +35,13 @@ from .cache import (
     RetrievalCacheStats,
 )
 from .events import EventLoop, Resource
-from .frontend import BatcherStats, DynamicBatcher, FrontendResult, ServingFrontend
+from .frontend import (
+    BatcherStats,
+    DynamicBatcher,
+    FrontendResult,
+    ServedQuery,
+    ServingFrontend,
+)
 from .faults import (
     CrashStop,
     FaultEvent,
@@ -42,6 +58,7 @@ from .faults import (
     kill_shards,
 )
 from .node_sim import NodeScheduleResult, schedule_batch, waves_approximation_error
+from .replication import ReplicaGroup, kill_replica, replica_groups, replicate_datastore
 from .simulator import (
     BatchRecord,
     PipelineSimulator,
@@ -59,10 +76,19 @@ __all__ = [
     "CacheLookup",
     "RetrievalCache",
     "RetrievalCacheStats",
+    "AdmissionConfig",
+    "AdmissionController",
+    "BrownoutKnobs",
+    "DEGRADATION_BUCKETS",
     "BatcherStats",
     "DynamicBatcher",
     "FrontendResult",
+    "ServedQuery",
     "ServingFrontend",
+    "ReplicaGroup",
+    "kill_replica",
+    "replica_groups",
+    "replicate_datastore",
     "EventLoop",
     "Resource",
     "CrashStop",

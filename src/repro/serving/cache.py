@@ -122,6 +122,9 @@ class RetrievalCacheStats:
     misses: int = 0
     inserts: int = 0
     evictions: int = 0
+    #: routing-tier candidates demoted to misses because their cached
+    #: decision routes into a currently-excluded (dead/breaker-open) shard
+    stale_routing: int = 0
 
     @property
     def lookups(self) -> int:
@@ -253,12 +256,31 @@ class RetrievalCache:
         return q / np.maximum(norms, 1e-12)
 
     # -- lookup -------------------------------------------------------------
-    def lookup(self, queries: np.ndarray, k: int, params_key: tuple) -> CacheLookup:
+    def lookup(
+        self,
+        queries: np.ndarray,
+        k: int,
+        params_key: tuple,
+        *,
+        exclude: frozenset = frozenset(),
+        semantic_slack: float = 0.0,
+    ) -> CacheLookup:
         """Classify a query batch against all three tiers.
 
         ``k`` sizes the output rows; ``params_key`` must capture every
         parameter that changes search results (k, fanout, nprobe, ...) —
         entries cached under different parameters never match.
+
+        ``exclude`` carries the *live* set of dead shards (caller excludes
+        plus open circuit breakers). A routing-tier candidate whose cached
+        decision routes into an excluded shard is **stale**: replaying it
+        would deep-search a dead node (or be discarded downstream, wasting
+        the hit). Such rows stay misses and fall back to a fresh sample
+        search, counted on ``retrieval_cache_stale_routing_total``.
+
+        ``semantic_slack`` loosens the semantic threshold by that much —
+        the brownout knob: under overload a near-duplicate answer at
+        ``threshold - slack`` beats shedding the request outright.
         """
         q = as_matrix(queries)
         nq = len(q)
@@ -274,8 +296,15 @@ class RetrievalCache:
         sims = np.full(nq, np.nan, dtype=np.float64)
         routing_entries: list = [None] * nq
         digests = [query_digest(row, params_key) for row in q]
+        exclude = frozenset(int(c) for c in exclude)
         semantic_on = cfg.semantic_threshold is not None
         routing_on = cfg.routing_threshold is not None
+        sem_threshold = (
+            None
+            if cfg.semantic_threshold is None
+            else max(cfg.semantic_threshold - max(float(semantic_slack), 0.0), 0.0)
+        )
+        stale = 0
 
         with self._lock, get_tracer().span("cache_lookup", batch=nq) as span:
             self._ensure_dim(q.shape[1])
@@ -309,12 +338,19 @@ class RetrievalCache:
                     sim = float(best_sim[j])
                     if entry.params_key != params_key:
                         continue  # cached under different search params
-                    if semantic_on and sim >= cfg.semantic_threshold:
+                    if semantic_on and sim >= sem_threshold:
                         kinds[i] = SEMANTIC_HIT
                         out_d[i] = entry.distances
                         out_i[i] = entry.ids
                         self._touch(slot)
                     elif routing_on and sim >= cfg.routing_threshold:
+                        if exclude and not exclude.isdisjoint(
+                            int(c) for c in entry.routing_clusters if c >= 0
+                        ):
+                            # Stale: the cached decision routes into a shard
+                            # that is dead right now — fresh sample search.
+                            stale += 1
+                            continue
                         kinds[i] = ROUTING_HIT
                         routing_entries[i] = entry
                         self._touch(slot)
@@ -327,9 +363,16 @@ class RetrievalCache:
             self.stats.semantic_hits += counts["semantic_hit"]
             self.stats.routing_hits += counts["routing_hit"]
             self.stats.misses += counts["miss"]
+            self.stats.stale_routing += stale
         for name, count in counts.items():
             if count:
                 lookups.inc(count, tier=name)
+        if stale:
+            registry.counter(
+                "retrieval_cache_stale_routing_total",
+                "routing-tier hits demoted because the cached decision "
+                "routes into an excluded shard",
+            ).inc(stale)
         return CacheLookup(
             kinds=kinds,
             distances=out_d,

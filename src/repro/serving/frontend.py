@@ -19,6 +19,17 @@ serve-time component. Two layers:
   span. This is the deadline-budget batching that converts redundant serve
   traffic into the cell-major scan's batch efficiency.
 
+With an :class:`~repro.serving.admission.AdmissionController` attached the
+batcher becomes overload-safe: ``submit`` fail-fast rejects once the queue
+holds ``max_queue`` requests, each request carries a deadline
+(``submit(..., deadline_s=)``), requests whose remaining budget cannot
+cover the estimated service time are shed at dequeue instead of served
+late, the remaining budget is propagated into the searcher so deep search
+is clamped to what is left, and sustained queue delay walks the brownout
+ladder — looser semantic-cache threshold first, smaller deep-search
+fan-out second — before anything is dropped. Each future then resolves to
+a :class:`ServedQuery` carrying the degradation level it was served at.
+
 Exact-hit answers replay the cached rows bit-for-bit, so a warm pass is
 bit-identical to the search that populated it; when dedupe or partial hits
 shrink the sub-batch that re-searches, ids still match an uncached run of
@@ -34,13 +45,21 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
 from ..ann.distances import as_matrix
+from ..core.errors import AdmissionRejectedError, DeadlineExceededError
 from ..core.hierarchical import HierarchicalSearcher, SearchResult
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from .admission import (
+    DEGRADATION_BUCKETS,
+    AdmissionConfig,
+    AdmissionController,
+    BrownoutKnobs,
+)
 from .cache import (
     EXACT_HIT,
     MISS,
@@ -51,7 +70,13 @@ from .cache import (
     RetrievalCache,
 )
 
-__all__ = ["FrontendResult", "ServingFrontend", "DynamicBatcher", "BatcherStats"]
+__all__ = [
+    "FrontendResult",
+    "ServingFrontend",
+    "DynamicBatcher",
+    "BatcherStats",
+    "ServedQuery",
+]
 
 #: Coalesced-batch-size histogram buckets (requests, not seconds).
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -66,6 +91,8 @@ class FrontendResult:
     ``ROUTING_HIT``); ``searched`` counts the unique queries that actually
     reached the searcher after dedupe, and ``shard_queries`` the deep-search
     work they issued (0 for a fully cache-served batch).
+    ``degradation_level`` records the brownout level the batch was served
+    at (0 = full quality).
     """
 
     distances: np.ndarray
@@ -73,6 +100,7 @@ class FrontendResult:
     kinds: np.ndarray
     searched: int
     shard_queries: int
+    degradation_level: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -104,11 +132,13 @@ class ServingFrontend:
         *,
         cache: RetrievalCache | None = None,
         cache_config: CacheConfig | None = None,
+        clock=None,
     ) -> None:
         if cache is not None and cache_config is not None:
             raise ValueError("pass either cache or cache_config, not both")
         self.searcher = searcher
         self.cache = cache if cache is not None else RetrievalCache(cache_config)
+        self._clock = clock if clock is not None else time.perf_counter
 
     # -- parameter resolution (mirrors HierarchicalSearcher.search) ---------
     def _params_key(
@@ -127,18 +157,53 @@ class ServingFrontend:
         k: int | None = None,
         clusters_to_search: int | None = None,
         deep_nprobe: int | None = None,
+        deadline_s: float | None = None,
+        exclude_clusters: "frozenset | set | None" = None,
+        brownout: BrownoutKnobs | None = None,
+        degradation_level: int = 0,
     ) -> FrontendResult:
-        """Serve a query batch through the cache, searching only the misses."""
+        """Serve a query batch through the cache, searching only the misses.
+
+        ``deadline_s`` is the batch's remaining end-to-end budget; it is
+        threaded into every searcher call so deep search is clamped to what
+        is left (see :meth:`HierarchicalSearcher.search`). ``brownout``
+        applies one brownout level's quality knobs: the semantic cache tier
+        accepts ``semantic_slack`` looser matches and the deep-search
+        fan-out/nprobe are scaled down — degraded results are cached under
+        their *effective* parameters, so they never shadow full-quality
+        entries. ``exclude_clusters`` propagates down-node exclusions into
+        both the searcher and the cache's routing tier, so a cached
+        :class:`RoutingDecision` that touches a dead cluster is demoted to
+        a plain miss instead of replayed into it.
+        """
         q = as_matrix(queries)
         nq = len(q)
         k_eff, m_eff, nprobe_eff = self._params_key(k, clusters_to_search, deep_nprobe)
+        semantic_slack = 0.0
+        if brownout is not None:
+            m_eff, nprobe_eff = brownout.apply(m_eff, nprobe_eff)
+            semantic_slack = brownout.semantic_slack
         params_key = (k_eff, m_eff, nprobe_eff)
         registry = get_registry()
         registry.counter(
             "frontend_requests_total", "queries served by the frontend"
         ).inc(nq)
 
-        lookup = self.cache.lookup(q, k_eff, params_key)
+        user_exclude = frozenset(int(c) for c in (exclude_clusters or ()))
+        health = self.searcher.health
+        stale_exclude = user_exclude
+        if health is not None:
+            stale_exclude = user_exclude | health.open_shards()
+
+        deadline_at = None
+        if deadline_s is not None:
+            if deadline_s <= 0:
+                raise DeadlineExceededError(deadline_s, stage="submit")
+            deadline_at = self._clock() + float(deadline_s)
+
+        lookup = self.cache.lookup(
+            q, k_eff, params_key, exclude=stale_exclude, semantic_slack=semantic_slack
+        )
         out_d = lookup.distances.copy()
         out_i = lookup.ids.copy()
 
@@ -147,7 +212,14 @@ class ServingFrontend:
         miss_rows = lookup.miss_rows
         if len(miss_rows):
             searched, shard_queries = self._search_misses(
-                q, lookup, miss_rows, out_d, out_i, params_key
+                q,
+                lookup,
+                miss_rows,
+                out_d,
+                out_i,
+                params_key,
+                user_exclude=user_exclude,
+                deadline_at=deadline_at,
             )
         if searched < len(miss_rows):
             registry.counter(
@@ -160,6 +232,7 @@ class ServingFrontend:
             kinds=lookup.kinds,
             searched=searched,
             shard_queries=shard_queries,
+            degradation_level=int(degradation_level),
         )
 
     def _search_misses(
@@ -170,6 +243,9 @@ class ServingFrontend:
         out_d: np.ndarray,
         out_i: np.ndarray,
         params_key: tuple,
+        *,
+        user_exclude: frozenset = frozenset(),
+        deadline_at: float | None = None,
     ) -> tuple:
         """Dedupe + fan the cache-missing rows into the searcher.
 
@@ -194,12 +270,19 @@ class ServingFrontend:
 
         def run(rows: list, routing) -> SearchResult:
             sub = q[np.asarray(rows, dtype=np.int64)]
+            remaining = None
+            if deadline_at is not None:
+                # Re-measured per sub-batch: the routed sub-batch only gets
+                # what the plain one left of the budget.
+                remaining = deadline_at - self._clock()
             return self.searcher.search(
                 sub,
                 k=k_eff,
                 clusters_to_search=m_eff,
                 deep_nprobe=nprobe_eff,
                 routing=routing,
+                exclude_clusters=user_exclude or None,
+                deadline_s=remaining,
             )
 
         for rows, routing in (
@@ -223,11 +306,14 @@ class ServingFrontend:
 
 @dataclass
 class BatcherStats:
-    """Coalescing accounting for one :class:`DynamicBatcher`."""
+    """Coalescing + overload accounting for one :class:`DynamicBatcher`."""
 
     requests: int = 0
     batches: int = 0
     max_batch: int = 0
+    rejected: int = 0
+    shed: int = 0
+    deadline_misses: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -236,24 +322,44 @@ class BatcherStats:
         return self.requests / self.batches
 
 
-class _Pending:
-    __slots__ = ("query", "params", "future", "enqueued_s")
+class ServedQuery(NamedTuple):
+    """One request's answer: top-k rows + how it was served."""
 
-    def __init__(self, query, params, future, enqueued_s):
+    distances: np.ndarray
+    ids: np.ndarray
+    kind: int
+    degradation_level: int
+
+
+class _Pending:
+    __slots__ = ("query", "params", "future", "enqueued_s", "deadline_at")
+
+    def __init__(self, query, params, future, enqueued_s, deadline_at=None):
         self.query = query
         self.params = params
         self.future = future
         self.enqueued_s = enqueued_s
+        self.deadline_at = deadline_at
 
 
 class DynamicBatcher:
     """Deadline-budget coalescing of single-query requests.
 
-    ``submit()`` returns a future resolving to ``(distances, ids, kind)`` for
+    ``submit()`` returns a future resolving to a :class:`ServedQuery` for
     that one query. The worker thread holds a batch open for at most
     ``max_wait_s`` after its first request arrives (the deadline budget),
     coalescing up to ``max_batch`` requests with identical search parameters;
     requests with different parameters stay queued for the next batch.
+
+    ``admission`` (an :class:`AdmissionController` or an
+    :class:`AdmissionConfig`) turns on the overload layer: bounded-queue
+    fail-fast rejection at submit, dequeue-time shedding of requests whose
+    deadline is unmeetable, brownout degradation under sustained queue
+    delay, and deadline propagation into the searcher. Without it the
+    batcher behaves exactly as before, except that an explicit
+    ``submit(..., deadline_s=)`` is still honoured: already-expired
+    requests shed at dequeue and the remaining budget still clamps the
+    search.
     """
 
     def __init__(
@@ -263,6 +369,7 @@ class DynamicBatcher:
         max_batch: int = 32,
         max_wait_s: float = 0.002,
         clock=None,
+        admission: "AdmissionController | AdmissionConfig | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -273,6 +380,9 @@ class DynamicBatcher:
         self.max_wait_s = max_wait_s
         self.stats = BatcherStats()
         self._clock = clock if clock is not None else time.perf_counter
+        if isinstance(admission, AdmissionConfig):
+            admission = AdmissionController(admission, clock=self._clock)
+        self.admission = admission
         self._queue: deque = deque()
         self._cv = threading.Condition()
         self._closed = False
@@ -289,17 +399,36 @@ class DynamicBatcher:
         k: int | None = None,
         clusters_to_search: int | None = None,
         deep_nprobe: int | None = None,
+        deadline_s: float | None = None,
     ) -> Future:
-        """Enqueue one query; resolves to ``(distances, ids, kind)`` rows."""
+        """Enqueue one query; resolves to a :class:`ServedQuery`.
+
+        ``deadline_s`` is this request's end-to-end budget from *now*
+        (``None`` falls back to the admission config's default). Raises
+        :class:`AdmissionRejectedError` when the bounded queue is full and
+        :class:`DeadlineExceededError` when the budget is already spent.
+        """
         query = np.asarray(query, dtype=np.float32)
         if query.ndim != 1:
             raise ValueError(f"submit takes one (dim,) query, got shape {query.shape}")
+        if self.admission is not None:
+            deadline_s = self.admission.deadline_for(deadline_s)
+        if deadline_s is not None and deadline_s <= 0:
+            raise DeadlineExceededError(deadline_s, stage="submit")
         params = (k, clusters_to_search, deep_nprobe)
         future: Future = Future()
         with self._cv:
             if self._closed:
                 raise RuntimeError("batcher is closed")
-            self._queue.append(_Pending(query, params, future, self._clock()))
+            if self.admission is not None:
+                try:
+                    self.admission.admit(len(self._queue))
+                except AdmissionRejectedError:
+                    self.stats.rejected += 1
+                    raise
+            now = self._clock()
+            deadline_at = None if deadline_s is None else now + float(deadline_s)
+            self._queue.append(_Pending(query, params, future, now, deadline_at))
             self._cv.notify()
         return future
 
@@ -339,6 +468,38 @@ class DynamicBatcher:
                 batch.append(self._queue.popleft())
         return batch
 
+    def _shed_unmeetable(self, batch: list) -> list:
+        """Drop dequeued requests whose deadline cannot be met; keep the rest.
+
+        A request already past its deadline — or, under admission control,
+        whose remaining budget is below the EWMA service-time estimate —
+        fails fast with ``stage="queue"`` instead of being executed late.
+        """
+        now = self._clock()
+        kept = []
+        for p in batch:
+            if p.deadline_at is None:
+                kept.append(p)
+                continue
+            remaining = p.deadline_at - now
+            if self.admission is not None:
+                shed = self.admission.should_shed(remaining)
+            else:
+                shed = remaining <= 0
+            if not shed:
+                kept.append(p)
+                continue
+            self.stats.shed += 1
+            if self.admission is not None:
+                self.admission.record_shed()
+            else:
+                get_registry().counter(
+                    "serving_deadline_shed_total",
+                    "requests dropped at dequeue because their deadline was unmeetable",
+                ).inc()
+            p.future.set_exception(DeadlineExceededError(remaining, stage="queue"))
+        return kept
+
     def _run(self) -> None:
         registry = get_registry()
         tracer = get_tracer()
@@ -349,20 +510,42 @@ class DynamicBatcher:
                     if self._closed and not self._queue:
                         return
                 continue
+            batch = self._shed_unmeetable(batch)
+            if not batch:
+                continue
             queries = np.stack([p.query for p in batch])
             k, m, nprobe = batch[0].params
             wait_s = self._clock() - batch[0].enqueued_s
+            level = 0
+            knobs = None
+            if self.admission is not None:
+                level = self.admission.observe(max(wait_s, 0.0))
+                if level > 0:
+                    knobs = self.admission.knobs(level)
+            deadlines = [p.deadline_at for p in batch if p.deadline_at is not None]
+            budget_s = min(deadlines) - self._clock() if deadlines else None
+            started = self._clock()
             try:
                 with tracer.span(
-                    "coalesce", batch=len(batch), wait_s=round(wait_s, 6)
+                    "coalesce", batch=len(batch), wait_s=round(wait_s, 6), level=level
                 ):
                     result = self.frontend.search(
-                        queries, k=k, clusters_to_search=m, deep_nprobe=nprobe
+                        queries,
+                        k=k,
+                        clusters_to_search=m,
+                        deep_nprobe=nprobe,
+                        deadline_s=budget_s,
+                        brownout=knobs,
+                        degradation_level=level,
                     )
             except BaseException as exc:  # noqa: BLE001 — fail the futures, not the worker
                 for p in batch:
                     p.future.set_exception(exc)
                 continue
+            if self.admission is not None:
+                # Per-request-visible service time: every request in the
+                # batch waits for the whole batch.
+                self.admission.record_service_time(self._clock() - started)
             self.stats.requests += len(batch)
             self.stats.batches += 1
             self.stats.max_batch = max(self.stats.max_batch, len(batch))
@@ -378,11 +561,24 @@ class DynamicBatcher:
                 "frontend_coalesce_wait_seconds",
                 "time the head request waited while its batch formed",
             ).observe(max(wait_s, 0.0))
+            registry.histogram(
+                "serving_degradation_level",
+                "brownout level batches were served at",
+                buckets=DEGRADATION_BUCKETS,
+            ).observe(level)
+            done = self._clock()
             for row, p in enumerate(batch):
+                if p.deadline_at is not None and done > p.deadline_at:
+                    self.stats.deadline_misses += 1
+                    registry.counter(
+                        "serving_deadline_miss_total",
+                        "requests completed after their deadline had passed",
+                    ).inc()
                 p.future.set_result(
-                    (
+                    ServedQuery(
                         result.distances[row],
                         result.ids[row],
                         int(result.kinds[row]),
+                        level,
                     )
                 )

@@ -387,3 +387,127 @@ class TestRetryLatencyAccounting:
         assert stats.attempts == 1
         assert stats.latency_s == pytest.approx(0.05)
         assert stats.wall_s == pytest.approx(stats.latency_s)
+
+
+class _AlwaysFlakyShard:
+    """Wraps a shard so every deep search raises a transient error."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def search(self, queries, k, nprobe=None):
+        from repro.core.errors import TransientShardError
+
+        self.calls += 1
+        raise TransientShardError(self._inner.shard_id, "still flapping")
+
+
+class TestRetryBudget:
+    def test_bucket_mechanics(self):
+        from repro.core.hierarchical import RetryBudget
+
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0)
+        with pytest.raises(ValueError):
+            RetryBudget(fill_rate=1.5)
+        budget = RetryBudget(capacity=2.0, fill_rate=0.5)
+        assert budget.tokens == 2.0
+        assert budget.try_spend() and budget.try_spend()
+        assert not budget.try_spend()  # dry
+        assert budget.exhausted == 1
+        budget.deposit()
+        budget.deposit()  # two primary attempts buy back one retry
+        assert budget.try_spend()
+        for _ in range(100):
+            budget.deposit()
+        assert budget.tokens == budget.capacity  # capped
+        budget.reset()
+        assert budget.tokens == 2.0 and budget.exhausted == 0
+
+    def test_dry_budget_suppresses_retries(self, clustered, small_queries):
+        """Per-shard policy allows 5 attempts, but the shared fleet budget
+        has one token: exactly one retry happens, then the shard degrades
+        with the retry-budget-exhausted outcome instead of retrying on."""
+        import dataclasses
+
+        from repro.core.hierarchical import RetrievalPolicy, RetryBudget
+
+        flaky_id = 2
+        flaky = _AlwaysFlakyShard(clustered.shards[flaky_id])
+        shards = [flaky if s.shard_id == flaky_id else s for s in clustered.shards]
+        budget = RetryBudget(capacity=1.0, fill_rate=0.0)
+        searcher = HierarchicalSearcher(
+            dataclasses.replace(clustered, shards=shards),
+            router=CentroidRouter(),
+            policy=RetrievalPolicy(max_attempts=5, retry_budget=budget),
+        )
+        result = searcher.search(small_queries.embeddings, clusters_to_search=10)
+        assert flaky.calls == 2  # primary + the single budgeted retry
+        assert result.degraded
+        assert flaky_id in result.failed_shards
+        stats = next(s for s in result.shard_stats if s.shard_id == flaky_id)
+        assert stats.outcome == "retry-budget-exhausted"
+        assert budget.exhausted == 1
+
+    def test_primary_attempts_refill_the_bucket(self, clustered, small_queries):
+        from repro.core.hierarchical import RetrievalPolicy, RetryBudget
+
+        budget = RetryBudget(capacity=1.0, fill_rate=0.1)
+        assert budget.try_spend()
+        assert budget.tokens == 0.0
+        searcher = HierarchicalSearcher(
+            clustered,
+            router=CentroidRouter(),
+            policy=RetrievalPolicy(max_attempts=2, retry_budget=budget),
+        )
+        searcher.search(small_queries.embeddings, clusters_to_search=10)
+        # 10 healthy primaries deposited 0.1 each: a retry is affordable again.
+        assert budget.tokens == pytest.approx(1.0)
+
+
+class TestDeadlineBudget:
+    def test_spent_budget_rejected_at_submit(self, hermes, small_queries):
+        from repro.core.errors import DeadlineExceededError
+
+        for budget in (0.0, -1.0):
+            with pytest.raises(DeadlineExceededError) as exc:
+                hermes.search(small_queries.embeddings, deadline_s=budget)
+            assert exc.value.stage == "submit"
+
+    def test_budget_exhausted_by_routing_sheds_before_deep(
+        self, clustered, small_queries
+    ):
+        """Sample search burns the whole budget on the manual clock: the
+        search sheds at the route stage, before any deep search launches."""
+        import dataclasses
+
+        from repro.core.errors import DeadlineExceededError
+        from repro.obs.trace import ManualClock
+
+        clock = ManualClock()
+        timed = []
+        for s in clustered.shards:
+            w = _TimedFlakyShard(s, clock, busy_s=0.05)
+            w.calls = 1  # skip the failure branch: every call succeeds
+            timed.append(w)
+        searcher = HermesSearcher(
+            dataclasses.replace(clustered, shards=timed), clock=clock
+        )
+        # 10 sampling probes x 0.05s = 0.5s of routing against a 0.1s budget.
+        with pytest.raises(DeadlineExceededError) as exc:
+            searcher.search(small_queries.embeddings, deadline_s=0.1)
+        assert exc.value.stage == "route"
+        assert all(w.calls == 2 for w in timed)  # sampled once, never deep
+
+    def test_generous_budget_leaves_results_intact(self, hermes, small_queries):
+        base = hermes.search(small_queries.embeddings, k=5)
+        timed = hermes.search(small_queries.embeddings, k=5, deadline_s=60.0)
+        np.testing.assert_array_equal(timed.ids, base.ids)
+        np.testing.assert_allclose(timed.distances, base.distances, rtol=1e-5)

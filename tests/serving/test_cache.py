@@ -161,6 +161,86 @@ class TestSemanticAndRoutingTiers:
         assert near.kinds[0] == MISS
 
 
+class TestStaleRouting:
+    """Satellite regression: a cached RoutingDecision that routes into a
+    currently-excluded (dead / breaker-open) cluster must not be replayed."""
+
+    def make_cache(self):
+        return RetrievalCache(
+            CacheConfig(capacity=16, semantic_threshold=0.95, routing_threshold=0.80)
+        )
+
+    def test_excluded_cluster_demotes_routing_hit(self):
+        cache = self.make_cache()
+        q = key_vector(3)[np.newaxis]
+        cache.insert(q, FakeResult(1), PARAMS)  # FakeResult routes to cluster 0
+        probe = rotated(q[0], 0.90)[np.newaxis]
+        assert cache.lookup(probe, 4, PARAMS).kinds[0] == ROUTING_HIT
+        stale = cache.lookup(probe, 4, PARAMS, exclude=frozenset({0}))
+        assert stale.kinds[0] == MISS
+        assert cache.stats.stale_routing == 1
+
+    def test_unrelated_exclusion_keeps_routing_hit(self):
+        cache = self.make_cache()
+        q = key_vector(4)[np.newaxis]
+        cache.insert(q, FakeResult(1), PARAMS)
+        probe = rotated(q[0], 0.90)[np.newaxis]
+        hit = cache.lookup(probe, 4, PARAMS, exclude=frozenset({3}))
+        assert hit.kinds[0] == ROUTING_HIT
+        assert cache.stats.stale_routing == 0
+
+    def test_exact_and_semantic_tiers_unaffected(self):
+        """Complete cached answers were computed when the shard was healthy;
+        only replaying a routing decision into a dead shard is dangerous."""
+        cache = self.make_cache()
+        q = key_vector(5)[np.newaxis]
+        cache.insert(q, FakeResult(1), PARAMS)
+        exclude = frozenset({0})
+        assert cache.lookup(q, 4, PARAMS, exclude=exclude).kinds[0] == EXACT_HIT
+        near = rotated(q[0], 0.99)[np.newaxis]
+        assert cache.lookup(near, 4, PARAMS, exclude=exclude).kinds[0] == SEMANTIC_HIT
+
+    def test_stale_routing_counted_on_registry(self):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            cache = self.make_cache()
+            q = key_vector(6)[np.newaxis]
+            cache.insert(q, FakeResult(1), PARAMS)
+            probe = rotated(q[0], 0.90)[np.newaxis]
+            cache.lookup(probe, 4, PARAMS, exclude=frozenset({0}))
+            snap = fresh.snapshot()
+            assert snap["retrieval_cache_stale_routing_total"] == 1
+        finally:
+            set_registry(previous)
+
+
+class TestSemanticSlack:
+    """The brownout knob: slack loosens the semantic threshold per lookup."""
+
+    def test_slack_loosens_semantic_threshold(self):
+        cache = RetrievalCache(
+            CacheConfig(capacity=8, semantic_threshold=0.95, routing_threshold=None)
+        )
+        q = key_vector(7)[np.newaxis]
+        cache.insert(q, FakeResult(1), PARAMS)
+        probe = rotated(q[0], 0.93)[np.newaxis]
+        assert cache.lookup(probe, 4, PARAMS).kinds[0] == MISS
+        loose = cache.lookup(probe, 4, PARAMS, semantic_slack=0.03)
+        assert loose.kinds[0] == SEMANTIC_HIT
+
+    def test_negative_slack_never_tightens(self):
+        cache = RetrievalCache(
+            CacheConfig(capacity=8, semantic_threshold=0.95, routing_threshold=None)
+        )
+        q = key_vector(8)[np.newaxis]
+        cache.insert(q, FakeResult(1), PARAMS)
+        probe = rotated(q[0], 0.97)[np.newaxis]
+        assert cache.lookup(probe, 4, PARAMS, semantic_slack=-1.0).kinds[0] == SEMANTIC_HIT
+
+
 class TestEviction:
     CAPACITY = 8
 

@@ -128,10 +128,11 @@ class TestDynamicBatcher:
         with DynamicBatcher(frontend, max_batch=8, max_wait_s=0.05) as batcher:
             futures = [batcher.submit(row, k=5) for row in q]
             rows = [f.result(timeout=10) for f in futures]
-        for i, (dists, ids, kind) in enumerate(rows):
+        for i, (dists, ids, kind, level) in enumerate(rows):
             assert np.array_equal(ids, direct.ids[i])
             assert np.array_equal(dists, direct.distances[i])
             assert kind in (MISS, EXACT_HIT)
+            assert level == 0  # no admission controller: full quality
         assert batcher.stats.requests == 8
         assert batcher.stats.batches < 8  # coalescing actually happened
 

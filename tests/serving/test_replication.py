@@ -1,0 +1,208 @@
+"""Tests for replica groups: failover, probing, and recovery."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ShardCrashedError, TransientShardError
+from repro.core.hierarchical import HermesSearcher
+from repro.serving.faults import CrashStop, FaultInjector, FaultyShard
+from repro.serving.replication import (
+    ReplicaGroup,
+    kill_replica,
+    replica_groups,
+    replicate_datastore,
+)
+
+
+@pytest.fixture(scope="module")
+def queries(small_queries):
+    return small_queries.embeddings
+
+
+class _FlakyReplica:
+    """Replica wrapper that fails while ``failing`` is set; counts calls."""
+
+    def __init__(self, inner, exc=TransientShardError):
+        self._inner = inner
+        self._exc = exc
+        self.failing = True
+        self.calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def search(self, queries, k, *, nprobe=None):
+        self.calls += 1
+        if self.failing:
+            raise self._exc(self._inner.shard_id)
+        return self._inner.search(queries, k, nprobe=nprobe)
+
+
+class TestReplicaGroup:
+    def test_shard_surface_delegates(self, clustered, queries):
+        shard = clustered.shards[0]
+        group = ReplicaGroup([shard, shard])
+        assert group.shard_id == shard.shard_id
+        assert len(group) == len(shard)
+        assert group.n_replicas == 2
+        assert np.array_equal(group.global_ids, shard.global_ids)
+        assert np.array_equal(group.centroid, shard.centroid)
+        direct = shard.search(queries[:4], 5)
+        via = group.search(queries[:4], 5)
+        assert np.array_equal(via[0], direct[0])
+        assert np.array_equal(via[1], direct[1])
+
+    def test_validation(self, clustered):
+        with pytest.raises(ValueError, match="at least one"):
+            ReplicaGroup([])
+        with pytest.raises(ValueError, match="disagree on shard_id"):
+            ReplicaGroup([clustered.shards[0], clustered.shards[1]])
+        shard = clustered.shards[0]
+        with pytest.raises(ValueError):
+            ReplicaGroup([shard], probe_interval=0)
+        with pytest.raises(ValueError):
+            ReplicaGroup([shard], recovery_successes=0)
+
+    def test_crash_fails_over_within_the_call(self, clustered, queries):
+        shard = clustered.shards[2]
+        dead = FaultInjector(7).wrap_shard(shard, CrashStop(at_call=0))
+        group = ReplicaGroup([dead, shard], probe_interval=1000)
+        direct = shard.search(queries[:4], 5)
+        served = group.search(queries[:4], 5)
+        assert np.array_equal(served[1], direct[1])
+        assert group.failovers == 1
+        assert group.out_replicas() == (0,)
+        # The tripped replica is skipped entirely until a probe is due.
+        for _ in range(5):
+            group.search(queries[:4], 5)
+        assert dead.calls == 1
+        assert group.failovers == 1
+
+    def test_transient_failures_count_to_threshold(self, clustered, queries):
+        shard = clustered.shards[1]
+        flaky = _FlakyReplica(shard)
+        group = ReplicaGroup(
+            [flaky, shard], probe_interval=1000, breaker_threshold=2
+        )
+        group.search(queries[:2], 5)  # failure 1: still under threshold
+        assert group.out_replicas() == ()
+        group.search(queries[:2], 5)  # failure 2: breaker opens
+        assert group.out_replicas() == (0,)
+        group.search(queries[:2], 5)
+        assert flaky.calls == 2  # no longer tried once open
+        assert group.failovers == 2
+
+    def test_all_replicas_dead_reraises(self, clustered, queries):
+        shard = clustered.shards[3]
+        injector = FaultInjector(9)
+        group = ReplicaGroup(
+            [
+                injector.wrap_shard(shard, CrashStop(at_call=0)),
+                injector.wrap_shard(shard, CrashStop(at_call=0)),
+            ]
+        )
+        with pytest.raises(ShardCrashedError):
+            group.search(queries[:2], 5)
+        assert group.out_replicas() == (0, 1)
+        # With nothing healthy, every call probes everything (still dead).
+        with pytest.raises(ShardCrashedError):
+            group.search(queries[:2], 5)
+
+    def test_probe_recovery_readmits_after_streak(self, clustered, queries):
+        shard = clustered.shards[4]
+        flaky = _FlakyReplica(shard, exc=ShardCrashedError)
+        group = ReplicaGroup(
+            [flaky, shard],
+            probe_interval=2,
+            recovery_successes=2,
+            breaker_threshold=1,
+        )
+        q = queries[:2]
+        group.search(q, 5)  # call 1: crash trips the breaker, failover serves
+        assert group.out_replicas() == (0,)
+        group.search(q, 5)  # call 2: probe due, still failing — streak stays 0
+        assert flaky.calls == 2
+        flaky.failing = False
+        group.search(q, 5)  # call 3: probe not due, served by the healthy one
+        assert flaky.calls == 2
+        group.search(q, 5)  # call 4: probe success, streak 1 — still out
+        assert group.out_replicas() == (0,)
+        group.search(q, 5)  # call 5: no probe
+        group.search(q, 5)  # call 6: probe success, streak 2 — re-admitted
+        assert group.out_replicas() == ()
+        assert group.recoveries == 1
+        group.search(q, 5)  # call 7: back in normal selection
+        assert flaky.calls == 5
+
+    def test_probes_are_rate_limited(self, clustered, queries):
+        shard = clustered.shards[5]
+        flaky = _FlakyReplica(shard, exc=ShardCrashedError)
+        group = ReplicaGroup(
+            [flaky, shard], probe_interval=4, breaker_threshold=1
+        )
+        for _ in range(12):
+            group.search(queries[:2], 5)
+        # Initial trip (call 1) + one probe per interval (calls 4, 8, 12).
+        assert flaky.calls == 4
+        assert group.out_replicas() == (0,)
+
+
+class TestReplicateDatastore:
+    def test_structure(self, clustered):
+        rep = replicate_datastore(clustered, 2)
+        assert len(rep.shards) == clustered.config.n_clusters
+        groups = replica_groups(rep)
+        assert len(groups) == len(rep.shards)
+        assert all(g.n_replicas == 2 for g in groups)
+        assert [g.shard_id for g in groups] == [
+            s.shard_id for s in clustered.shards
+        ]
+        with pytest.raises(ValueError):
+            replicate_datastore(clustered, 0)
+
+    def test_wrap_hook_decorates_replicas(self, clustered):
+        injector = FaultInjector(7)
+
+        def chaos(shard_id, replica, shard):
+            if shard_id == 0 and replica == 0:
+                return injector.wrap_shard(shard, CrashStop(at_call=40))
+            return shard
+
+        rep = replicate_datastore(clustered, 2, wrap=chaos)
+        group = replica_groups(rep)[0]
+        assert isinstance(group.replicas[0], FaultyShard)
+        assert not isinstance(group.replicas[1], FaultyShard)
+
+    def test_search_equivalent_to_unreplicated(self, clustered, queries):
+        base = HermesSearcher(clustered).search(queries, k=5)
+        rep = HermesSearcher(replicate_datastore(clustered, 2)).search(
+            queries, k=5
+        )
+        assert np.array_equal(rep.ids, base.ids)
+        assert np.array_equal(rep.distances, base.distances)
+
+    def test_replica_kill_costs_no_quality(self, clustered, queries):
+        """Killing one replica of every shard leaves results bit-identical —
+        the failover path serves the exact copy."""
+        base = HermesSearcher(clustered).search(queries, k=5)
+        rep = replicate_datastore(clustered, 2)
+        for group in replica_groups(rep):
+            kill_replica(group, 0, seed=3)
+        result = HermesSearcher(rep).search(queries, k=5)
+        assert np.array_equal(result.ids, base.ids)
+        assert not result.degraded
+        groups = replica_groups(rep)
+        assert sum(g.failovers for g in groups) >= len(groups)
+        assert all(g.out_replicas() == (0,) for g in groups)
+
+    def test_kill_is_local_to_the_replicated_copy(self, clustered):
+        copy = dataclasses.replace(clustered, shards=list(clustered.shards))
+        rep = replicate_datastore(copy, 2)
+        kill_replica(replica_groups(rep)[0], 0)
+        # The source datastore's shard objects are untouched.
+        assert not isinstance(clustered.shards[0], FaultyShard)

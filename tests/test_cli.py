@@ -14,7 +14,7 @@ class TestParser:
         commands = set(sub.choices)
         assert commands == {
             "build", "build-index", "accuracy", "profile", "multinode",
-            "serve-sim", "cache", "faults", "trace", "reproduce",
+            "serve-sim", "cache", "faults", "overload", "trace", "reproduce",
         }
 
     def test_missing_command_errors(self):
