@@ -77,17 +77,34 @@ def top_k(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     Returns ``(dists, indices)`` each of shape ``(nq, k)``, rows sorted
     ascending. When a row has fewer than *k* columns the result is padded with
     ``inf`` distances and ``-1`` indices, mirroring FAISS's convention.
+
+    Ties break by column index (stable): equal distances are returned in
+    ascending-index order, so every selection path — full sort, partitioned
+    sort, and the streaming per-cell merge built on top of this — agrees on
+    the exact id set for tied candidates (e.g. duplicated vectors).
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     nq, n = distances.shape
     kk = min(k, n)
     if kk == n:
-        order = np.argsort(distances, axis=1)[:, :kk]
+        order = np.argsort(distances, axis=1, kind="stable")[:, :kk]
     else:
         part = np.argpartition(distances, kk - 1, axis=1)[:, :kk]
+        # argpartition returns the k smallest in arbitrary order; sorting the
+        # candidate *indices* first makes the stable value sort below break
+        # ties by original column index, matching the full-sort branch.
+        part.sort(axis=1)
         row = np.arange(nq)[:, np.newaxis]
-        order = part[row, np.argsort(distances[row, part], axis=1)]
+        order = part[row, np.argsort(distances[row, part], axis=1, kind="stable")]
+        # argpartition may keep an arbitrary *subset* of the columns tied at
+        # the k-th value; redo rows where that tie spans the cut with a full
+        # stable sort so the lowest-index tied columns always win.
+        kth = distances[np.arange(nq), order[:, -1]]
+        tied = distances == kth[:, np.newaxis]
+        spans_cut = tied.sum(axis=1) > tied[row, order].sum(axis=1)
+        for r in np.flatnonzero(spans_cut):
+            order[r] = np.argsort(distances[r], kind="stable")[:kk]
     row = np.arange(nq)[:, np.newaxis]
     out_d = distances[row, order]
     if kk < k:

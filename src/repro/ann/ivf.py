@@ -30,6 +30,7 @@ Performance architecture (see DESIGN.md):
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
@@ -38,7 +39,18 @@ from ..obs.trace import get_tracer
 from .base import VectorIndex, register_index
 from .distances import pairwise_distance, top_k
 from .kmeans import assign_to_centroids, train_kmeans
+from .pruning import (
+    inflate_threshold,
+    ip_radius_cut,
+    l2_radius_window,
+    residual_radii,
+)
 from .quantization import IdentityQuantizer, Quantizer, make_quantizer
+from .workspace import Workspace
+
+#: Code-block granularity the block-pruning counter reports in: a skipped
+#: span of N codes counts as N // PRUNE_BLOCK blocks.
+PRUNE_BLOCK = 32
 
 
 def default_nlist(n_vectors: int) -> int:
@@ -106,6 +118,17 @@ class IVFIndex(VectorIndex):
         # |decode(code)|^2 per stored code, computed lazily for ADC metrics
         # that need it (SQ under L2); invalidated on recompaction.
         self._code_sqnorms: np.ndarray | None = None
+        # Streaming-scan pruning state (lazy, invalidated on recompaction):
+        # per-code residual radii |decode(code) - centroid|, with each cell's
+        # codes *stored sorted by radius* so a (query, cell) radius window is
+        # a contiguous slice, plus per-cell radius extrema for cell-level
+        # pruning. See ann/pruning.py for the bound derivations.
+        self._code_radii: np.ndarray | None = None
+        self._cell_radius_max: np.ndarray | None = None
+        self._cell_radius_min: np.ndarray | None = None
+        # Per-thread scratch arenas (created lazily: threading.local does not
+        # survive copy/pickle, so it must not exist on a fresh index).
+        self._ws_local: "threading.local | None" = None
         self._dirty = False
         #: number of compaction passes run — a diagnostics counter used by
         #: the regression tests to prove steady-state searches don't rebuild.
@@ -133,6 +156,9 @@ class IVFIndex(VectorIndex):
         self._cell_offsets = None
         self._code_cells = None
         self._code_sqnorms = None
+        self._code_radii = None
+        self._cell_radius_max = None
+        self._cell_radius_min = None
         self._dirty = False
 
     # -- population ---------------------------------------------------------
@@ -193,6 +219,9 @@ class IVFIndex(VectorIndex):
         self._pending_codes = [[] for _ in range(self.nlist)]
         self._pending_ids = [[] for _ in range(self.nlist)]
         self._code_sqnorms = None
+        self._code_radii = None
+        self._cell_radius_max = None
+        self._cell_radius_min = None
         self._dirty = False
         self.compactions += 1
 
@@ -233,6 +262,74 @@ class IVFIndex(VectorIndex):
             self._code_sqnorms = self.quantizer.code_sqnorms(self._codes)
         return self._code_sqnorms
 
+    @property
+    def _workspace(self) -> Workspace:
+        """This thread's scratch arena (one per searching thread)."""
+        local = self._ws_local
+        if local is None:
+            local = self._ws_local = threading.local()
+        ws = getattr(local, "ws", None)
+        if ws is None:
+            ws = local.ws = Workspace()
+        return ws
+
+    def _install_radii(self, radii: np.ndarray) -> None:
+        """Adopt per-code radii (already matching the storage order) and
+        derive the per-cell extrema the cell-level pruning test uses."""
+        offsets = self._cell_offsets
+        sizes = offsets[1:] - offsets[:-1]
+        rmax = np.zeros(self.nlist, dtype=np.float32)
+        rmin = np.full(self.nlist, np.inf, dtype=np.float32)
+        occupied = np.flatnonzero(sizes > 0)
+        rmax[occupied] = radii[offsets[1:][occupied] - 1]
+        rmin[occupied] = radii[offsets[:-1][occupied]]
+        self._code_radii = np.asarray(radii, dtype=np.float32)
+        self._cell_radius_max = rmax
+        self._cell_radius_min = rmin
+
+    def _ensure_pruning_state(self) -> None:
+        """Compute residual radii and sort each cell's storage by radius.
+
+        The reorder permutes codes/ids/sqnorms *within* cells only (the CSR
+        offsets and row→cell map are unchanged), so every scan path sees the
+        same storage; the sort is stable, so codes with equal radii (e.g.
+        duplicates) keep their insertion order and tie-breaking stays
+        consistent with the reference path.
+        """
+        self.compact()
+        if self._code_radii is not None:
+            return
+        n = len(self._ids)
+        if n == 0:
+            self._install_radii(np.empty(0, dtype=np.float32))
+            return
+        radii = np.empty(n, dtype=np.float32)
+        step = 16384
+        for s in range(0, n, step):
+            decoded = self.quantizer.decode(self._codes[s : s + step])
+            radii[s : s + step] = residual_radii(
+                decoded, self.centroids[self._code_cells[s : s + step]]
+            )
+        perm = np.lexsort((radii, self._code_cells))
+        if not np.array_equal(perm, np.arange(n)):
+            self._codes = np.ascontiguousarray(self._codes[perm])
+            self._ids = self._ids[perm]
+            radii = radii[perm]
+            if self._code_sqnorms is not None:
+                self._code_sqnorms = self._code_sqnorms[perm]
+        self._install_radii(radii)
+
+    def warm_scan_state(self) -> None:
+        """Precompute every lazy scan structure (compaction, ADC norms,
+        pruning radii) so the next search runs entirely warm — used before
+        persistence and before exporting shards to worker processes."""
+        self.compact()
+        if self.quantizer.supports_adc(self.metric) and self.quantizer.needs_code_sqnorms(
+            self.metric
+        ):
+            self._adc_code_sqnorms()
+        self._ensure_pruning_state()
+
     # -- search --------------------------------------------------------------
     def _resolve_probe(self, nprobe: int | None) -> int:
         probe = self.nprobe if nprobe is None else int(nprobe)
@@ -247,11 +344,21 @@ class IVFIndex(VectorIndex):
         *,
         nprobe: int | None = None,
         use_adc: bool | None = None,
+        prune: bool | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Cell-major batched scan over the compacted inverted lists.
 
-        Two strategies share the same contract and the final top-k pass:
+        Three strategies share the same contract and the same tie-breaking
+        (probe order, then within-cell storage order, via the stable
+        :func:`~repro.ann.distances.top_k`):
 
+        - **Streaming** (``prune=True``; the default for gather codecs): scan
+          probe slots in ascending centroid-distance order, carrying a
+          running k-th-best threshold per query; (query, cell) pairs — and
+          contiguous code blocks inside surviving cells — whose triangle-
+          inequality lower bound cannot beat the threshold are skipped, and
+          the per-cell partial results merge into the running top-k chunk by
+          chunk instead of one giant argpartition.
         - **Sparse** (low probe coverage): probed cells are grouped across
           the query batch and each cell is scanned exactly once — one
           *shifted* ADC evaluation (or decode + GEMM) for every query probing
@@ -262,8 +369,10 @@ class IVFIndex(VectorIndex):
           codes, then unprobed cells are masked to ``inf``. Same arithmetic,
           no Python-level per-cell loop at all.
 
-        Per-query ADC bias terms (which cannot change a query's own
-        ordering) are added once after selection in both paths.
+        All scratch (ADC tables, distance tiles, merge buffers) comes from
+        the per-thread workspace arena, so steady-state searches make no
+        large allocations. Per-query ADC bias terms (which cannot change a
+        query's own ordering) are added once after selection in every path.
         """
         probe = self._resolve_probe(nprobe)
         self.compact()
@@ -274,12 +383,22 @@ class IVFIndex(VectorIndex):
         n_codes = len(self._ids)
         if not n_codes:
             return out_d, out_i
-        cell_d = pairwise_distance(q, self.centroids, "l2")
-        _, probe_cells = top_k(cell_d, probe)
-
         if use_adc is None:
             use_adc = self.quantizer.supports_adc(self.metric)
-        table = self.quantizer.adc_table(q, self.metric) if use_adc else None
+        if prune is None:
+            # Gather codecs (PQ/OPQ) get no batching advantage from the
+            # dense GEMM strategy, so threshold pruning is a pure win there;
+            # GEMM codecs keep their dense path unless pruning is requested.
+            prune = self.quantizer.adc_dense_advantage <= 1.0
+        prune = bool(prune)
+        if prune:
+            # May reorder storage within cells — before norms are sliced.
+            self._ensure_pruning_state()
+        ws = self._workspace
+
+        cell_d = pairwise_distance(q, self.centroids, "l2")
+        cell_dists, probe_cells = top_k(cell_d, probe)
+        table = self.quantizer.adc_table(q, self.metric, ws=ws) if use_adc else None
         norms = (
             self._adc_code_sqnorms()
             if use_adc and self.quantizer.needs_code_sqnorms(self.metric)
@@ -293,8 +412,11 @@ class IVFIndex(VectorIndex):
         # loop costs the probed work plus fixed per-cell overhead. How the
         # two per-element costs compare is a property of the codec.
         pair_work = int(sizes[probe_cells].sum())
-        dense = self.quantizer.adc_dense_advantage * pair_work >= nq * n_codes
-        strategy = "dense" if dense else "sparse"
+        if prune:
+            strategy = "streaming"
+        else:
+            dense = self.quantizer.adc_dense_advantage * pair_work >= nq * n_codes
+            strategy = "dense" if dense else "sparse"
         get_registry().counter(
             "ivf_scans_total", "IVF batched scans by strategy"
         ).inc(strategy=strategy)
@@ -306,13 +428,17 @@ class IVFIndex(VectorIndex):
             pair_work=pair_work,
             adc=bool(use_adc),
         ):
-            if dense:
+            if strategy == "streaming":
+                out_d, out_i, valid = self._scan_streaming(
+                    q, k, probe, probe_cells, cell_dists, use_adc, table, norms, ws
+                )
+            elif strategy == "dense":
                 out_d, out_i, valid = self._scan_dense(
-                    q, k, probe_cells, use_adc, table, norms
+                    q, k, probe_cells, use_adc, table, norms, ws
                 )
             else:
                 out_d, out_i, valid = self._scan_sparse(
-                    q, k, probe, probe_cells, use_adc, table, norms
+                    q, k, probe, probe_cells, use_adc, table, norms, ws
                 )
         if use_adc:
             bias = table.get("bias")
@@ -321,9 +447,200 @@ class IVFIndex(VectorIndex):
             if self.metric == "l2":
                 np.maximum(out_d, 0.0, out=out_d)
             out_d[~valid] = np.inf
+        ws.flush_stats()
         return out_d, out_i
 
-    def _scan_dense(self, q, k, probe_cells, use_adc, table, norms):
+    #: max probe slots merged per streaming round. Rounds ramp geometrically
+    #: (1, 2, 4, ... slots) so the very first (nearest) cell already seeds
+    #: the pruning threshold — tau is infinite until the first merge, so a
+    #: large opening round would scan its cells unpruned — then cap here to
+    #: amortise the per-round merge.
+    _STREAM_CHUNK = 8
+
+    def _scan_streaming(
+        self, q, k, probe, probe_cells, cell_dists, use_adc, table, norms, ws
+    ):
+        """Threshold-pruned scan in ascending centroid-distance order.
+
+        Probe slots are consumed in chunks of ``_STREAM_CHUNK``. Each round:
+
+        1. computes the surviving-radius window per (query, cell) from the
+           running k-th-best thresholds (see :mod:`repro.ann.pruning`) and
+           drops pairs whose window misses the cell's radius range entirely;
+        2. groups surviving pairs cell-major, narrows each cell to the
+           contiguous radius-sorted code slice covering the group's windows
+           (two binary searches — skipped codes count as pruned blocks);
+        3. scans each slice once for its group's queries and scatters the
+           tiles into an arena merge buffer laid out as
+           ``[running top-k | slot tiles]``, then takes one stable top-k —
+           so earlier probes (and the incumbent top-k) win ties, exactly
+           like the reference path's concatenation order.
+
+        Distances stay in shifted ADC space throughout; thresholds are
+        converted to true space (``+ bias``) only for the bound tests.
+        Returns ``(dists, ids, valid)`` like the other scan strategies.
+        """
+        nq = len(q)
+        offsets = self._cell_offsets
+        sizes = offsets[1:] - offsets[:-1]
+        radii = self._code_radii
+        rmax = self._cell_radius_max
+        rmin = self._cell_radius_min
+        metric = self.metric
+
+        bias64 = None
+        if use_adc:
+            bias = table.get("bias")
+            if bias is not None:
+                bias64 = bias.astype(np.float64)
+        if metric == "ip":
+            q64 = q.astype(np.float64)
+            qsq = np.einsum("ij,ij->i", q64, q64)
+            # Keep-side inflated |q| (the IP bound divides by it).
+            qnorm = np.sqrt(qsq) * (1.0 + 1e-3) + 1e-9
+            c64 = self.centroids.astype(np.float64)
+            csq = np.einsum("ij,ij->i", c64, c64)
+
+        cur_d = np.full((nq, k), np.inf, dtype=np.float32)
+        cur_i = np.full((nq, k), -1, dtype=np.int64)
+        rows = np.arange(nq)[:, np.newaxis]
+        n_ids = len(self._ids)
+        cells_pruned = 0
+        blocks_pruned = 0
+
+        s0 = 0
+        chunk = 1
+        while s0 < probe:
+            s1 = min(s0 + chunk, probe)
+            chunk = min(chunk * 2, self._STREAM_CHUNK)
+            ncs = s1 - s0
+            sub_cells = probe_cells[:, s0:s1]
+            sub_cd = cell_dists[:, s0:s1].astype(np.float64)
+            s0 = s1
+            # Running thresholds in *true* distance space, keep-side inflated.
+            tau = cur_d[:, k - 1].astype(np.float64)
+            if bias64 is not None:
+                tau = tau + bias64
+            tau = inflate_threshold(tau)
+            if metric == "l2":
+                lo_cut, hi_cut = l2_radius_window(sub_cd, tau[:, np.newaxis])
+            else:
+                # q.c recovered from the L2 centroid distances already in hand.
+                qc = (qsq[:, np.newaxis] + csq[sub_cells] - sub_cd) * 0.5
+                lo_cut = ip_radius_cut(qc, qnorm[:, np.newaxis], tau[:, np.newaxis])
+                hi_cut = np.full_like(lo_cut, np.inf)
+            occupied = sizes[sub_cells] > 0
+            alive = (
+                occupied
+                & (rmax[sub_cells] >= lo_cut)
+                & (rmin[sub_cells] <= hi_cut)
+            )
+            cells_pruned += int(np.count_nonzero(occupied & ~alive))
+            if not alive.any():
+                continue
+
+            # Group surviving (query, slot) pairs cell-major, like the
+            # sparse scan — each cell slice is scanned once per round.
+            pair_q, pair_s = np.nonzero(alive)
+            flat_cells = sub_cells[pair_q, pair_s]
+            order = np.argsort(flat_cells, kind="stable")
+            sorted_cells = flat_cells[order]
+            starts = np.flatnonzero(
+                np.concatenate(([True], sorted_cells[1:] != sorted_cells[:-1]))
+            )
+            bounds = np.append(starts, len(sorted_cells))
+            groups = []
+            wmax = 0
+            for b in range(len(starts)):
+                members = order[bounds[b] : bounds[b + 1]]
+                cell = int(sorted_cells[bounds[b]])
+                glo, ghi = int(offsets[cell]), int(offsets[cell + 1])
+                gq = pair_q[members]
+                gs = pair_s[members]
+                rcell = radii[glo:ghi]
+                lo_v = lo_cut[gq, gs].min()
+                hi_v = hi_cut[gq, gs].max()
+                # Contiguous surviving slice of the radius-sorted cell.
+                start = (
+                    int(np.searchsorted(rcell, lo_v, side="left"))
+                    if lo_v > rcell[0]
+                    else 0
+                )
+                stop = (
+                    ghi - glo
+                    if hi_v >= rcell[-1]
+                    else int(np.searchsorted(rcell, hi_v, side="right"))
+                )
+                if stop <= start:
+                    cells_pruned += len(members)
+                    continue
+                skipped = start + (ghi - glo - stop)
+                if skipped:
+                    blocks_pruned += (skipped // PRUNE_BLOCK) * len(members)
+                groups.append((gq, gs, glo + start, glo + stop))
+                wmax = max(wmax, stop - start)
+            if not groups:
+                continue
+
+            # Merge buffer: [running top-k | one tile per chunk slot]. Column
+            # order makes the stable top-k prefer the incumbents, then
+            # earlier probe slots, then within-cell storage order — the
+            # reference path's candidate order.
+            md = ws.take("stream_merge", (nq, k + ncs * wmax))
+            md[:, :k] = cur_d
+            md[:, k:] = np.inf
+            srcpos = ws.take("stream_srcpos", (nq, ncs), dtype=np.int64, fill=0)
+            wcols = np.arange(wmax, dtype=np.int64)
+            for gq, gs, a, b2 in groups:
+                span = b2 - a
+                codes = self._codes[a:b2]
+                sub_rows = None if len(gq) == nq else gq
+                if use_adc:
+                    dists = self.quantizer.adc_distances(
+                        table,
+                        codes,
+                        rows=sub_rows,
+                        code_sqnorms=None if norms is None else norms[a:b2],
+                        shifted=True,
+                        ws=ws,
+                    )
+                else:
+                    qg = q if sub_rows is None else q[gq]
+                    dists = pairwise_distance(qg, self.quantizer.decode(codes), metric)
+                cols = k + gs[:, np.newaxis] * wmax + wcols[np.newaxis, :span]
+                md[gq[:, np.newaxis], cols] = dists
+                srcpos[gq, gs] = a
+
+            out_d, pos = top_k(md, k)
+            p = pos - k
+            from_new = p >= 0
+            pc = np.maximum(p, 0)
+            slot = pc // wmax
+            within = pc - slot * wmax
+            src = srcpos[rows, slot] + within
+            np.clip(src, 0, n_ids - 1, out=src)
+            incumbent = cur_i[rows, np.minimum(pos, k - 1)]
+            new_i = np.where(from_new, self._ids[src], incumbent)
+            valid = np.isfinite(out_d)
+            cur_d = out_d
+            cur_i = np.where(valid, new_i, -1)
+
+        registry = get_registry()
+        if cells_pruned:
+            registry.counter(
+                "ivf_cells_pruned_total",
+                "probed (query, cell) pairs skipped by the streaming scan's "
+                "triangle-inequality bound",
+            ).inc(cells_pruned)
+        if blocks_pruned:
+            registry.counter(
+                "ivf_blocks_pruned_total",
+                f"{PRUNE_BLOCK}-code blocks skipped inside surviving cells "
+                "by the per-code radius window",
+            ).inc(blocks_pruned)
+        return cur_d, cur_i, np.isfinite(cur_d)
+
+    def _scan_dense(self, q, k, probe_cells, use_adc, table, norms, ws=None):
         """Full-corpus kernel + probe mask; shifted distances, ids, validity."""
         nq = len(q)
         if self._code_cells is None:
@@ -331,7 +648,7 @@ class IVFIndex(VectorIndex):
             self._code_cells = np.repeat(np.arange(self.nlist, dtype=np.int32), sizes)
         if use_adc:
             dists = self.quantizer.adc_distances(
-                table, self._codes, code_sqnorms=norms, shifted=True
+                table, self._codes, code_sqnorms=norms, shifted=True, ws=ws
             )
         else:
             vecs, _ = self.reconstruct()
@@ -344,7 +661,7 @@ class IVFIndex(VectorIndex):
         out_i = np.where(valid, self._ids[np.clip(pos, 0, len(self._ids) - 1)], -1)
         return out_d, out_i, valid
 
-    def _scan_sparse(self, q, k, probe, probe_cells, use_adc, table, norms):
+    def _scan_sparse(self, q, k, probe, probe_cells, use_adc, table, norms, ws=None):
         """Per-probed-cell kernels scattered into a padded slot-major buffer.
 
         Slot r of query qi owns buffer columns ``[r*width, r*width + size)``
@@ -359,7 +676,10 @@ class IVFIndex(VectorIndex):
         out_i = np.full((nq, k), -1, dtype=np.int64)
         if width == 0:
             return out_d, out_i, np.zeros((nq, k), dtype=bool)
-        buf = np.full((nq, probe * width), np.inf, dtype=np.float32)
+        if ws is None:
+            buf = np.full((nq, probe * width), np.inf, dtype=np.float32)
+        else:
+            buf = ws.take("sparse_buf", (nq, probe * width), fill=np.inf)
 
         # Invert the (query, cell) probe matrix into cell-major groups.
         flat = probe_cells.ravel()
@@ -387,6 +707,7 @@ class IVFIndex(VectorIndex):
                     rows=q_idx,
                     code_sqnorms=None if norms is None else norms[lo:hi],
                     shifted=True,
+                    ws=ws,
                 )
             else:
                 dists = pairwise_distance(
@@ -416,14 +737,17 @@ class IVFIndex(VectorIndex):
         *,
         nprobe: int | None = None,
         use_adc: bool | None = None,
+        prune: bool | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Top-k search, optionally overriding the index's default nProbe.
 
         ``use_adc=None`` (the default) enables asymmetric distance
         computation whenever the quantizer supports it for this metric;
-        ``False`` forces the decode-then-GEMM kernel.
+        ``False`` forces the decode-then-GEMM kernel. ``prune=None``
+        auto-enables the streaming threshold-pruned scan for gather codecs
+        (PQ/OPQ); ``True``/``False`` force it on or off for any codec.
         """
-        return super().search(queries, k, nprobe=nprobe, use_adc=use_adc)
+        return super().search(queries, k, nprobe=nprobe, use_adc=use_adc, prune=prune)
 
     def search_reference(
         self, queries: np.ndarray, k: int, *, nprobe: int | None = None

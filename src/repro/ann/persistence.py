@@ -30,9 +30,13 @@ from .quantization import (
 #: of one pair of arrays per cell; version 3 additionally persists the
 #: derived scan state (per-code squared norms for ADC metrics) so a loaded
 #: index serves its first search at warm-index latency instead of paying a
-#: full decode pass. Older versions are still readable.
-FORMAT_VERSION = 3
-_READABLE_FORMATS = (1, 2, 3)
+#: full decode pass; version 4 also persists the per-code residual radii
+#: (cells stored radius-ascending) that drive the streaming scan's
+#: triangle-inequality pruning — loading an older file simply leaves the
+#: radii to be recomputed lazily on the first pruned search. Older versions
+#: are still readable.
+FORMAT_VERSION = 4
+_READABLE_FORMATS = (1, 2, 3, 4)
 
 
 def _quantizer_state(quantizer: Quantizer) -> tuple[str, dict[str, np.ndarray]]:
@@ -117,12 +121,15 @@ def save_ivf(index: IVFIndex, path: "str | Path") -> None:
     )
     arrays = {"header": header, "centroids": index.centroids}
     arrays.update(quant_arrays)
-    index.compact()
+    # Derived scan state is persisted too, so a loaded index serves its first
+    # search fully warm: per-code squared norms (an expensive full decode
+    # pass for PQ/OPQ) and the pruning radii (another decode pass, plus the
+    # radius-ascending within-cell reorder the streaming scan relies on).
+    index.warm_scan_state()
     arrays["codes"] = index._codes
     arrays["ids"] = index._ids
     arrays["cell_offsets"] = index._cell_offsets
-    # Derived scan state: persisting the per-code squared norms (an expensive
-    # full decode pass for PQ/OPQ) keeps the first post-load search warm.
+    arrays["code_radii"] = index._code_radii
     if index.quantizer.supports_adc(index.metric) and index.quantizer.needs_code_sqnorms(
         index.metric
     ):
@@ -171,6 +178,10 @@ def load_index(path: "str | Path") -> "FlatIndex | IVFIndex":
             )
             if "code_sqnorms" in data:
                 index._code_sqnorms = data["code_sqnorms"]
+            if header["format"] >= 4 and "code_radii" in data:
+                index._install_radii(data["code_radii"])
+            # Format <= 3 files predate radius-sorted cells: leave the radii
+            # unset so the first pruned search warms them lazily.
             index._dirty = False
         else:  # format 1: one (codes, ids) array pair per non-empty cell
             for cell in range(index.nlist):

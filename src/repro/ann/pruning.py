@@ -1,0 +1,105 @@
+"""Triangle-inequality bounds for the streaming cell-pruned IVF scan.
+
+The streaming scan visits a query's probed cells in ascending
+centroid-distance order while carrying the running k-th-best distance
+``tau``. For every stored code the index precomputes its **residual
+radius** ``r = |decode(code) - centroid(cell)|`` once at build time; the
+triangle inequality then gives sound lower bounds on the code's distance to
+the query from the already-computed query→centroid distance alone:
+
+- **L2** (squared distances throughout the scan): with ``cd = |q - c|^2``,
+
+      |q - p| >= | |q - c| - |p - c| |   =>   d(q, p) >= (sqrt(cd) - r)^2
+
+  so a code can only beat ``tau`` when its radius lies inside the annulus
+  ``sqrt(cd) - sqrt(tau) <= r <= sqrt(cd) + sqrt(tau)``.
+- **IP** (distance = negated inner product): decompose ``p = c + e`` with
+  ``|e| = r``; then ``-q.p = -q.c - q.e >= -q.c - |q| r``, so codes with
+  ``r < (-q.c - tau) / |q|`` cannot beat ``tau``. ``q.c`` is recovered from
+  the L2 centroid distances the scan already has (cells are always assigned
+  by L2): ``q.c = (|q|^2 + |c|^2 - cd) / 2``.
+
+Because each cell stores its codes sorted by radius, both bounds turn into a
+*contiguous* surviving slice per (query, cell) — found with two binary
+searches — and a whole cell dies when the slice is empty. All quantities are
+compared in exact (unshifted) distance space.
+
+Soundness under float32: the bounds must never prune a code the reference
+path would return, so every approximation errs on the keep side. Radii are
+inflated by a relative + absolute epsilon at build time, thresholds are
+inflated by :func:`inflate_threshold` before each comparison, and query
+norms are inflated before dividing. The margins are matched to the ADC
+reassociation noise the equivalence suite already tolerates
+(``rtol=1e-3 / atol=5e-3``), with head-room on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Relative / absolute threshold slack absorbing float32 kernel noise: the
+#: ADC fast paths and the reference GEMM path reassociate reductions, so two
+#: evaluations of the same distance differ by ~1e-3 relative. Pruning
+#: decisions add this margin on top so no borderline candidate is cut.
+THRESHOLD_REL_EPS = 2e-3
+THRESHOLD_ABS_EPS = 1e-2
+
+#: Build-time inflation applied to stored residual radii (keep-side bias).
+RADIUS_REL_EPS = 1e-3
+RADIUS_ABS_EPS = 1e-6
+
+
+def residual_radii(decoded: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Inflated ``|decode(code) - centroid|`` per row (float32).
+
+    ``decoded`` and ``centroids`` are row-aligned ``(n, dim)`` arrays (the
+    centroid of each code's owning cell). The norm accumulates in float64
+    and the result is inflated by the keep-side epsilons before the float32
+    round-trip, so a stored radius is never an underestimate.
+    """
+    diff = decoded.astype(np.float64) - centroids.astype(np.float64)
+    r = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return (r * (1.0 + RADIUS_REL_EPS) + RADIUS_ABS_EPS).astype(np.float32)
+
+
+def inflate_threshold(tau: np.ndarray) -> np.ndarray:
+    """Keep-side inflated copy of the running k-th-best distances.
+
+    Handles ``+inf`` rows (fewer than k candidates seen: nothing prunable)
+    and slightly negative shifted-space artefacts transparently.
+    """
+    return tau + np.abs(tau) * THRESHOLD_REL_EPS + THRESHOLD_ABS_EPS
+
+
+def l2_radius_window(cell_d: np.ndarray, tau: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(query, cell) surviving radius window ``[lo, hi]`` under L2.
+
+    ``cell_d`` holds squared query→centroid distances, ``tau`` the (already
+    inflated) squared-distance thresholds, broadcastable against ``cell_d``.
+    Codes with radius outside the window satisfy ``(sqrt(cd) - r)^2 > tau``
+    and provably cannot enter the top-k. ``tau = +inf`` yields the full
+    ``[-inf, +inf]`` window (no pruning).
+    """
+    root_t = np.sqrt(np.maximum(tau, 0.0))
+    root_c = np.sqrt(np.maximum(cell_d, 0.0))
+    return root_c - root_t, root_c + root_t
+
+
+def ip_radius_cut(
+    query_dot_centroid: np.ndarray, query_norms: np.ndarray, tau: np.ndarray
+) -> np.ndarray:
+    """Minimum surviving radius per (query, cell) under inner product.
+
+    Codes with ``r < cut`` satisfy ``-q.p >= -q.c - |q| r > tau`` and cannot
+    enter the top-k; there is no upper cut (a large residual can always point
+    along the query). ``query_norms`` must be keep-side inflated (``>= |q|``)
+    by the caller; zero-norm queries score every candidate identically, so
+    their cut collapses to all-or-nothing on the constant ``-q.c``.
+    """
+    norms = np.maximum(query_norms, 1e-30)
+    cut = (-query_dot_centroid - tau) / norms
+    tiny = query_norms <= 1e-12
+    if np.any(tiny):
+        all_or_nothing = np.where(-query_dot_centroid > tau, np.inf, -np.inf)
+        cut = np.where(tiny, all_or_nothing, cut)
+    return cut

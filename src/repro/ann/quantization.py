@@ -81,7 +81,7 @@ class Quantizer(abc.ABC):
         del metric
         return False
 
-    def adc_table(self, queries: np.ndarray, metric: str):
+    def adc_table(self, queries: np.ndarray, metric: str, *, ws=None):
         """Precompute per-query ADC state for a batch of float queries.
 
         The returned mapping may carry a ``"bias"`` vector: a per-query
@@ -89,6 +89,11 @@ class Quantizer(abc.ABC):
         can request ``shifted=True`` distances (bias omitted) from
         :meth:`adc_distances` and add the bias back once after selection,
         keeping the per-cell inner loop minimal.
+
+        ``ws`` is an optional :class:`repro.ann.workspace.Workspace`: bulky
+        table state (the PQ ``(nq, m, ksub)`` lookup tables) is carved from
+        the arena instead of freshly allocated, and stays valid until the
+        next ``adc_table`` call against the same workspace.
         """
         raise NotImplementedError(f"{type(self).__name__} does not support ADC")
 
@@ -100,6 +105,7 @@ class Quantizer(abc.ABC):
         rows: np.ndarray | None = None,
         code_sqnorms: np.ndarray | None = None,
         shifted: bool = False,
+        ws=None,
     ) -> np.ndarray:
         """Distance matrix between table queries and *codes* (smaller=closer).
 
@@ -108,6 +114,11 @@ class Quantizer(abc.ABC):
         that actually probe it). With ``shifted=True`` the per-query
         ``table["bias"]`` term is left out (and L2 results are not clamped at
         zero); callers must add it back after top-k selection.
+
+        With ``ws`` the result (and intermediates) live in arena buffers: the
+        returned array is only valid until the next ``adc_distances`` call on
+        the same workspace — scan loops must scatter/copy it out before the
+        next cell.
         """
         raise NotImplementedError(f"{type(self).__name__} does not support ADC")
 
@@ -161,7 +172,8 @@ class IdentityQuantizer(Quantizer):
     def needs_code_sqnorms(self, metric: str) -> bool:
         return metric == "l2"
 
-    def adc_table(self, queries: np.ndarray, metric: str):
+    def adc_table(self, queries: np.ndarray, metric: str, *, ws=None):
+        del ws  # raw-payload tables carry only references; nothing bulky
         validate_metric(metric)
         q = as_matrix(queries)
         table = {"metric": metric, "q": q}
@@ -169,14 +181,24 @@ class IdentityQuantizer(Quantizer):
             table["bias"] = np.einsum("ij,ij->i", q, q).astype(np.float32)
         return table
 
-    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False, ws=None):
         q = table["q"] if rows is None else table["q"][rows]
         codes = as_matrix(codes)
+        out = None if ws is None else ws.take("adc_dists", (len(q), len(codes)))
         if table["metric"] == "ip":
+            if out is not None:
+                np.matmul(q, codes.T, out=out)
+                return np.negative(out, out=out)
             return -(q @ codes.T)
         if code_sqnorms is None:
             code_sqnorms = np.einsum("ij,ij->i", codes, codes)
-        dists = code_sqnorms[np.newaxis, :] - 2.0 * (q @ codes.T)
+        if out is not None:
+            np.matmul(q, codes.T, out=out)
+            out *= -2.0
+            out += code_sqnorms[np.newaxis, :]
+            dists = out
+        else:
+            dists = code_sqnorms[np.newaxis, :] - 2.0 * (q @ codes.T)
         if not shifted:
             bias = table["bias"] if rows is None else table["bias"][rows]
             dists += bias[:, np.newaxis]
@@ -257,7 +279,8 @@ class ScalarQuantizer(Quantizer):
     def needs_code_sqnorms(self, metric: str) -> bool:
         return metric == "l2"
 
-    def adc_table(self, queries: np.ndarray, metric: str):
+    def adc_table(self, queries: np.ndarray, metric: str, *, ws=None):
+        del ws  # the affine table (w, bias) is batch-sized, not corpus-sized
         validate_metric(metric)
         if not self.is_trained:
             raise RuntimeError(f"{type(self).__name__} must be trained before adc_table()")
@@ -272,16 +295,25 @@ class ScalarQuantizer(Quantizer):
         qnorm = np.einsum("ij,ij->i", q, q).astype(np.float32)
         return {"metric": metric, "w": w, "bias": qnorm - 2.0 * b}
 
-    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False, ws=None):
         levels = self._unpack_levels(np.asarray(codes))
         w = table["w"] if rows is None else table["w"][rows]
-        sim = w @ levels.T  # = (q * scale) . L
+        sim = (
+            w @ levels.T
+            if ws is None
+            else np.matmul(w, levels.T, out=ws.take("adc_dists", (len(w), len(levels))))
+        )  # = (q * scale) . L
         if table["metric"] == "ip":
-            dists = -sim
+            dists = np.negative(sim, out=sim) if ws is not None else -sim
         else:
             if code_sqnorms is None:
                 code_sqnorms = self.code_sqnorms(codes)
-            dists = code_sqnorms[np.newaxis, :] - 2.0 * sim
+            if ws is not None:
+                sim *= -2.0
+                sim += code_sqnorms[np.newaxis, :]
+                dists = sim
+            else:
+                dists = code_sqnorms[np.newaxis, :] - 2.0 * sim
         if not shifted:
             bias = table["bias"] if rows is None else table["bias"][rows]
             dists += bias[:, np.newaxis]
@@ -395,12 +427,13 @@ class ProductQuantizer(Quantizer):
     def supports_adc(self, metric: str) -> bool:
         return metric in ("l2", "ip")
 
-    def adc_table(self, queries: np.ndarray, metric: str):
+    def adc_table(self, queries: np.ndarray, metric: str, *, ws=None):
         validate_metric(metric)
         if not self.is_trained:
             raise RuntimeError(f"{type(self).__name__} must be trained before adc_table()")
         q = as_matrix(queries)
-        tables = np.empty((len(q), self.m, self.ksub), dtype=np.float32)
+        shape = (len(q), self.m, self.ksub)
+        tables = np.empty(shape, dtype=np.float32) if ws is None else ws.take("pq_tables", shape)
         table = {"metric": metric, "tables": tables}
         for j in range(self.m):
             sub = q[:, j * self.dsub : (j + 1) * self.dsub]
@@ -419,15 +452,32 @@ class ProductQuantizer(Quantizer):
             table["bias"] = np.einsum("ij,ij->i", q, q).astype(np.float32)
         return table
 
-    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False, ws=None):
         del code_sqnorms
         tables = table["tables"]
         if rows is not None:
-            tables = tables[rows]
+            if ws is not None:
+                sub = ws.take("pq_row_tables", (len(rows),) + tables.shape[1:])
+                np.take(tables, rows, axis=0, out=sub)
+                tables = sub
+            else:
+                tables = tables[rows]
         codes = np.asarray(codes)
-        acc = np.zeros((len(tables), len(codes)), dtype=np.float32)
-        for j in range(self.m):
-            acc += tables[:, j, codes[:, j]]
+        shape = (len(tables), len(codes))
+        if ws is None:
+            acc = np.zeros(shape, dtype=np.float32)
+            for j in range(self.m):
+                acc += tables[:, j, codes[:, j]]
+        else:
+            # Fused gather + accumulate over arena tiles: each subquantizer's
+            # lookup lands directly in a scratch tile (``np.take(..., out=)``)
+            # and is summed in place — no per-subspace temporary allocations.
+            acc = ws.take("pq_acc", shape)
+            tile = ws.take("pq_tile", shape)
+            np.take(tables[:, 0, :], codes[:, 0], axis=1, out=acc)
+            for j in range(1, self.m):
+                np.take(tables[:, j, :], codes[:, j], axis=1, out=tile)
+                acc += tile
         if not shifted and table["metric"] == "l2":
             bias = table["bias"] if rows is None else table["bias"][rows]
             acc += bias[:, np.newaxis]
@@ -506,14 +556,14 @@ class OPQQuantizer(Quantizer):
     def supports_adc(self, metric: str) -> bool:
         return metric in ("l2", "ip")
 
-    def adc_table(self, queries: np.ndarray, metric: str):
+    def adc_table(self, queries: np.ndarray, metric: str, *, ws=None):
         if not self.is_trained:
             raise RuntimeError(f"{type(self).__name__} must be trained before adc_table()")
-        return self.pq.adc_table(as_matrix(queries) @ self._rotation, metric)
+        return self.pq.adc_table(as_matrix(queries) @ self._rotation, metric, ws=ws)
 
-    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False):
+    def adc_distances(self, table, codes, *, rows=None, code_sqnorms=None, shifted=False, ws=None):
         return self.pq.adc_distances(
-            table, codes, rows=rows, code_sqnorms=code_sqnorms, shifted=shifted
+            table, codes, rows=rows, code_sqnorms=code_sqnorms, shifted=shifted, ws=ws
         )
 
 

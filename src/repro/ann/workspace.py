@@ -1,0 +1,96 @@
+"""Scratch-buffer arena for the query hot path.
+
+Steady-state searches should do **zero large allocations**: every scan of the
+same index with the same batch shape needs the same scratch arrays (ADC
+lookup tables, per-cell distance tiles, top-k merge buffers), yet allocating
+them per call costs page faults and allocator churn right on the latency
+critical path. :class:`Workspace` is a grow-only arena keyed by buffer role:
+``take(key, shape, dtype)`` returns a view of a cached backing buffer,
+reallocating (geometrically) only when the request outgrows the cache.
+
+Contract for callers:
+
+- A view handed out by :meth:`take` is valid until the *next* ``take`` with
+  the same key — never store it, and never return it to user code (copy
+  final outputs out of the arena).
+- Buffers come back **uninitialised** unless ``fill=`` is given; callers
+  overwrite what they read.
+- A workspace is single-threaded scratch. Concurrent searchers each get
+  their own instance (the IVF index keeps one per thread).
+
+Hit/miss counts accumulate locally and are drained into the process metrics
+registry (``workspace_hits_total`` / ``workspace_misses_total``) once per
+search, keeping the per-``take`` cost to a dict lookup.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+
+
+class Workspace:
+    """Grow-only keyed scratch arena handing out sized array views."""
+
+    __slots__ = ("_buffers", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(
+        self,
+        key: str,
+        shape: "tuple[int, ...]",
+        dtype=np.float32,
+        *,
+        fill=None,
+    ) -> np.ndarray:
+        """A ``shape``-shaped view of the cached buffer for *key*.
+
+        Grows the backing buffer geometrically on a miss so repeated
+        slightly-larger requests (e.g. the widest cell of each probe chunk)
+        converge to zero reallocations instead of reallocating every call.
+        """
+        dtype = np.dtype(dtype)
+        n = int(math.prod(shape)) if shape else 1
+        buf = self._buffers.get(key)
+        if buf is None or buf.dtype != dtype or buf.size < n:
+            grow = n if buf is None or buf.dtype != dtype else max(n, 2 * buf.size)
+            buf = np.empty(max(grow, 1), dtype=dtype)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        view = buf[:n].reshape(shape)
+        if fill is not None:
+            view[...] = fill
+        return view
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every cached buffer (tests / memory-pressure hook)."""
+        self._buffers.clear()
+
+    def flush_stats(self) -> None:
+        """Drain accumulated hit/miss counts into the metrics registry."""
+        if not (self.hits or self.misses):
+            return
+        registry = get_registry()
+        if self.hits:
+            registry.counter(
+                "workspace_hits_total", "scratch-arena buffer reuses"
+            ).inc(self.hits)
+            self.hits = 0
+        if self.misses:
+            registry.counter(
+                "workspace_misses_total", "scratch-arena buffer (re)allocations"
+            ).inc(self.misses)
+            self.misses = 0

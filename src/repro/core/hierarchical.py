@@ -338,6 +338,7 @@ class HierarchicalSearcher:
         router: ClusterRouter | None = None,
         config: HermesConfig | None = None,
         max_workers: int | None = None,
+        workers_mode: str | None = None,
         policy: RetrievalPolicy | None = None,
         health: ShardHealth | None = None,
         tracer: "Tracer | None" = None,
@@ -350,6 +351,15 @@ class HierarchicalSearcher:
         self.config = config or datastore.config
         self.router = router if router is not None else SampledRouter()
         self.max_workers = max_workers
+        if workers_mode is None:
+            workers_mode = self.config.search_workers_mode
+        if workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"workers_mode must be 'thread' or 'process', got {workers_mode!r}"
+            )
+        self.workers_mode = workers_mode
+        #: lazily started process pool (``workers_mode="process"`` only)
+        self._shard_pool = None
         self.policy = policy
         if health is None and policy is not None and policy.breaker_threshold is not None:
             health = ShardHealth(
@@ -382,6 +392,34 @@ class HierarchicalSearcher:
                 f"exclude_clusters covers all {n} shards; no shard left to search"
             )
         return exclude
+
+    # -- process-mode shard pool -------------------------------------------
+    def _ensure_shard_pool(self):
+        """Start (once) the worker-process pool backing process-mode search.
+
+        Startup warms every shard and copies its arrays into shared memory;
+        amortised over the searcher's lifetime, per-search traffic is then
+        just the query batch and the top-k block.
+        """
+        if self._shard_pool is None:
+            from ..ann.parallel import ProcessShardPool
+
+            self._shard_pool = ProcessShardPool(
+                self.datastore.shards, workers=self.max_workers
+            )
+        return self._shard_pool
+
+    def close(self) -> None:
+        """Release the process pool (no-op in thread mode / if never started)."""
+        pool, self._shard_pool = self._shard_pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "HierarchicalSearcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- policy-governed execution -----------------------------------------
     def _attempt_with_deadline(
@@ -780,7 +818,19 @@ class HierarchicalSearcher:
                 tasks.append((shard, hit_q, hit_slot))
         shard_queries = sum(len(hit_q) for _, hit_q, _ in tasks)
 
+        # Early termination needs the adaptive probe loop in-process; only
+        # plain deep searches fan out to the worker-process pool.
+        shard_pool = (
+            self._ensure_shard_pool()
+            if self.workers_mode == "process" and deep_patience is None and tasks
+            else None
+        )
+
         def deep_search_once(shard, hit_q):
+            if shard_pool is not None:
+                return shard_pool.search(
+                    int(shard.shard_id), q[hit_q], k, nprobe=nprobe
+                )
             if deep_patience is not None:
                 from ..ann.early_termination import search_with_early_termination
 
@@ -889,6 +939,10 @@ class HierarchicalSearcher:
                 use_threads = (
                     (self.max_workers is not None) if parallel is None else bool(parallel)
                 )
+                # Process mode always fans out from threads: submissions to
+                # the worker pool are thread-safe and each blocks until its
+                # shard's result ships back, so threads overlap the shards.
+                use_threads = use_threads or shard_pool is not None
                 if use_threads and len(tasks) > 1:
                     workers = min(self.max_workers or len(tasks), len(tasks))
                     with ThreadPoolExecutor(max_workers=workers) as pool:

@@ -137,6 +137,29 @@ class TestTopK:
         with pytest.raises(ValueError):
             top_k(np.zeros((1, 3)), 0)
 
+    def test_ties_break_by_column_index(self):
+        # The k-th value ties with columns beyond the cut: argpartition may
+        # keep an arbitrary tied subset, but the contract is lowest indices.
+        d = np.array([[5.0, 1.0, 1.0, 1.0, 1.0, 0.5]])
+        dists, ids = top_k(d, 3)
+        assert list(ids[0]) == [5, 1, 2]
+        d = np.array([[2.0, 2.0, 2.0, 2.0]])
+        _, ids = top_k(d, 2)
+        assert list(ids[0]) == [0, 1]
+
+    def test_duplicated_vector_ids_are_deterministic(self):
+        # Duplicated corpus vectors yield exactly-tied distances; every k
+        # cut must return the lowest-index duplicates, matching a full
+        # stable sort (the regression behind the streaming-merge tie rules).
+        rng = np.random.default_rng(11)
+        base = rng.normal(size=(1, 8)).astype(np.float32)
+        points = np.repeat(rng.normal(size=(7, 8)).astype(np.float32), 4, axis=0)
+        d = pairwise_distance(base, points)
+        for k in range(1, points.shape[0] + 1):
+            _, ids = top_k(d, k)
+            expect = np.argsort(d[0], kind="stable")[:k]
+            np.testing.assert_array_equal(ids[0], expect)
+
     @given(
         hnp.arrays(
             np.float64,

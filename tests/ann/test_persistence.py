@@ -138,6 +138,49 @@ class TestScanStateRoundTrip:
         loaded = load_index(tmp_path / "idx.npz")
         assert loaded._code_sqnorms is not None
 
+    @pytest.mark.parametrize("scheme", ["sq8", "pq4"])
+    def test_format4_persists_pruning_radii(self, scheme, data, queries, tmp_path):
+        # Format 4 carries the per-code residual radii in radius-sorted cell
+        # order, so the loaded index streams with pruning immediately --
+        # no decode pass on first search.
+        index = self._built(data, scheme)
+        index.warm_scan_state()
+        path = tmp_path / "idx.npz"
+        save_ivf(index, path)
+        loaded = load_index(path)
+        assert loaded._code_radii is not None
+        np.testing.assert_array_equal(loaded._code_radii, index._code_radii)
+        d0, i0 = index.search(queries, 5, prune=True)
+        d1, i1 = loaded.search(queries, 5, prune=True)
+        assert np.array_equal(i0, i1)
+        assert np.allclose(d0, d1, atol=1e-5)
+
+    def test_format3_files_warm_lazily(self, data, queries, tmp_path):
+        # A format-3 file has no radii: the loader leaves them unset and the
+        # first pruned search recomputes them (correctness over latency).
+        import json
+
+        from repro.ann import persistence
+
+        index = self._built(data, "pq4")
+        path = tmp_path / "v3.npz"
+        save_ivf(index, path)
+        with np.load(path, allow_pickle=False) as saved:
+            arrays = {name: saved[name] for name in saved.files}
+        header = json.loads(str(arrays["header"]))
+        header["format"] = 3
+        arrays["header"] = json.dumps(header)
+        arrays.pop("code_radii", None)
+        np.savez_compressed(path, **arrays)
+        assert persistence.FORMAT_VERSION >= 4
+        loaded = load_index(path)
+        assert loaded._code_radii is None
+        d0, i0 = index.search(queries, 5, prune=True)
+        d1, i1 = loaded.search(queries, 5, prune=True)
+        assert loaded._code_radii is not None
+        assert np.array_equal(i0, i1)
+        assert np.allclose(d0, d1, atol=1e-5)
+
     def test_format2_files_still_load(self, data, queries, tmp_path):
         import json
 

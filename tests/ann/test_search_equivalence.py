@@ -62,8 +62,11 @@ def assert_matches_reference(index, queries, k, nprobe, **kwargs):
 @pytest.mark.parametrize("metric", METRICS)
 @pytest.mark.parametrize("scheme", SCHEMES)
 @pytest.mark.parametrize("nprobe", [1, 4, 16])
-def test_fast_path_matches_reference(indexes, queries, scheme, metric, nprobe):
-    assert_matches_reference(indexes[(scheme, metric)], queries, 5, nprobe)
+@pytest.mark.parametrize("prune", [None, True, False])
+def test_fast_path_matches_reference(indexes, queries, scheme, metric, nprobe, prune):
+    assert_matches_reference(
+        indexes[(scheme, metric)], queries, 5, nprobe, prune=prune
+    )
 
 
 @pytest.mark.parametrize("metric", METRICS)

@@ -13,14 +13,30 @@ def test_smoke_report_structure(tmp_path):
     assert report["smoke"] is True
     assert json.loads(out.read_text())["bench"] == "retrieval"
     names = {row["index"] for row in report["single_index"]}
-    assert names == {"flat", "ivf_flat", "ivf_sq8", "ivf_pq8"}
+    assert names == {"flat", "ivf_flat", "ivf_sq8", "ivf_pq8", "ivf_opq8"}
     for row in report["single_index"]:
         if row["index"] != "flat":
             # run_benchmarks raises if fast and reference paths diverge, so
-            # reaching here means every row passed the equivalence assert.
+            # reaching here means every row passed the equivalence assert
+            # (both the default and the prune=False strategies).
             assert row["equivalent"] is True
             assert row["after_s"] > 0
+            if row["strategy"] == "streaming":
+                assert row["cells_pruned"] > 0
     assert report["hierarchical"]["equivalent"] is True
+    # The streaming scan must actually prune on the topic-structured corpus.
+    assert report["counters"]["ivf_cells_pruned_total"] > 0
+
+
+def test_smoke_profile_breakdown(tmp_path):
+    report = run_benchmarks(
+        smoke=True, out=tmp_path / "BENCH_retrieval.json", profile=True
+    )
+    profile = report["profile"]
+    for name in ("route", "sample", "deep_search", "shard_search", "ivf_scan", "merge"):
+        assert profile[name]["count"] > 0, name
+        assert profile[name]["total_s"] >= 0.0
+    assert profile["retrieval_total_s"] > 0
 
 
 def test_smoke_spec_is_small():
@@ -40,3 +56,13 @@ def test_full_bench_meets_speedup_targets(tmp_path):
     )
     assert sq8_batch["speedup"] >= 3.0
     assert report["hierarchical"]["speedup"] >= 1.5
+    for scheme in ("ivf_pq8", "ivf_opq8"):
+        row = next(
+            r
+            for r in report["single_index"]
+            if r["index"] == scheme and r["batch"] == 32
+        )
+        # The streaming cell-pruned scan must add >=1.3x on top of the PR-7
+        # dense/sparse strategies for the gather codecs.
+        assert row["pruned_speedup"] >= 1.3, row
+        assert row["cells_pruned"] > 0

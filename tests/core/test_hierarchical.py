@@ -511,3 +511,34 @@ class TestDeadlineBudget:
         timed = hermes.search(small_queries.embeddings, k=5, deadline_s=60.0)
         np.testing.assert_array_equal(timed.ids, base.ids)
         np.testing.assert_allclose(timed.distances, base.distances, rtol=1e-5)
+
+
+class TestProcessWorkersMode:
+    """workers_mode="process" fans deep searches out to a worker pool; the
+    transport must be invisible in the results."""
+
+    def test_process_mode_is_bit_identical_to_thread_mode(
+        self, clustered, small_queries
+    ):
+        q = small_queries.embeddings
+        base = HermesSearcher(clustered).search(q, k=5)
+        with HermesSearcher(clustered, workers_mode="process") as searcher:
+            assert searcher._shard_pool is None  # pool is lazy
+            result = searcher.search(q, k=5)
+            assert searcher._shard_pool is not None
+        np.testing.assert_array_equal(base.ids, result.ids)
+        np.testing.assert_array_equal(base.distances, result.distances)
+
+    def test_mode_defaults_from_config(self, clustered):
+        import dataclasses
+
+        cfg = dataclasses.replace(
+            HermesSearcher(clustered).config, search_workers_mode="process"
+        )
+        searcher = HermesSearcher(clustered, config=cfg)
+        assert searcher.workers_mode == "process"
+        searcher.close()  # no pool was ever spawned: close is a no-op
+
+    def test_invalid_mode_rejected(self, clustered):
+        with pytest.raises(ValueError, match="workers_mode"):
+            HierarchicalSearcher(clustered, workers_mode="fibers")

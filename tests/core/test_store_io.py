@@ -30,6 +30,29 @@ class TestDatastoreRoundTrip:
         loaded = load_datastore(tmp_path / "store")
         assert np.allclose(loaded.centroids(), clustered.centroids())
 
+    def test_warm_scan_state_survives_round_trip(self, clustered, tmp_path):
+        # save_datastore delegates to save_ivf, which warms the scan state:
+        # every reloaded shard must come back with its pruning radii so the
+        # first serve-time search streams with pruning immediately.
+        save_datastore(clustered, tmp_path / "store")
+        loaded = load_datastore(tmp_path / "store")
+        for shard in loaded.shards:
+            assert shard.index._code_radii is not None
+            assert len(shard.index._code_radii) == shard.index.ntotal
+
+    def test_workers_mode_config_round_trips(self, clustered, tmp_path):
+        import dataclasses
+
+        store = dataclasses.replace(
+            clustered,
+            config=dataclasses.replace(
+                clustered.config, search_workers_mode="process"
+            ),
+        )
+        save_datastore(store, tmp_path / "store")
+        loaded = load_datastore(tmp_path / "store")
+        assert loaded.config.search_workers_mode == "process"
+
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_datastore(tmp_path / "nothing")
