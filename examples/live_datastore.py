@@ -11,8 +11,9 @@ drives a deployed Hermes datastore through its operational lifecycle:
 1. build the clustered deployment;
 2. ingest a breaking-news burst of new documents online and retrieve them
    immediately;
-3. lose a retrieval node and keep serving from the survivors;
-4. watch the imbalance metric that tells the operator when to re-split.
+3. retract part of the burst (tombstones) and compact the deltas away;
+4. lose a retrieval node and keep serving from the survivors;
+5. watch the imbalance metric that tells the operator when to re-split.
 """
 
 import numpy as np
@@ -47,7 +48,21 @@ def main() -> None:
     hit = (np.isin(result.ids[:, 0], new_ids)).mean()
     print(f"fresh-doc retrievability (top-1 is a fresh doc): {hit:.0%}")
 
-    # -- 2. node failure ----------------------------------------------------
+    # -- 2. deletes + compaction -----------------------------------------
+    # Retract part of the burst (corrections happen): tombstones hide the
+    # documents immediately, compaction folds the rest into fresh sealed
+    # indices and clears the delta memtables.
+    retracted = new_ids[:100]
+    datastore.delete_documents(retracted)
+    gone = searcher.search(fresh[:100], k=1, clusters_to_search=3)
+    leaked = int(np.isin(gone.ids, retracted).sum())
+    print(f"retracted {len(retracted)} docs; leaked into results: {leaked}")
+    print(f"delta rows before compaction: {datastore.delta_rows()}")
+    compacted = datastore.compact()
+    print(f"compacted {compacted} shard(s); delta rows now "
+          f"{datastore.delta_rows()}, generation {datastore.generation}")
+
+    # -- 3. node failure ----------------------------------------------------
     queries, _ = model.sample_queries(64, query_spread=0.25)
     all_vectors = np.concatenate([corpus.embeddings, fresh])
     mono = MonolithicRetriever(all_vectors)

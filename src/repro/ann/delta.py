@@ -1,0 +1,160 @@
+"""Append-only delta index: the mutable half of a live IVF shard.
+
+Hermes's datastore is built offline and served frozen, but the north-star
+deployment needs the corpus to change while queries are in flight. The
+delta index is the classic LSM answer: recent inserts land in a small
+append-only *memtable* that is brute-force scanned alongside the sealed IVF
+index, deletes become tombstones that filter both sides, and a background
+compaction folds everything back into a fresh sealed index (see
+``IndexShard.compact``).
+
+Equivalence contract (enforced by ``tests/ann/test_mutation_equivalence.py``):
+
+- Vectors are encoded with the *sealed index's* quantizer at insert time, and
+  their IVF cell is planned from the raw vector with the same
+  ``assign_to_centroids`` call ``IVFIndex.add`` uses — so compaction installs
+  exactly the rows an offline rebuild would have produced.
+- Distances are computed with the same ADC kernel (shifted table, bias added
+  after selection, L2 clamp) as the sealed scan, and the merge concatenates
+  ``[sealed | delta]`` columns before a stable ``top_k``, so exact fp ties
+  resolve sealed-first. Result ids are therefore identical to an offline
+  rebuild *except* within groups of code-identical duplicates: BLAS kernels
+  round identical columns differently depending on matrix position (remainder
+  lanes), so ordering inside such a group is implementation-defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distances import pairwise_distance, top_k
+from .kmeans import assign_to_centroids
+
+
+class DeltaIndex:
+    """Flat brute-force memtable over one shard's recent inserts.
+
+    Row ``r`` of the delta is the shard's local id ``sealed_ntotal + r``;
+    rows are append-only and never reordered, so the stable ``top_k``
+    tie-break reproduces insertion order. Mutation and search are serialized
+    by the owning :class:`~repro.core.clustering.IndexShard` — the delta
+    itself is not thread-safe.
+    """
+
+    def __init__(self, sealed) -> None:
+        self.dim = sealed.dim
+        self.metric = sealed.metric
+        self.quantizer = sealed.quantizer
+        self.centroids = sealed.centroids
+        self._frag_codes: list[np.ndarray] = []
+        self._frag_cells: list[np.ndarray] = []
+        # Concatenated views, rebuilt lazily after an append.
+        self._codes: np.ndarray | None = None
+        self._cells: np.ndarray | None = None
+        self._sqnorms: np.ndarray | None = None
+        self.ntotal = 0
+
+    @classmethod
+    def restore(cls, sealed, codes: np.ndarray, cells: np.ndarray) -> "DeltaIndex":
+        """Rebuild a delta from persisted ``(codes, cells)`` state.
+
+        Row order is preserved exactly — it *is* the local-id order — so a
+        reloaded shard merges and tie-breaks identically to the one saved.
+        """
+        delta = cls(sealed)
+        if len(codes):
+            delta._frag_codes.append(np.ascontiguousarray(codes, dtype=np.uint8))
+            delta._frag_cells.append(np.asarray(cells, dtype=np.int64))
+            delta.ntotal = len(codes)
+        return delta
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Encode and append ``vectors``; returns their planned IVF cells.
+
+        The cell of each row is fixed *now*, from the raw vector — identical
+        to what ``IVFIndex.add`` would assign — so compaction needs no raw
+        vectors and lands every row where the offline build would have.
+        """
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        cells = assign_to_centroids(vectors, self.centroids, "l2")
+        self._frag_codes.append(self.quantizer.encode(vectors))
+        self._frag_cells.append(cells.astype(np.int64))
+        self._codes = None
+        self._cells = None
+        self._sqnorms = None
+        self.ntotal += len(vectors)
+        return cells
+
+    @property
+    def codes(self) -> np.ndarray:
+        """All delta codes, row ``r`` = delta position ``r``."""
+        if self._codes is None:
+            if self._frag_codes:
+                self._codes = np.ascontiguousarray(
+                    np.concatenate(self._frag_codes, axis=0)
+                )
+            else:
+                self._codes = np.empty((0, 0), dtype=np.uint8)
+        return self._codes
+
+    @property
+    def cells(self) -> np.ndarray:
+        """Planned IVF cell per delta row (fixed at insert time)."""
+        if self._cells is None:
+            if self._frag_cells:
+                self._cells = np.concatenate(self._frag_cells)
+            else:
+                self._cells = np.empty(0, dtype=np.int64)
+        return self._cells
+
+    def reconstruct(self) -> np.ndarray:
+        """Decoded delta vectors in insertion order."""
+        if not self.ntotal:
+            return np.empty((0, self.dim), dtype=np.float32)
+        return self.quantizer.decode(self.codes)
+
+    def _adc_sqnorms(self) -> np.ndarray:
+        if self._sqnorms is None:
+            self._sqnorms = self.quantizer.code_sqnorms(self.codes)
+        return self._sqnorms
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Brute-force top-k over the delta rows.
+
+        Returns ``(distances, positions)`` where positions are delta row
+        indices (``-1`` padding); distances are in the same *true* space as
+        ``IVFIndex.search`` output — the shifted ADC kernel plus the per-query
+        bias and L2 clamp, applied in the same order as the sealed scan.
+        """
+        q = np.asarray(queries, dtype=np.float32)
+        nq = len(q)
+        if not self.ntotal:
+            return (
+                np.full((nq, k), np.inf, dtype=np.float32),
+                np.full((nq, k), -1, dtype=np.int64),
+            )
+        use_adc = self.quantizer.supports_adc(self.metric)
+        if use_adc:
+            table = self.quantizer.adc_table(q, self.metric)
+            norms = (
+                self._adc_sqnorms()
+                if self.quantizer.needs_code_sqnorms(self.metric)
+                else None
+            )
+            dists = self.quantizer.adc_distances(
+                table, self.codes, code_sqnorms=norms, shifted=True
+            )
+        else:
+            dists = pairwise_distance(q, self.reconstruct(), self.metric)
+        out_d, out_i = top_k(dists, k)
+        if use_adc:
+            bias = table.get("bias")
+            if bias is not None:
+                out_d += bias[:, np.newaxis]
+            if self.metric == "l2":
+                np.maximum(out_d, 0.0, out=out_d)
+            out_d[np.asarray(out_i) < 0] = np.inf
+        return out_d, out_i
+
+    def memory_bytes(self) -> int:
+        return int(self.ntotal) * (self.quantizer.code_size() + 8)

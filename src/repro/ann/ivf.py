@@ -225,6 +225,71 @@ class IVFIndex(VectorIndex):
         self._dirty = False
         self.compactions += 1
 
+    def fresh_sealed_like(self) -> "IVFIndex":
+        """An empty index sharing this one's trained coarse/fine quantizers.
+
+        Compaction (and the rebuild-from-scratch oracle in the mutation
+        equivalence tests) must produce *bit-identical* codes and cell
+        assignments, which requires reusing the exact trained centroids and
+        codec — retraining on the surviving vectors would shift both.
+        """
+        if not self.is_trained:
+            raise RuntimeError("IVFIndex must be trained before fresh_sealed_like()")
+        clone = IVFIndex(
+            self.dim,
+            self.metric,
+            nlist=self.nlist,
+            nprobe=self.nprobe,
+            quantizer=self.quantizer,
+            train_seed=self.train_seed,
+            kmeans_algorithm=self.kmeans_algorithm,
+            kmeans_batch_size=self.kmeans_batch_size,
+        )
+        clone.centroids = self.centroids
+        clone.is_trained = True
+        clone._pending_codes = [[] for _ in range(self.nlist)]
+        clone._pending_ids = [[] for _ in range(self.nlist)]
+        return clone
+
+    def install_rows(self, codes: np.ndarray, cells: np.ndarray) -> None:
+        """Adopt pre-encoded rows as the index's entire contents.
+
+        Row ``r`` of ``codes`` becomes local id ``r``; rows are grouped into
+        CSR cell order with a *stable* sort, so rows sharing a cell keep
+        their input order — the same within-cell insertion order ``add()``
+        produces, which the stable tie-break depends on. Used by shard
+        compaction to fold sealed survivors + delta rows into a fresh index
+        without re-encoding anything.
+        """
+        if not self.is_trained:
+            raise RuntimeError("IVFIndex must be trained before install_rows()")
+        cells = np.asarray(cells, dtype=np.int64)
+        n = len(cells)
+        if len(codes) != n:
+            raise ValueError(f"{len(codes)} code rows for {n} cell assignments")
+        if n and (cells.min() < 0 or cells.max() >= self.nlist):
+            raise ValueError("cell assignment out of range")
+        order = np.argsort(cells, kind="stable")
+        sizes = np.bincount(cells, minlength=self.nlist)
+        offsets = np.zeros(self.nlist + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        if n:
+            self._codes = np.ascontiguousarray(np.asarray(codes)[order])
+        else:
+            self._codes = np.empty((0, 0), dtype=np.uint8)
+        self._ids = order.astype(np.int64)
+        self._cell_offsets = offsets
+        self._code_cells = cells[order].astype(np.int32)
+        self._pending_codes = [[] for _ in range(self.nlist)]
+        self._pending_ids = [[] for _ in range(self.nlist)]
+        self._code_sqnorms = None
+        self._code_radii = None
+        self._cell_radius_max = None
+        self._cell_radius_min = None
+        self._dirty = False
+        self.ntotal = n
+        self.compactions += 1
+
     def cell_codes(self, cell: int) -> tuple[np.ndarray, np.ndarray]:
         """Contiguous ``(codes, ids)`` views of one inverted list."""
         self.compact()

@@ -33,10 +33,15 @@ from .quantization import (
 #: full decode pass; version 4 also persists the per-code residual radii
 #: (cells stored radius-ascending) that drive the streaming scan's
 #: triangle-inequality pruning — loading an older file simply leaves the
-#: radii to be recomputed lazily on the first pruned search. Older versions
-#: are still readable.
-FORMAT_VERSION = 4
-_READABLE_FORMATS = (1, 2, 3, 4)
+#: radii to be recomputed lazily on the first pruned search; version 5 adds
+#: live-mutation state at the *datastore directory* level (per-shard
+#: ``mutation_<i>.npz`` sidecars carrying delta codes/cells, tombstones,
+#: and the compaction generation — see :mod:`repro.core.store_io`) — the
+#: index ``.npz`` payload itself is unchanged, and directories saved by
+#: older versions simply load with no mutation state. Older versions are
+#: still readable.
+FORMAT_VERSION = 5
+_READABLE_FORMATS = (1, 2, 3, 4, 5)
 
 
 def _quantizer_state(quantizer: Quantizer) -> tuple[str, dict[str, np.ndarray]]:

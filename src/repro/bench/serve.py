@@ -18,6 +18,11 @@ writes ``BENCH_serve.json``:
 - **stride_reuse** — strided RAG sessions with and without
   ``reuse_routing``: sample-search skips, document overlap, and the
   *measured* RAGCache prefix hit rate.
+- **mutation_sweep** — the same Zipf stream replayed while the datastore
+  mutates (per-batch inserts + deletes at several churn rates): p50 with
+  the delta memtables live vs after compaction, NDCG@k against brute force
+  over the live vectors at both stages, and (on full runs) the acceptance
+  floor that 1% churn costs ≤ 15% p50 at *equal* NDCG.
 
 Run from the repo root::
 
@@ -55,6 +60,9 @@ from .sysinfo import cpu_metadata
 
 #: Full-run acceptance floor: cached mean batch latency vs uncached.
 SPEEDUP_FLOOR = 2.0
+
+#: Full-run acceptance ceiling: p50 overhead of live delta serving at 1% churn.
+MUTATION_OVERHEAD_CEILING = 0.15
 
 
 @dataclass(frozen=True)
@@ -336,6 +344,139 @@ def _bench_stride_reuse(spec: BenchSpec, *, smoke: bool) -> dict:
     return out
 
 
+def _bench_mutation_sweep(spec: BenchSpec, *, smoke: bool) -> dict:
+    """Replay the Zipf stream under per-batch churn; live vs compacted.
+
+    One private datastore mutates across the whole sweep (equal inserts and
+    deletes keep its size constant); each churn point starts from a fully
+    compacted state. Every search runs at full fan-out and full probe so the
+    live (delta + tombstone) and compacted answers are bit-identical by the
+    mutation-equivalence contract — making the p50 gap a pure measurement of
+    what the delta scan costs.
+    """
+    from ..ann.flat import FlatIndex
+    from ..datastore.embeddings import TopicModel
+
+    churns = (0.0, 0.01, 0.05)
+    corpus = make_corpus(
+        spec.n_docs, n_topics=spec.n_topics, dim=spec.dim, seed=spec.seed + 5
+    )
+    config = HermesConfig(
+        n_clusters=spec.n_clusters,
+        clusters_to_search=spec.n_clusters,
+        k=spec.k,
+    )
+    datastore = cluster_datastore(corpus.embeddings, config)
+    searcher = HermesSearcher(datastore, config=config)
+    full_probe = max(s.index.nlist for s in datastore.shards)
+    pool = trivia_queries(
+        corpus.topic_model, spec.n_unique, seed=spec.seed + 8
+    ).embeddings
+    model = corpus.topic_model
+    fresh_model = TopicModel(
+        centers=model.centers,
+        weights=model.weights,
+        spread=model.spread,
+        rng_seed=spec.seed + 9,
+    )
+    rng = np.random.default_rng(spec.seed + 6)
+    stream = _stream(spec, rng)
+    queries = pool[stream]
+
+    def full_search(qb):
+        return searcher.search(
+            qb,
+            k=spec.k,
+            clusters_to_search=datastore.n_clusters,
+            deep_nprobe=full_probe,
+        ).ids
+
+    live = np.arange(len(datastore.assignments))
+    points = []
+    for churn in churns:
+        # Fractional accumulator: churn * batch is < 1 at small batches, so
+        # rounding per batch would silently mutate nothing and make the
+        # overhead measurement vacuous; carry the remainder instead.
+        mut_acc = 0.0
+        mutated = 0
+        live_lat = []
+        peak_delta = 0
+        for start in range(0, len(queries), spec.batch):
+            mut_acc += churn * spec.batch
+            n_mut = int(mut_acc)
+            mut_acc -= n_mut
+            mutated += n_mut
+            if n_mut:
+                fresh, _ = fresh_model.sample_documents(n_mut)
+                new_ids = datastore.add_documents(fresh)
+                victims = rng.choice(
+                    np.concatenate([live, new_ids]), size=n_mut, replace=False
+                )
+                datastore.delete_documents(victims)
+                live = np.setdiff1d(
+                    np.concatenate([live, new_ids]), victims, assume_unique=True
+                )
+            peak_delta = max(peak_delta, datastore.delta_rows())
+            qb = queries[start : start + spec.batch]
+            t0 = time.perf_counter()
+            full_search(qb)
+            live_lat.append(time.perf_counter() - t0)
+
+        live_vecs = datastore.reconstruct_vectors()[live]
+        exact = FlatIndex(spec.dim, "ip")
+        exact.add(live_vecs)
+        _, truth_pos = exact.search(pool, spec.k)
+        truth = live[truth_pos]
+        live_ids = full_search(pool)
+        ndcg_live = float(ndcg(live_ids, truth))
+
+        datastore.compact()
+        compacted_ids = full_search(pool)
+        ndcg_compacted = float(ndcg(compacted_ids, truth))
+        identical = bool(np.array_equal(live_ids, compacted_ids))
+
+        compacted_lat = []
+        for start in range(0, len(queries), spec.batch):
+            qb = queries[start : start + spec.batch]
+            t0 = time.perf_counter()
+            full_search(qb)
+            compacted_lat.append(time.perf_counter() - t0)
+
+        p50_live = float(np.percentile(live_lat, 50) * 1e3)
+        p50_compacted = float(np.percentile(compacted_lat, 50) * 1e3)
+        points.append(
+            {
+                "churn": churn,
+                "mutations": mutated,
+                "peak_delta_rows": peak_delta,
+                "p50_live_ms": p50_live,
+                "p50_compacted_ms": p50_compacted,
+                "overhead_frac": p50_live / p50_compacted - 1.0,
+                "ndcg_live": ndcg_live,
+                "ndcg_compacted": ndcg_compacted,
+                "bit_identical": identical,
+            }
+        )
+
+    if not smoke:
+        for p in points:
+            if p["churn"] > 0 and p["peak_delta_rows"] == 0:
+                raise AssertionError(
+                    f"mutation sweep: churn {p['churn']:.0%} accumulated no "
+                    "delta rows — the mutation path was not exercised"
+                )
+            if not p["bit_identical"] or p["ndcg_live"] != p["ndcg_compacted"]:
+                raise AssertionError(
+                    f"mutation sweep: live != compacted at churn {p['churn']:.0%}"
+                )
+            if p["churn"] == 0.01 and p["overhead_frac"] > MUTATION_OVERHEAD_CEILING:
+                raise AssertionError(
+                    f"mutation sweep: {p['overhead_frac']:.0%} p50 overhead at 1% "
+                    f"churn exceeds the {MUTATION_OVERHEAD_CEILING:.0%} ceiling"
+                )
+    return {"churns": list(churns), "points": points}
+
+
 def run_benchmarks(
     *, smoke: bool = False, out: "str | Path | None" = "BENCH_serve.json"
 ) -> dict:
@@ -363,6 +504,7 @@ def run_benchmarks(
         "semantic_path": _bench_semantic_path(spec, searcher, pool, truth),
         "batcher": _bench_batcher(spec, searcher, pool, truth),
         "stride_reuse": _bench_stride_reuse(spec, smoke=smoke),
+        "mutation_sweep": _bench_mutation_sweep(spec, smoke=smoke),
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -398,6 +540,15 @@ def _format_report(report: dict) -> str:
         f"(fresh {r['fresh']['wall_s']:.2f} s -> "
         f"reused {r['reused']['wall_s']:.2f} s)",
     ]
+    for p in report["mutation_sweep"]["points"]:
+        lines.append(
+            f"  churn {p['churn']:>4.0%} "
+            f"p50 live={p['p50_live_ms']:.2f} ms "
+            f"compacted={p['p50_compacted_ms']:.2f} ms "
+            f"({p['overhead_frac']:+.0%}), "
+            f"NDCG {p['ndcg_live']:.4f} == {p['ndcg_compacted']:.4f} "
+            f"({'bit-identical' if p['bit_identical'] else 'DIVERGED'})"
+        )
     return "\n".join(lines)
 
 

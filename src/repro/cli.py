@@ -14,6 +14,7 @@ reproduction::
     hermes-repro cache --alphas 0 0.5 1.0 1.5 --out cache_sweep.json
     hermes-repro faults --killed 0 1 2 3 --out faults.json
     hermes-repro overload --loads 0.5 1 2 --out overload.json
+    hermes-repro mutate --churns 0 0.01 0.05 --smoke
     hermes-repro trace retrieval --out trace.json
     hermes-repro reproduce --fast
 
@@ -335,6 +336,50 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    from .experiments import mutation
+    from .metrics.reporting import format_table
+    from .obs.metrics import get_registry
+
+    report = mutation.run(
+        tuple(args.churns),
+        docs=args.docs,
+        n_queries=args.queries,
+        batch=args.batch,
+        k=args.k,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            mutation.TABLE_HEADERS,
+            mutation.table_rows(report),
+            title=(
+                f"live-mutation churn sweep: {report.docs} docs, "
+                f"{report.n_queries} queries, batch {report.batch}, k={report.k}"
+            ),
+        )
+    )
+    snapshot = get_registry().snapshot()
+    print("mutation metrics:")
+    for name in sorted(snapshot):
+        if name.startswith(("datastore_", "retrieval_cache_stale_generation")):
+            print(f"  {name} = {snapshot[name]:g}")
+    if args.out:
+        mutation.write_artifact(report, args.out)
+        print(f"mutation artifact -> {args.out}")
+    if args.smoke:
+        problems = mutation.smoke_check(report)
+        if problems:
+            for problem in problems:
+                print(f"SMOKE FAIL: {problem}")
+            return 1
+        print(
+            "smoke checks passed: no deleted leaks, inserts retrievable, "
+            "live == compacted at full probe"
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .experiments import tracing
 
@@ -493,6 +538,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced sizes + assert the overload/failover acceptance properties",
     )
     p.set_defaults(func=_cmd_overload)
+
+    p = sub.add_parser(
+        "mutate",
+        help="live-mutation churn sweep: delta/tombstone serving vs compacted",
+    )
+    p.add_argument(
+        "--churns", type=float, nargs="+", default=[0.0, 0.01, 0.05],
+        help="per-batch insert+delete rates as fractions of the batch size",
+    )
+    p.add_argument("--docs", type=int, default=3000)
+    p.add_argument("--queries", type=int, default=128)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write the JSON artifact here")
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="assert the mutation integrity/equivalence properties",
+    )
+    p.set_defaults(func=_cmd_mutate)
 
     p = sub.add_parser(
         "trace", help="run a seeded traced experiment and export a Chrome trace"

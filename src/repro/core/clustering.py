@@ -16,43 +16,246 @@ strategies differ only in how documents are assigned to shards.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..ann.distances import as_matrix, pairwise_distance
+from ..ann.delta import DeltaIndex
+from ..ann.distances import as_matrix, pairwise_distance, top_k
 from ..ann.ivf import IVFIndex
 from ..ann.kmeans import KMeansResult, assign_to_centroids, kmeans_seed_sweep
 from ..ann.parallel import run_tasks
 from ..ann.quantization import make_quantizer
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from .config import HermesConfig
 
 
 @dataclass
 class IndexShard:
-    """One cluster's search index plus its global-id mapping."""
+    """One cluster's search index plus its global-id mapping.
+
+    A shard is *live*: inserts after the offline build land in an
+    append-only :class:`~repro.ann.delta.DeltaIndex` memtable searched
+    alongside the sealed IVF index, deletes become tombstones filtering both
+    sides, and :meth:`compact` folds everything back into a fresh sealed
+    index under ``generation``. Local ids are allocated monotonically
+    (sealed rows first, then delta rows) and renumber only at compaction,
+    when ``global_ids`` is rebuilt to match — so the local→global
+    translation is always positional.
+    """
 
     shard_id: int
     index: IVFIndex
     global_ids: np.ndarray
     centroid: np.ndarray
+    #: bumped by every compaction — the signal that sealed storage (and
+    #: therefore any exported process-pool view of it) has been replaced.
+    generation: int = 0
+    delta: DeltaIndex | None = None
+    #: local ids (spanning sealed + delta rows) deleted since the last
+    #: compaction; filtered out of every search, dropped at compaction.
+    tombstones: set = field(default_factory=set)
 
     def __post_init__(self) -> None:
         self.global_ids = np.asarray(self.global_ids, dtype=np.int64)
-        if len(self.global_ids) != self.index.ntotal:
+        delta_rows = self.delta.ntotal if self.delta is not None else 0
+        if len(self.global_ids) != self.index.ntotal + delta_rows:
             raise ValueError(
                 f"shard {self.shard_id}: {len(self.global_ids)} ids for "
-                f"{self.index.ntotal} indexed vectors"
+                f"{self.index.ntotal + delta_rows} indexed vectors"
             )
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return self.index.ntotal
+        """Live documents: sealed + delta rows minus tombstones."""
+        delta_rows = self.delta.ntotal if self.delta is not None else 0
+        return self.index.ntotal + delta_rows - len(self.tombstones)
+
+    @property
+    def has_mutations(self) -> bool:
+        """True when search must consult the delta or tombstone state."""
+        return bool(self.tombstones) or (
+            self.delta is not None and self.delta.ntotal > 0
+        )
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, vectors: np.ndarray, global_ids: np.ndarray) -> None:
+        """Append new rows to the delta memtable (local ids stay monotone)."""
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if len(vectors) != len(global_ids):
+            raise ValueError(f"{len(vectors)} vectors for {len(global_ids)} ids")
+        with self._lock:
+            if self.delta is None:
+                self.delta = DeltaIndex(self.index)
+            self.delta.add(vectors)
+            self.global_ids = np.concatenate([self.global_ids, global_ids])
+
+    def delete(self, global_ids: np.ndarray) -> int:
+        """Tombstone rows by global id; returns the number deleted.
+
+        Raises ``KeyError`` when an id is unknown to this shard or already
+        deleted — silent double-deletes would corrupt the live count.
+        """
+        targets = np.unique(np.asarray(global_ids, dtype=np.int64))
+        with self._lock:
+            local = np.flatnonzero(np.isin(self.global_ids, targets))
+            if len(local) != len(targets):
+                known = set(self.global_ids[local].tolist())
+                missing = [int(g) for g in targets if int(g) not in known]
+                raise KeyError(
+                    f"shard {self.shard_id}: unknown global ids {missing[:5]}"
+                )
+            stale = [int(p) for p in local if int(p) in self.tombstones]
+            if stale:
+                raise KeyError(
+                    f"shard {self.shard_id}: ids already deleted "
+                    f"{[int(self.global_ids[p]) for p in stale[:5]]}"
+                )
+            self.tombstones.update(int(p) for p in local)
+        return len(targets)
+
+    def compact(self) -> bool:
+        """Fold delta rows and drop tombstones into a fresh sealed index.
+
+        Survivor rows keep their *original codes* (no re-encode) and their
+        insert-time cell assignments, ordered sealed-survivors-then-delta —
+        exactly the rows an offline rebuild over the live set would install.
+        The new index is warmed (CSR + ADC norms + radius-sorted pruning
+        state) before the atomic swap, so no search ever observes a cold or
+        half-built sealed index. Returns True when anything changed.
+        """
+        with self._lock:
+            if not self.has_mutations:
+                return False
+            sealed = self.index
+            delta = self.delta
+            tomb = np.array(sorted(self.tombstones), dtype=np.int64)
+            gids = self.global_ids
+        sealed_n = sealed.ntotal
+        delta_n = delta.ntotal if delta is not None else 0
+        with get_tracer().span(
+            "compact",
+            shard=int(self.shard_id),
+            sealed=sealed_n,
+            delta=delta_n,
+            tombstones=len(tomb),
+        ):
+            sealed.compact()
+            # Undo the CSR ordering: row local id -> (code, cell).
+            if sealed_n:
+                codes_by_local = np.empty_like(sealed._codes)
+                codes_by_local[sealed._ids] = sealed._codes
+                cells_by_local = np.empty(sealed_n, dtype=np.int64)
+                cells_by_local[sealed._ids] = sealed._code_cells
+            survivors = np.setdiff1d(
+                np.arange(sealed_n + delta_n, dtype=np.int64), tomb,
+                assume_unique=True,
+            )
+            parts_codes = []
+            parts_cells = []
+            sealed_live = survivors[survivors < sealed_n]
+            delta_live = survivors[survivors >= sealed_n] - sealed_n
+            if len(sealed_live):
+                parts_codes.append(codes_by_local[sealed_live])
+                parts_cells.append(cells_by_local[sealed_live])
+            if len(delta_live):
+                parts_codes.append(delta.codes[delta_live])
+                parts_cells.append(delta.cells[delta_live])
+            fresh = sealed.fresh_sealed_like()
+            if parts_codes:
+                fresh.install_rows(
+                    np.ascontiguousarray(np.concatenate(parts_codes, axis=0)),
+                    np.concatenate(parts_cells),
+                )
+            fresh.warm_scan_state()
+            new_gids = gids[survivors]
+            with self._lock:
+                self.index = fresh
+                self.global_ids = new_gids
+                self.delta = None
+                self.tombstones = set()
+                self.generation += 1
+        get_registry().counter(
+            "datastore_compactions_total", "shard compaction passes"
+        ).inc(shard=str(int(self.shard_id)))
+        return True
+
+    # -- search --------------------------------------------------------------
+    def _tombstone_globals(self) -> np.ndarray:
+        tomb = np.array(sorted(self.tombstones), dtype=np.int64)
+        return self.global_ids[tomb] if len(tomb) else tomb
 
     def search(
-        self, queries: np.ndarray, k: int, *, nprobe: int | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        nprobe: int | None = None,
+        sealed=None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Top-k within this shard, with ids translated to global ids."""
+        """Top-k within this shard, with ids translated to global ids.
+
+        ``sealed`` optionally overrides the sealed-index scan with a callable
+        ``(queries, k, nprobe) -> (distances, global_ids)`` — the hook the
+        hierarchical searcher uses to route the sealed half through the
+        process pool or early-termination kernels while the delta/tombstone
+        merge below stays identical across worker modes.
+
+        Merge contract: sealed candidates occupy the left columns and delta
+        candidates the right, so the stable :func:`top_k` resolves exact
+        distance ties sealed-first — matching the insertion order a flat
+        rebuild over the live set would produce. Each side over-fetches by
+        its own tombstone count so dropping tombstoned rows can never
+        surface fewer than ``k`` live candidates.
+        """
+        if sealed is None:
+            sealed = self._sealed_search
+        if not self.has_mutations:
+            return sealed(queries, k, nprobe)
+        with self._lock:
+            delta = self.delta
+            sealed_n = self.index.ntotal
+            gids = self.global_ids
+            tomb_local = sorted(self.tombstones)
+        tomb_global = (
+            gids[np.array(tomb_local, dtype=np.int64)]
+            if tomb_local
+            else np.empty(0, dtype=np.int64)
+        )
+        t_sealed = sum(1 for t in tomb_local if t < sealed_n)
+        t_delta = len(tomb_local) - t_sealed
+        d_s, g_s = sealed(queries, k + t_sealed, nprobe)
+        if t_sealed:
+            dead = np.isin(g_s, tomb_global)
+            d_s = np.where(dead, np.inf, d_s)
+            g_s = np.where(dead, -1, g_s)
+        if delta is not None and delta.ntotal:
+            d_d, pos = delta.search(queries, k + t_delta)
+            g_d = np.full_like(pos, -1)
+            valid = pos >= 0
+            g_d[valid] = gids[sealed_n + pos[valid]]
+            if t_delta:
+                dead = np.isin(g_d, tomb_global)
+                d_d = np.where(dead, np.inf, d_d)
+                g_d = np.where(dead, -1, g_d)
+            cand_d = np.concatenate([d_s, d_d], axis=1)
+            cand_g = np.concatenate([g_s, g_d], axis=1)
+        else:
+            cand_d, cand_g = d_s, g_s
+        out_d, cols = top_k(cand_d, k)
+        rows = np.arange(len(out_d))[:, np.newaxis]
+        out_g = cand_g[rows, np.clip(cols, 0, cand_d.shape[1] - 1)]
+        invalid = ~np.isfinite(out_d)
+        if invalid.any():
+            out_g = np.where(invalid, -1, out_g)
+            out_d = np.where(invalid, np.inf, out_d)
+        return out_d.astype(np.float32, copy=False), out_g
+
+    def _sealed_search(self, queries, k, nprobe):
         dists, local = self.index.search(queries, k, nprobe=nprobe)
         global_out = np.full_like(local, -1)
         valid = local >= 0
@@ -60,7 +263,10 @@ class IndexShard:
         return dists, global_out
 
     def memory_bytes(self) -> int:
-        return self.index.memory_bytes()
+        total = self.index.memory_bytes()
+        if self.delta is not None:
+            total += self.delta.memory_bytes()
+        return total
 
 
 def _build_shard(
@@ -107,8 +313,15 @@ class ClusteredDatastore:
     shards: list[IndexShard]
     config: HermesConfig
     clustering: KMeansResult | None = None
-    #: per-document shard assignment, length = corpus size
+    #: per-document shard assignment, length = total ids ever allocated
+    #: (tombstoned documents keep their row — global ids are never reused)
     assignments: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: datastore-wide mutation counter: bumped by every insert, delete, and
+    #: compaction batch. The serving layer folds this into cache validity
+    #: (see ``ServingFrontend``), so any mutation invalidates stale entries.
+    #: Distinct from the per-shard ``IndexShard.generation``, which only
+    #: moves on compaction (the signal that sealed storage was replaced).
+    mutations: int = 0
 
     def __post_init__(self) -> None:
         if len(self.shards) != self.config.n_clusters:
@@ -165,14 +378,16 @@ class ClusteredDatastore:
                 f"dim {vecs.shape[1]} != datastore dim {self.shards[0].index.dim}"
             )
         targets = assign_to_centroids(vecs, self.centroids(), "l2")
-        start = self.ntotal
+        # Ids are allocated from the full id space, not the live count —
+        # after deletes the two differ and reusing a tombstoned id would
+        # resurrect it.
+        start = len(self.assignments)
         new_ids = np.arange(start, start + len(vecs), dtype=np.int64)
         for shard_id in np.unique(targets):
             members = np.flatnonzero(targets == shard_id)
             shard = self.shards[shard_id]
             old_size = len(shard)
-            shard.index.add(vecs[members])
-            shard.global_ids = np.concatenate([shard.global_ids, new_ids[members]])
+            shard.insert(vecs[members], new_ids[members])
             # Running-mean centroid update.
             batch_mean = vecs[members].mean(axis=0)
             total = old_size + len(members)
@@ -182,21 +397,107 @@ class ClusteredDatastore:
         self.assignments = np.concatenate(
             [self.assignments, targets.astype(np.int64)]
         )
+        self._record_mutation("datastore_inserts_total", len(vecs))
         return new_ids
+
+    #: legacy alias kept for symmetry with :meth:`delete_documents`.
+    insert_documents = add_documents
+
+    def delete_documents(self, global_ids) -> int:
+        """Tombstone documents by global id; returns the number deleted.
+
+        Deleted rows vanish from every subsequent search (sealed and delta
+        alike) immediately; their storage is reclaimed by :meth:`compact`.
+        Unknown or already-deleted ids raise ``KeyError``.
+        """
+        targets = np.unique(np.asarray(global_ids, dtype=np.int64))
+        if not len(targets):
+            return 0
+        if targets.min() < 0 or targets.max() >= len(self.assignments):
+            raise KeyError(f"global id out of range: {int(targets.min())}..."
+                           f"{int(targets.max())} vs {len(self.assignments)} allocated")
+        owners = self.assignments[targets]
+        for shard_id in np.unique(owners):
+            self.shards[shard_id].delete(targets[owners == shard_id])
+        self._record_mutation("datastore_deletes_total", len(targets))
+        return len(targets)
+
+    def compact(self, shard_ids=None) -> int:
+        """Compact shards (all by default); returns how many changed.
+
+        Each changed shard's sealed index is rebuilt warmed and swapped
+        atomically under its ``generation`` counter; searches running
+        concurrently keep using the old sealed state until the swap.
+        """
+        shards = (
+            self.shards
+            if shard_ids is None
+            else [self.shards[int(s)] for s in shard_ids]
+        )
+        changed = sum(1 for shard in shards if shard.compact())
+        if changed:
+            self._record_mutation(None, 0)
+        return changed
+
+    @property
+    def generation(self) -> int:
+        """Monotone datastore-wide version: changes whenever results could."""
+        return self.mutations
+
+    def delta_rows(self) -> int:
+        """Rows currently in delta memtables across all shards."""
+        return sum(
+            s.delta.ntotal for s in self.shards if getattr(s, "delta", None) is not None
+        )
+
+    def _record_mutation(self, counter: "str | None", n: int) -> None:
+        self.mutations += 1
+        registry = get_registry()
+        if counter:
+            registry.counter(counter, "live datastore mutations").inc(n)
+        registry.gauge(
+            "datastore_delta_size", "rows awaiting compaction in delta memtables"
+        ).set(self.delta_rows())
 
     def reconstruct_vectors(self) -> np.ndarray:
         """Decode every stored vector back into global-id order.
 
-        Returns an ``(ntotal, dim)`` matrix of the *quantized* vectors (lossy
-        for non-flat codecs) — the data an exhaustive ground-truth search
-        over the deployed datastore actually sees.
+        Returns an ``(n_allocated_ids, dim)`` matrix of the *quantized*
+        vectors (lossy for non-flat codecs) — the data an exhaustive
+        ground-truth search over the deployed datastore actually sees. Rows
+        of tombstoned documents are zero-filled; mutated stores should
+        prefer :meth:`live_vectors`, which returns only live rows plus
+        their global ids.
         """
         dim = self.shards[0].index.dim
-        out = np.empty((self.ntotal, dim), dtype=np.float32)
+        n = len(self.assignments) if len(self.assignments) else self.ntotal
+        out = np.zeros((n, dim), dtype=np.float32)
         for shard in self.shards:
             vecs, local = shard.index.reconstruct()
             out[shard.global_ids[local]] = vecs
+            if shard.delta is not None and shard.delta.ntotal:
+                out[shard.global_ids[shard.index.ntotal :]] = shard.delta.reconstruct()
+            if shard.tombstones:
+                out[shard._tombstone_globals()] = 0.0
         return out
+
+    def live_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Decoded live vectors plus their global ids, in global-id order.
+
+        The ground truth a rebuild-from-scratch over the current live set
+        would search — what the mutation-equivalence harness compares
+        against.
+        """
+        vecs = self.reconstruct_vectors()
+        dead = np.concatenate(
+            [s._tombstone_globals() for s in self.shards]
+            + [np.empty(0, dtype=np.int64)]
+        )
+        live = np.setdiff1d(
+            np.concatenate([s.global_ids for s in self.shards]), dead,
+            assume_unique=False,
+        )
+        return vecs[live], live
 
     def shard_token_sizes(self, total_tokens: float) -> list[float]:
         """Map a nominal datastore token size onto shards by document share.

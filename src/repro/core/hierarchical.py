@@ -360,6 +360,9 @@ class HierarchicalSearcher:
         self.workers_mode = workers_mode
         #: lazily started process pool (``workers_mode="process"`` only)
         self._shard_pool = None
+        #: per-shard compaction generations the pool's arrays were exported
+        #: at — a mismatch means the sealed storage changed under the pool
+        self._pool_generations: tuple = ()
         self.policy = policy
         if health is None and policy is not None and policy.breaker_threshold is not None:
             health = ShardHealth(
@@ -400,13 +403,29 @@ class HierarchicalSearcher:
         Startup warms every shard and copies its arrays into shared memory;
         amortised over the searcher's lifetime, per-search traffic is then
         just the query batch and the top-k block.
+
+        The exported arrays snapshot each shard's *sealed* storage, which
+        compaction replaces wholesale — so a stale pool (any shard's
+        ``generation`` moved since export) is torn down and rebuilt here.
+        Delta inserts and tombstones do not invalidate the pool: they are
+        merged parent-side by ``IndexShard.search``.
         """
+        generations = tuple(
+            int(getattr(s, "generation", 0)) for s in self.datastore.shards
+        )
+        if self._shard_pool is not None and generations != self._pool_generations:
+            get_registry().counter(
+                "retrieval_pool_rebuilds_total",
+                "process shard pools rebuilt after a compaction generation change",
+            ).inc()
+            self.close()
         if self._shard_pool is None:
             from ..ann.parallel import ProcessShardPool
 
             self._shard_pool = ProcessShardPool(
                 self.datastore.shards, workers=self.max_workers
             )
+            self._pool_generations = generations
         return self._shard_pool
 
     def close(self) -> None:
@@ -827,26 +846,32 @@ class HierarchicalSearcher:
         )
 
         def deep_search_once(shard, hit_q):
+            # The sealed-half kernel for this worker mode; ``None`` means the
+            # shard's own in-process scan. Either way it returns global ids,
+            # so a live shard can merge its delta/tombstone state parent-side
+            # (IndexShard.search's ``sealed=`` hook) and thread and process
+            # modes stay bit-identical after mutation.
+            sealed = None
             if shard_pool is not None:
-                return shard_pool.search(
-                    int(shard.shard_id), q[hit_q], k, nprobe=nprobe
-                )
-            if deep_patience is not None:
+                sid = int(shard.shard_id)
+                sealed = lambda qq, kk, npb: shard_pool.search(sid, qq, kk, nprobe=npb)
+            elif deep_patience is not None:
                 from ..ann.early_termination import search_with_early_termination
 
-                result = search_with_early_termination(
-                    shard.index,
-                    q[hit_q],
-                    k,
-                    max_nprobe=nprobe,
-                    patience=deep_patience,
-                )
-                dists = result.distances
-                ids = np.full_like(result.ids, -1)
-                valid = result.ids >= 0
-                ids[valid] = shard.global_ids[result.ids[valid]]
-                return dists, ids
-            return shard.search(q[hit_q], k, nprobe=nprobe)
+                def sealed(qq, kk, npb):
+                    result = search_with_early_termination(
+                        shard.index, qq, kk, max_nprobe=npb, patience=deep_patience
+                    )
+                    ids = np.full_like(result.ids, -1)
+                    valid = result.ids >= 0
+                    ids[valid] = shard.global_ids[result.ids[valid]]
+                    return result.distances, ids
+
+            if sealed is None:
+                return shard.search(q[hit_q], k, nprobe=nprobe)
+            if getattr(shard, "has_mutations", False):
+                return shard.search(q[hit_q], k, nprobe=nprobe, sealed=sealed)
+            return sealed(q[hit_q], k, nprobe)
 
         policy = self.policy
         if deadline_at is not None:

@@ -24,6 +24,7 @@ from . import (
     fig20,
     fig21,
     fig_faults,
+    mutation,
     overload,
     serve_cache,
     table1,
@@ -48,6 +49,7 @@ __all__ = [
     "fig20",
     "fig21",
     "fig_faults",
+    "mutation",
     "overload",
     "serve_cache",
     "table1",

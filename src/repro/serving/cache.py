@@ -125,6 +125,8 @@ class RetrievalCacheStats:
     #: routing-tier candidates demoted to misses because their cached
     #: decision routes into a currently-excluded (dead/breaker-open) shard
     stale_routing: int = 0
+    #: entries dropped because the datastore mutated since they were cached
+    stale_generation: int = 0
 
     @property
     def lookups(self) -> int:
@@ -153,6 +155,9 @@ class _Entry:
     ids: np.ndarray
     routing_clusters: np.ndarray
     routing_scores: np.ndarray
+    #: datastore mutation generation the entry was computed against;
+    #: ``None`` means the caller does not track generations.
+    generation: int | None = None
 
 
 @dataclass
@@ -251,6 +256,13 @@ class RetrievalCache:
         self._clock += 1
         self._last_used[slot] = self._clock
 
+    def _invalidate_slot(self, slot: int) -> None:
+        entry = self._entries[slot]
+        if entry is not None:
+            self._exact.pop(entry.digest, None)
+        self._entries[slot] = None
+        self._valid[slot] = False
+
     def _normalized(self, q: np.ndarray) -> np.ndarray:
         norms = np.linalg.norm(q, axis=1, keepdims=True)
         return q / np.maximum(norms, 1e-12)
@@ -264,6 +276,7 @@ class RetrievalCache:
         *,
         exclude: frozenset = frozenset(),
         semantic_slack: float = 0.0,
+        generation: int | None = None,
     ) -> CacheLookup:
         """Classify a query batch against all three tiers.
 
@@ -281,6 +294,13 @@ class RetrievalCache:
         ``semantic_slack`` loosens the semantic threshold by that much —
         the brownout knob: under overload a near-duplicate answer at
         ``threshold - slack`` beats shedding the request outright.
+
+        ``generation`` is the datastore's current mutation generation (see
+        ``ClusteredDatastore.generation``). Entries cached under a different
+        generation were computed against a corpus that has since changed —
+        every tier treats them as stale, evicts them, and counts them on
+        ``retrieval_cache_stale_generation_total``. ``None`` (the default)
+        disables the check for callers serving a frozen datastore.
         """
         q = as_matrix(queries)
         nq = len(q)
@@ -305,6 +325,7 @@ class RetrievalCache:
             else max(cfg.semantic_threshold - max(float(semantic_slack), 0.0), 0.0)
         )
         stale = 0
+        stale_gen = 0
 
         with self._lock, get_tracer().span("cache_lookup", batch=nq) as span:
             self._ensure_dim(q.shape[1])
@@ -312,6 +333,11 @@ class RetrievalCache:
             pending = []
             for i, digest in enumerate(digests):
                 slot = self._exact.get(digest)
+                if slot is not None and generation is not None:
+                    if self._entries[slot].generation != generation:
+                        self._invalidate_slot(slot)
+                        stale_gen += 1
+                        slot = None
                 if slot is not None:
                     entry = self._entries[slot]
                     kinds[i] = EXACT_HIT
@@ -335,7 +361,13 @@ class RetrievalCache:
                 for j, i in enumerate(rows):
                     slot = int(valid_slots[best[j]])
                     entry = self._entries[slot]
+                    if entry is None:
+                        continue  # invalidated earlier in this same batch
                     sim = float(best_sim[j])
+                    if generation is not None and entry.generation != generation:
+                        self._invalidate_slot(slot)
+                        stale_gen += 1
+                        continue
                     if entry.params_key != params_key:
                         continue  # cached under different search params
                     if semantic_on and sim >= sem_threshold:
@@ -364,6 +396,7 @@ class RetrievalCache:
             self.stats.routing_hits += counts["routing_hit"]
             self.stats.misses += counts["miss"]
             self.stats.stale_routing += stale
+            self.stats.stale_generation += stale_gen
         for name, count in counts.items():
             if count:
                 lookups.inc(count, tier=name)
@@ -373,6 +406,12 @@ class RetrievalCache:
                 "routing-tier hits demoted because the cached decision "
                 "routes into an excluded shard",
             ).inc(stale)
+        if stale_gen:
+            registry.counter(
+                "retrieval_cache_stale_generation_total",
+                "cache entries evicted because the datastore mutated "
+                "since they were written",
+            ).inc(stale_gen)
         return CacheLookup(
             kinds=kinds,
             distances=out_d,
@@ -390,6 +429,7 @@ class RetrievalCache:
         params_key: tuple,
         *,
         rows: np.ndarray | None = None,
+        generation: int | None = None,
     ) -> int:
         """Cache the search outcome of (a subset of) a query batch.
 
@@ -418,6 +458,7 @@ class RetrievalCache:
                     ids=np.array(result.ids[i], copy=True),
                     routing_clusters=np.array(result.routing.clusters[i], copy=True),
                     routing_scores=np.array(result.routing.scores[i], copy=True),
+                    generation=generation,
                 )
                 slot = self._exact.get(digest)
                 if slot is None:

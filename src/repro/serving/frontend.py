@@ -201,8 +201,17 @@ class ServingFrontend:
                 raise DeadlineExceededError(deadline_s, stage="submit")
             deadline_at = self._clock() + float(deadline_s)
 
+        # Snapshot the datastore's mutation generation once per batch: entries
+        # cached under an older generation were computed against a corpus that
+        # has since changed and are invalidated inside the lookup.
+        generation = getattr(self.searcher.datastore, "generation", None)
         lookup = self.cache.lookup(
-            q, k_eff, params_key, exclude=stale_exclude, semantic_slack=semantic_slack
+            q,
+            k_eff,
+            params_key,
+            exclude=stale_exclude,
+            semantic_slack=semantic_slack,
+            generation=generation,
         )
         out_d = lookup.distances.copy()
         out_i = lookup.ids.copy()
@@ -220,6 +229,7 @@ class ServingFrontend:
                 params_key,
                 user_exclude=user_exclude,
                 deadline_at=deadline_at,
+                generation=generation,
             )
         if searched < len(miss_rows):
             registry.counter(
@@ -246,6 +256,7 @@ class ServingFrontend:
         *,
         user_exclude: frozenset = frozenset(),
         deadline_at: float | None = None,
+        generation: int | None = None,
     ) -> tuple:
         """Dedupe + fan the cache-missing rows into the searcher.
 
@@ -299,7 +310,10 @@ class ServingFrontend:
                     out_d[i] = result.distances[j]
                     out_i[i] = result.ids[j]
             self.cache.insert(
-                q[np.asarray(rows, dtype=np.int64)], result, params_key
+                q[np.asarray(rows, dtype=np.int64)],
+                result,
+                params_key,
+                generation=generation,
             )
         return searched, shard_queries
 

@@ -162,14 +162,16 @@ class ReplicaGroup:
                 "replicas re-admitted after consecutive probe successes",
             ).inc(shard=self.shard_id)
 
-    def search(self, queries: np.ndarray, k: int, *, nprobe: int | None = None):
+    def search(
+        self, queries: np.ndarray, k: int, *, nprobe: int | None = None, **kwargs
+    ):
         """Serve from the first replica that answers; fail over on ShardError."""
         order, probing = self._attempt_order()
         registry = get_registry()
         last_exc: ShardError | None = None
         for attempt, idx in enumerate(order):
             try:
-                result = self.replicas[idx].search(queries, k, nprobe=nprobe)
+                result = self.replicas[idx].search(queries, k, nprobe=nprobe, **kwargs)
             except ShardError as exc:
                 self._record_failure(idx, exc, idx in probing)
                 last_exc = exc

@@ -1,0 +1,325 @@
+"""Mutation-equivalence layer: live shards vs a flat brute-force oracle.
+
+The contract (``repro/ann/delta.py``): at every point of any interleaving of
+inserts, deletes, searches, and compactions, a live shard's search must
+return exactly the ids a flat brute-force scan over the decoded *live*
+vectors (in insertion order, stable tie-break) would return — and the same
+ids must survive compaction and match a rebuild-from-scratch over the live
+set. Hypothesis drives random schedules across codecs and metrics; explicit
+tests cover duplicates, delete-then-reinsert, and thread/process parity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann.distances import pairwise_distance, top_k
+from repro.ann.ivf import IVFIndex
+from repro.ann.quantization import make_quantizer
+from repro.core.clustering import IndexShard
+
+DIM = 16
+NLIST = 6
+K = 10
+ACTIONS = ("insert", "dup", "delete", "reinsert", "compact")
+
+
+def build_shard(scheme: str, metric: str, base: np.ndarray) -> IndexShard:
+    index = IVFIndex(
+        DIM,
+        metric,
+        nlist=NLIST,
+        nprobe=NLIST,  # full probe: the regime where equivalence is exact
+        quantizer=make_quantizer(scheme, DIM),
+        train_seed=0,
+    )
+    index.train(base)
+    index.add(base)
+    return IndexShard(
+        shard_id=0,
+        index=index,
+        global_ids=np.arange(len(base), dtype=np.int64),
+        centroid=base.mean(axis=0),
+    )
+
+
+class FlatOracle:
+    """Ground truth: brute force over decoded live vectors, insertion order.
+
+    Stores every raw vector by global id; a search decodes the encoded live
+    set (the same lossy codes the shard serves) and ranks with the stable
+    ``top_k``, so exact distance ties resolve to the earliest insertion —
+    the order the shard's sealed-first merge must reproduce.
+    """
+
+    def __init__(self, quantizer, metric: str, base: np.ndarray) -> None:
+        self.quantizer = quantizer
+        self.metric = metric
+        self.raw = [row.copy() for row in base]
+        self.live = list(range(len(base)))
+
+    def insert(self, vectors: np.ndarray) -> np.ndarray:
+        ids = np.arange(len(self.raw), len(self.raw) + len(vectors), dtype=np.int64)
+        for row in vectors:
+            self.live.append(len(self.raw))
+            self.raw.append(np.asarray(row, dtype=np.float32).copy())
+        return ids
+
+    def delete(self, global_ids) -> None:
+        doomed = {int(g) for g in global_ids}
+        self.live = [g for g in self.live if g not in doomed]
+
+    def search(self, queries: np.ndarray, k: int):
+        ids = np.asarray(self.live, dtype=np.int64)
+        if not len(ids):
+            nq = len(queries)
+            return (
+                np.full((nq, k), np.inf, dtype=np.float32),
+                np.full((nq, k), -1, dtype=np.int64),
+            )
+        stacked = np.stack([self.raw[g] for g in self.live])
+        decoded = self.quantizer.decode(self.quantizer.encode(stacked))
+        dists = pairwise_distance(
+            np.asarray(queries, dtype=np.float32), decoded, self.metric
+        )
+        out_d, cols = top_k(dists, k)
+        out_i = np.where(cols >= 0, ids[np.clip(cols, 0, None)], -1)
+        out_d = np.where(out_i < 0, np.inf, out_d)
+        return out_d, out_i
+
+
+def assert_ids_match_up_to_duplicate_ties(got_i, want_i, oracle: FlatOracle):
+    """Ids must match exactly — except inside groups of identical codes.
+
+    Two documents encoding to the same code have mathematically equal
+    distances, but BLAS kernels round identical columns differently
+    depending on their position in the matrix (remainder lanes), so the
+    order *within* such a duplicate group is implementation-defined. Any
+    columnwise mismatch must therefore be between code-identical documents.
+    """
+    if np.array_equal(got_i, want_i):
+        return
+    got_i = np.atleast_2d(got_i)
+    want_i = np.atleast_2d(want_i)
+    for row, col in zip(*np.nonzero(got_i != want_i)):
+        a, b = int(got_i[row, col]), int(want_i[row, col])
+        assert a >= 0 and b >= 0, f"padding mismatch at ({row}, {col}): {a} vs {b}"
+        code_a = oracle.quantizer.encode(oracle.raw[a][np.newaxis]).tobytes()
+        code_b = oracle.quantizer.encode(oracle.raw[b][np.newaxis]).tobytes()
+        assert code_a == code_b, (
+            f"ids differ at ({row}, {col}): {a} vs {b}, and they are not "
+            "code-identical duplicates"
+        )
+
+
+def assert_shard_matches_oracle(shard: IndexShard, oracle: FlatOracle, queries):
+    got_d, got_i = shard.search(queries, K)
+    want_d, want_i = oracle.search(queries, K)
+    assert_ids_match_up_to_duplicate_ties(got_i, want_i, oracle)
+    finite = np.isfinite(want_d)
+    np.testing.assert_array_equal(finite, np.isfinite(got_d))
+    # ids exact (up to duplicate ties); distances only up to ADC-vs-decode
+    # fp32 reassociation noise.
+    np.testing.assert_allclose(
+        got_d[finite], want_d[finite], rtol=1e-3, atol=5e-3
+    )
+
+
+def rebuild_from_scratch(shard: IndexShard, oracle: FlatOracle) -> IVFIndex:
+    """(c): an offline build over the current live raw vectors."""
+    fresh = shard.index.fresh_sealed_like()
+    if oracle.live:
+        fresh.add(np.stack([oracle.raw[g] for g in oracle.live]))
+    fresh.warm_scan_state()
+    return fresh
+
+
+def apply_action(action, shard, oracle, rng, graveyard):
+    """One schedule step, mirrored on shard and oracle."""
+    if action == "insert":
+        vecs = rng.normal(size=(int(rng.integers(1, 5)), DIM)).astype(np.float32)
+    elif action == "dup":
+        if not oracle.live:
+            return
+        pick = int(rng.choice(np.asarray(oracle.live)))
+        vecs = oracle.raw[pick][np.newaxis].repeat(2, axis=0)
+    elif action == "reinsert":
+        if not graveyard:
+            return
+        vecs = graveyard.pop()[np.newaxis]
+    elif action == "delete":
+        if not oracle.live:
+            return
+        n = min(len(oracle.live), int(rng.integers(1, 4)))
+        victims = rng.choice(np.asarray(oracle.live), size=n, replace=False)
+        graveyard.extend(oracle.raw[int(g)] for g in victims)
+        shard.delete(victims)
+        oracle.delete(victims)
+        return
+    elif action == "compact":
+        shard.compact()
+        return
+    else:  # pragma: no cover - strategy only emits the actions above
+        raise AssertionError(action)
+    ids = oracle.insert(vecs)
+    shard.insert(vecs, ids)
+
+
+class TestScheduleEquivalence:
+    """Random mutation schedules, checked against the oracle at every step."""
+
+    @pytest.mark.parametrize("metric", ["l2", "ip"])
+    @pytest.mark.parametrize("scheme", ["flat", "sq8", "pq4"])
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        schedule=st.lists(st.sampled_from(ACTIONS), min_size=1, max_size=10),
+    )
+    @settings(deadline=None)
+    def test_matches_oracle_at_every_step(self, metric, scheme, seed, schedule):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(48, DIM)).astype(np.float32)
+        shard = build_shard(scheme, metric, base)
+        oracle = FlatOracle(shard.index.quantizer, metric, base)
+        queries = rng.normal(size=(3, DIM)).astype(np.float32)
+        graveyard: list = []
+
+        assert_shard_matches_oracle(shard, oracle, queries)
+        for action in schedule:
+            apply_action(action, shard, oracle, rng, graveyard)
+            assert_shard_matches_oracle(shard, oracle, queries)
+
+        # (b): compaction must not change a single id (up to duplicate ties,
+        # which move between the delta and sealed scan kernels).
+        live_d, live_i = shard.search(queries, K)
+        shard.compact()
+        assert not shard.has_mutations
+        comp_d, comp_i = shard.search(queries, K)
+        assert_ids_match_up_to_duplicate_ties(live_i, comp_i, oracle)
+        np.testing.assert_allclose(live_d, comp_d, rtol=1e-3, atol=5e-3)
+        assert_shard_matches_oracle(shard, oracle, queries)
+
+        # (c): the compacted index is bit-identical to an offline rebuild
+        # over the live set — same codes, same cells, same CSR layout.
+        rebuilt = rebuild_from_scratch(shard, oracle)
+        reb_d, reb_pos = rebuilt.search(queries, K)
+        live_ids = np.asarray(oracle.live, dtype=np.int64)
+        reb_i = np.where(reb_pos >= 0, live_ids[np.clip(reb_pos, 0, None)], -1)
+        np.testing.assert_array_equal(comp_i, reb_i)
+        np.testing.assert_array_equal(comp_d, reb_d)
+
+
+class TestExplicitEdges:
+    """Deterministic regressions for the hairiest schedule shapes."""
+
+    @pytest.mark.parametrize("metric", ["l2", "ip"])
+    def test_duplicates_straddling_the_delta_boundary(self, metric):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(30, DIM)).astype(np.float32)
+        shard = build_shard("sq8", metric, base)
+        oracle = FlatOracle(shard.index.quantizer, metric, base)
+        # Same vector on both sides of the sealed/delta boundary.
+        dup = base[7][np.newaxis].repeat(3, axis=0)
+        ids = oracle.insert(dup)
+        shard.insert(dup, ids)
+        q = base[7][np.newaxis] + 1e-4
+        assert_shard_matches_oracle(shard, oracle, q)
+        # All four code-identical copies (sealed original + three delta rows)
+        # outrank everything else; their internal order is kernel-defined.
+        expected_group = {7, *ids.tolist()}
+        _, got_i = shard.search(q, 5)
+        assert set(got_i[0, :4].tolist()) == expected_group
+        shard.compact()
+        assert_shard_matches_oracle(shard, oracle, q)
+        _, got_i = shard.search(q, 5)
+        assert set(got_i[0, :4].tolist()) == expected_group
+
+    def test_delete_then_reinsert_gets_a_fresh_id(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(30, DIM)).astype(np.float32)
+        shard = build_shard("flat", "l2", base)
+        oracle = FlatOracle(shard.index.quantizer, "l2", base)
+        victim = base[11].copy()
+        shard.delete([11])
+        oracle.delete([11])
+        q = victim[np.newaxis]
+        _, before = shard.search(q, 3)
+        assert 11 not in before
+        ids = oracle.insert(victim[np.newaxis])
+        shard.insert(victim[np.newaxis], ids)
+        assert ids[0] == 30  # ids are never reused
+        assert_shard_matches_oracle(shard, oracle, q)
+        _, after = shard.search(q, 3)
+        assert after[0, 0] == 30
+        shard.compact()
+        assert_shard_matches_oracle(shard, oracle, q)
+
+    def test_double_delete_raises(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(size=(20, DIM)).astype(np.float32)
+        shard = build_shard("flat", "l2", base)
+        shard.delete([3])
+        with pytest.raises(KeyError, match="already deleted"):
+            shard.delete([3])
+        with pytest.raises(KeyError, match="unknown"):
+            shard.delete([999])
+
+    def test_delete_everything_then_search(self):
+        rng = np.random.default_rng(6)
+        base = rng.normal(size=(12, DIM)).astype(np.float32)
+        shard = build_shard("sq8", "l2", base)
+        oracle = FlatOracle(shard.index.quantizer, "l2", base)
+        shard.delete(np.arange(12))
+        oracle.delete(np.arange(12))
+        q = rng.normal(size=(2, DIM)).astype(np.float32)
+        assert len(shard) == 0
+        assert_shard_matches_oracle(shard, oracle, q)
+        shard.compact()
+        assert shard.index.ntotal == 0
+        assert_shard_matches_oracle(shard, oracle, q)
+        # the emptied shard accepts new documents again
+        vecs = rng.normal(size=(5, DIM)).astype(np.float32)
+        ids = oracle.insert(vecs)
+        shard.insert(vecs, ids)
+        assert_shard_matches_oracle(shard, oracle, q)
+
+
+class TestWorkerModeParity:
+    """Thread and process deep-search paths must agree under mutation."""
+
+    def test_thread_and_process_bit_identical_after_mutation(self):
+        from repro.core.clustering import cluster_datastore
+        from repro.core.config import HermesConfig
+        from repro.core.hierarchical import HermesSearcher
+
+        from repro.datastore.embeddings import make_corpus
+
+        corpus = make_corpus(400, n_topics=4, dim=DIM, seed=9)
+        config = HermesConfig(n_clusters=2, clusters_to_search=2, nlist=4)
+        datastore = cluster_datastore(corpus.embeddings, config)
+        rng = np.random.default_rng(10)
+        fresh = rng.normal(size=(12, DIM)).astype(np.float32)
+        datastore.add_documents(fresh)
+        datastore.delete_documents(rng.choice(400, size=8, replace=False))
+        queries = rng.normal(size=(6, DIM)).astype(np.float32)
+
+        threaded = HermesSearcher(datastore, config=config)
+        base = threaded.search(queries, k=5)
+        with HermesSearcher(
+            datastore, config=config, workers_mode="process"
+        ) as searcher:
+            result = searcher.search(queries, k=5)
+            np.testing.assert_array_equal(base.ids, result.ids)
+            np.testing.assert_array_equal(base.distances, result.distances)
+
+            # Compaction bumps every mutated shard's generation; the process
+            # pool must rebuild its exported view and still agree.
+            generations = [s.generation for s in datastore.shards]
+            assert datastore.compact() > 0
+            assert [s.generation for s in datastore.shards] != generations
+            compacted = threaded.search(queries, k=5)
+            np.testing.assert_array_equal(base.ids, compacted.ids)
+            reloaded = searcher.search(queries, k=5)
+            np.testing.assert_array_equal(compacted.ids, reloaded.ids)
+            np.testing.assert_array_equal(compacted.distances, reloaded.distances)
+        threaded.close()

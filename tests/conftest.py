@@ -2,8 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
+
+# Named hypothesis profiles, selected via HYPOTHESIS_PROFILE:
+# - dev (default): moderate examples, no deadline — friendly to laptops.
+# - ci: few examples with a generous per-example deadline so a pathological
+#   slowdown fails fast instead of eating the CI budget.
+# - thorough: the nightly setting — many examples, no deadline.
+hypothesis_settings.register_profile("dev", max_examples=25, deadline=None)
+hypothesis_settings.register_profile(
+    "ci",
+    max_examples=10,
+    deadline=10_000,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+hypothesis_settings.register_profile("thorough", max_examples=200, deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.core.clustering import cluster_datastore, split_datastore_evenly
 from repro.core.config import HermesConfig

@@ -1,10 +1,24 @@
 """Tests for clustered-datastore persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.core.store_io import load_datastore, save_datastore
+import repro.core.store_io as store_io
+from repro.core.store_io import _atomic_write, load_datastore, save_datastore
+from repro.core.clustering import cluster_datastore
+from repro.core.config import HermesConfig
 from repro.core.hierarchical import HermesSearcher
+from repro.datastore.embeddings import make_corpus
+
+
+@pytest.fixture()
+def mutable_store():
+    """A small private datastore safe to mutate (the shared one is not)."""
+    corpus = make_corpus(600, n_topics=4, dim=32, seed=21)
+    config = HermesConfig(n_clusters=3, clusters_to_search=3, nlist=8)
+    return cluster_datastore(corpus.embeddings, config)
 
 
 class TestDatastoreRoundTrip:
@@ -56,3 +70,103 @@ class TestDatastoreRoundTrip:
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_datastore(tmp_path / "nothing")
+
+
+class TestMutationStateRoundTrip:
+    def test_delta_tombstones_and_counters_survive(self, mutable_store, tmp_path):
+        rng = np.random.default_rng(7)
+        fresh = rng.normal(size=(9, 32)).astype(np.float32)
+        new_ids = mutable_store.add_documents(fresh)
+        mutable_store.delete_documents([3, 17, int(new_ids[0])])
+        assert mutable_store.delta_rows() > 0
+
+        save_datastore(mutable_store, tmp_path / "store")
+        loaded = load_datastore(tmp_path / "store")
+
+        assert loaded.mutations == mutable_store.mutations
+        assert loaded.delta_rows() == mutable_store.delta_rows()
+        for orig, back in zip(mutable_store.shards, loaded.shards):
+            assert back.generation == orig.generation
+            assert back.tombstones == orig.tombstones
+        # The reloaded live shard serves bit-identical ids.
+        queries = rng.normal(size=(6, 32)).astype(np.float32)
+        original = HermesSearcher(mutable_store).search(queries, k=5)
+        reloaded = HermesSearcher(loaded).search(queries, k=5)
+        assert np.array_equal(original.ids, reloaded.ids)
+        assert np.array_equal(original.distances, reloaded.distances)
+
+    def test_compacted_store_writes_no_sidecars(self, mutable_store, tmp_path):
+        mutable_store.add_documents(
+            np.random.default_rng(8).normal(size=(4, 32)).astype(np.float32)
+        )
+        mutable_store.compact()
+        save_datastore(mutable_store, tmp_path / "store")
+        assert not list((tmp_path / "store").glob("mutation_*.npz"))
+        loaded = load_datastore(tmp_path / "store")
+        assert loaded.mutations == mutable_store.mutations
+        assert loaded.delta_rows() == 0
+
+    def test_pre_format5_directory_loads_clean(self, clustered, tmp_path):
+        # A directory written before live mutation existed has no
+        # "mutations" key, no per-shard "generation", and no sidecars.
+        save_datastore(clustered, tmp_path / "store")
+        manifest_path = tmp_path / "store" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["mutations"]
+        for entry in manifest["shards"]:
+            del entry["generation"]
+        manifest_path.write_text(json.dumps(manifest))
+
+        loaded = load_datastore(tmp_path / "store")
+        assert loaded.mutations == 0
+        assert loaded.delta_rows() == 0
+        assert all(s.generation == 0 for s in loaded.shards)
+        assert all(not s.has_mutations for s in loaded.shards)
+
+
+class TestAtomicWrites:
+    def test_atomic_write_preserves_old_contents_on_crash(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        _atomic_write(target, lambda f: f.write(b"generation one"))
+
+        def crashing_writer(f):
+            f.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError, match="disk full"):
+            _atomic_write(target, crashing_writer)
+        assert target.read_bytes() == b"generation one"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_crashed_resave_leaves_store_loadable(
+        self, mutable_store, tmp_path, monkeypatch
+    ):
+        # Save a good store, then crash a second save mid-shard: the
+        # directory must still load as the *first* complete store.
+        store_dir = tmp_path / "store"
+        save_datastore(mutable_store, store_dir)
+        before = load_datastore(store_dir)
+
+        calls = {"n": 0}
+        real_save_ivf = store_io.save_ivf
+
+        def flaky_save_ivf(index, f):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                f.write(b"\x00" * 16)  # partial bytes, then the "crash"
+                raise OSError("injected crash mid-write")
+            real_save_ivf(index, f)
+
+        monkeypatch.setattr(store_io, "save_ivf", flaky_save_ivf)
+        mutable_store.delete_documents([0, 1])
+        with pytest.raises(OSError, match="injected crash"):
+            save_datastore(mutable_store, store_dir)
+        monkeypatch.undo()
+
+        after = load_datastore(store_dir)
+        assert not list(store_dir.glob("*.tmp"))
+        assert after.mutations == before.mutations
+        assert after.ntotal == before.ntotal
+        for a, b in zip(after.shards, before.shards):
+            assert np.array_equal(a.global_ids, b.global_ids)
+            assert a.tombstones == b.tombstones

@@ -308,6 +308,71 @@ class TestSkewSweep:
         assert all(b > a for a, b in zip(rates, rates[1:])), rates
 
 
+class TestGenerationInvalidation:
+    def test_same_generation_hits(self, queries):
+        cache = RetrievalCache(CacheConfig(capacity=8))
+        q = queries[:2]
+        cache.insert(q, FakeResult(2), PARAMS, generation=3)
+        warm = cache.lookup(q, 4, PARAMS, generation=3)
+        assert (warm.kinds == EXACT_HIT).all()
+        assert cache.stats.stale_generation == 0
+
+    def test_generation_change_invalidates_exact_entry(self, queries):
+        cache = RetrievalCache(CacheConfig(capacity=8))
+        q = queries[:2]
+        cache.insert(q, FakeResult(2), PARAMS, generation=3)
+        stale = cache.lookup(q, 4, PARAMS, generation=4)
+        assert (stale.kinds == MISS).all()
+        assert cache.stats.stale_generation == 2
+        assert len(cache) == 0  # evicted, not just skipped
+
+    def test_generation_change_invalidates_semantic_tier(self):
+        cache = RetrievalCache(
+            CacheConfig(capacity=8, semantic_threshold=0.99, routing_threshold=0.8)
+        )
+        q = key_vector(1)[np.newaxis]
+        cache.insert(q, FakeResult(1), PARAMS, generation=1)
+        near = rotated(q[0], 0.995)[np.newaxis]
+        hit = cache.lookup(near, 4, PARAMS, generation=1)
+        assert hit.kinds[0] == SEMANTIC_HIT
+        stale = cache.lookup(near, 4, PARAMS, generation=2)
+        assert stale.kinds[0] == MISS
+        assert cache.stats.stale_generation >= 1
+
+    def test_generation_unaware_lookup_is_agnostic(self, queries):
+        # A caller that does not track generations (lookup generation=None)
+        # serves whatever is cached, whatever generation it was written at.
+        cache = RetrievalCache(CacheConfig(capacity=8))
+        q = queries[:1]
+        cache.insert(q, FakeResult(1), PARAMS, generation=3)
+        assert (cache.lookup(q, 4, PARAMS).kinds == EXACT_HIT).all()
+        assert cache.stats.stale_generation == 0
+
+    def test_unknown_generation_entry_is_stale_to_aware_lookup(self, queries):
+        # An entry written without a generation cannot be proven current, so
+        # a generation-aware lookup conservatively refuses it.
+        cache = RetrievalCache(CacheConfig(capacity=8))
+        q = queries[:1]
+        cache.insert(q, FakeResult(1), PARAMS)  # generation=None
+        assert (cache.lookup(q, 4, PARAMS, generation=7).kinds == MISS).all()
+        assert cache.stats.stale_generation == 1
+
+    def test_stale_generation_counter_on_registry(self, queries):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            cache = RetrievalCache(CacheConfig(capacity=8))
+            q = queries[:3]
+            cache.insert(q, FakeResult(3), PARAMS, generation=0)
+            cache.lookup(q, 4, PARAMS, generation=1)
+            snap = fresh.snapshot()
+            assert snap["retrieval_cache_stale_generation_total"] == 3
+        finally:
+            set_registry(previous)
+
+
 class TestMetrics:
     def test_registry_counters_emitted(self, queries):
         from repro.obs.metrics import MetricsRegistry, set_registry

@@ -120,6 +120,44 @@ class TestSemanticAndRoutingPaths:
             )
 
 
+class TestGenerationAwareCaching:
+    def test_mutation_invalidates_cached_results(self):
+        # A private datastore: mutation would poison the shared fixture.
+        from repro.core.clustering import cluster_datastore
+        from repro.core.config import HermesConfig
+        from repro.datastore.embeddings import make_corpus
+
+        corpus = make_corpus(500, n_topics=4, dim=32, seed=31)
+        config = HermesConfig(n_clusters=2, clusters_to_search=2, nlist=8)
+        datastore = cluster_datastore(corpus.embeddings, config)
+        searcher = HermesSearcher(datastore, config=config)
+        frontend = ServingFrontend(
+            searcher,
+            cache_config=CacheConfig(
+                capacity=32, semantic_threshold=None, routing_threshold=None
+            ),
+        )
+        rng = np.random.default_rng(32)
+        q = rng.normal(size=(4, 32)).astype(np.float32)
+
+        frontend.search(q, k=5)
+        warm = frontend.search(q, k=5)
+        assert (warm.kinds == EXACT_HIT).all()
+
+        # Delete a document: the datastore generation bumps, so the cached
+        # answers (which may contain the deleted id) must not be served.
+        datastore.delete_documents([int(warm.ids[0, 0])])
+        after = frontend.search(q, k=5)
+        assert (after.kinds == MISS).all()
+        assert int(warm.ids[0, 0]) not in after.ids
+        assert frontend.cache.stats.stale_generation > 0
+
+        # The post-mutation answers re-cache against the new generation.
+        rewarm = frontend.search(q, k=5)
+        assert (rewarm.kinds == EXACT_HIT).all()
+        np.testing.assert_array_equal(rewarm.ids, after.ids)
+
+
 class TestDynamicBatcher:
     def test_futures_match_batch_search(self, searcher, queries):
         q = queries[:8]

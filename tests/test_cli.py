@@ -14,7 +14,8 @@ class TestParser:
         commands = set(sub.choices)
         assert commands == {
             "build", "build-index", "accuracy", "profile", "multinode",
-            "serve-sim", "cache", "faults", "overload", "trace", "reproduce",
+            "serve-sim", "cache", "faults", "overload", "mutate", "trace",
+            "reproduce",
         }
 
     def test_missing_command_errors(self):
@@ -110,6 +111,67 @@ class TestModelCommands:
         payload = json.loads(open(out_path).read())
         assert payload["figure"] == "fig_faults"
         assert len(payload["points"]) == 2
+
+
+class TestServingCommands:
+    def test_overload_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        # The --smoke goodput floor is timing-sensitive (it compares two
+        # measured throughputs), so it runs as its own CI step; here we pin
+        # the deterministic plumbing: table, metrics snapshot, artifact.
+        out_path = str(tmp_path / "overload.json")
+        assert main([
+            "overload", "--loads", "0.5", "2.0", "--requests", "120",
+            "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overload sweep" in out
+        assert "failover (mid-run node kill):" in out
+        assert "retrieval_failovers_total" in out
+        payload = json.loads(open(out_path).read())
+        assert payload["experiment"] == "overload_sweep"
+        assert {p["load"] for p in payload["admission"]} == {0.5, 2.0}
+        assert {p["load"] for p in payload["no_admission"]} == {0.5, 2.0}
+        assert payload["failover"]
+
+    def test_mutate_smoke_passes_and_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "mutation.json")
+        assert main([
+            "mutate", "--churns", "0", "0.05", "--docs", "800",
+            "--queries", "64", "--batch", "16", "--smoke", "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live-mutation churn sweep" in out
+        assert "smoke checks passed" in out
+        # The obs counters must surface through the CLI snapshot.
+        assert "datastore_inserts_total" in out
+        assert "datastore_deletes_total" in out
+        assert "datastore_compactions_total" in out
+        payload = json.loads(open(out_path).read())
+        assert payload["experiment"] == "mutation_churn"
+        assert len(payload["points"]) == 2
+        churned = payload["points"][1]
+        assert churned["churn"] == 0.05
+        assert churned["peak_delta_rows"] > 0
+        assert churned["deleted_leaks"] == 0
+        assert churned["live_equals_compacted"] is True
+
+    def test_trace_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "trace.json")
+        assert main([
+            "trace", "retrieval", "--out", out_path, "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariants OK" in out
+        assert "chrome trace ->" in out
+        payload = json.loads(open(out_path).read())
+        events = payload["traceEvents"] if isinstance(payload, dict) else payload
+        assert len(events) > 0
 
 
 class TestBuildCommand:
