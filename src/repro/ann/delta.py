@@ -36,9 +36,11 @@ class DeltaIndex:
 
     Row ``r`` of the delta is the shard's local id ``sealed_ntotal + r``;
     rows are append-only and never reordered, so the stable ``top_k``
-    tie-break reproduces insertion order. Mutation and search are serialized
-    by the owning :class:`~repro.core.clustering.IndexShard` — the delta
-    itself is not thread-safe.
+    tie-break reproduces insertion order. The delta itself is not
+    thread-safe: the owning :class:`~repro.core.clustering.IndexShard`
+    serializes mutations under its lock and searches a frozen
+    :meth:`snapshot` taken under that lock, so a scan never races a
+    concurrent ``add()``.
     """
 
     def __init__(self, sealed) -> None:
@@ -67,6 +69,34 @@ class DeltaIndex:
             delta._frag_cells.append(np.asarray(cells, dtype=np.int64))
             delta.ntotal = len(codes)
         return delta
+
+    def snapshot(self) -> "DeltaIndex":
+        """A frozen copy of the current rows, safe to scan lock-free.
+
+        Materializes the concatenated code/cell views (and ADC norms when
+        the metric needs them) while the caller holds the owning shard's
+        lock, then hands them to a fresh delta with no fragment lists — so
+        searching the copy outside the lock can never observe a concurrent
+        ``add()`` to the original. The views are cached on the original
+        until its next append, so back-to-back snapshots are O(1).
+        """
+        dup = DeltaIndex.__new__(DeltaIndex)
+        dup.dim = self.dim
+        dup.metric = self.metric
+        dup.quantizer = self.quantizer
+        dup.centroids = self.centroids
+        dup._frag_codes = []
+        dup._frag_cells = []
+        dup._codes = self.codes
+        dup._cells = self.cells
+        dup._sqnorms = (
+            self._adc_sqnorms()
+            if self.quantizer.supports_adc(self.metric)
+            and self.quantizer.needs_code_sqnorms(self.metric)
+            else None
+        )
+        dup.ntotal = self.ntotal
+        return dup
 
     def add(self, vectors: np.ndarray) -> np.ndarray:
         """Encode and append ``vectors``; returns their planned IVF cells.

@@ -67,7 +67,24 @@ class IndexShard:
                 f"shard {self.shard_id}: {len(self.global_ids)} ids for "
                 f"{self.index.ntotal + delta_rows} indexed vectors"
             )
+        # ``_lock`` guards attribute snapshots/swaps and is held only for
+        # O(state-size) copies, never across a scan or rebuild — searches
+        # take it briefly and are otherwise lock-free. ``_mutate_lock``
+        # serializes the mutators (insert/delete/compact) against each
+        # other so nothing can land inside compaction's rebuild window and
+        # be dropped by the swap; searches never touch it, so serving keeps
+        # running through a compaction. Order: ``_mutate_lock`` outermost.
         self._lock = threading.Lock()
+        self._mutate_lock = threading.Lock()
+
+    def quiesce(self):
+        """Context manager blocking mutations (insert/delete/compact).
+
+        Searches proceed normally while it is held. Persistence wraps each
+        shard's writes in this so the saved index/ids/delta/tombstones are
+        one consistent cut rather than a torn mid-mutation read.
+        """
+        return self._mutate_lock
 
     def __len__(self) -> int:
         """Live documents: sealed + delta rows minus tombstones."""
@@ -88,7 +105,7 @@ class IndexShard:
         global_ids = np.asarray(global_ids, dtype=np.int64)
         if len(vectors) != len(global_ids):
             raise ValueError(f"{len(vectors)} vectors for {len(global_ids)} ids")
-        with self._lock:
+        with self._mutate_lock, self._lock:
             if self.delta is None:
                 self.delta = DeltaIndex(self.index)
             self.delta.add(vectors)
@@ -101,7 +118,7 @@ class IndexShard:
         deleted — silent double-deletes would corrupt the live count.
         """
         targets = np.unique(np.asarray(global_ids, dtype=np.int64))
-        with self._lock:
+        with self._mutate_lock, self._lock:
             local = np.flatnonzero(np.isin(self.global_ids, targets))
             if len(local) != len(targets):
                 known = set(self.global_ids[local].tolist())
@@ -126,8 +143,16 @@ class IndexShard:
         exactly the rows an offline rebuild over the live set would install.
         The new index is warmed (CSR + ADC norms + radius-sorted pruning
         state) before the atomic swap, so no search ever observes a cold or
-        half-built sealed index. Returns True when anything changed.
+        half-built sealed index. The shard's mutation lock is held for the
+        whole rebuild, so a concurrent insert/delete blocks until the swap
+        instead of landing in the rebuild window and being dropped by it;
+        searches keep serving the old sealed state throughout. Returns True
+        when anything changed.
         """
+        with self._mutate_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> bool:
         with self._lock:
             if not self.has_mutations:
                 return False
@@ -211,16 +236,34 @@ class IndexShard:
         rebuild over the live set would produce. Each side over-fetches by
         its own tombstone count so dropping tombstoned rows can never
         surface fewer than ``k`` live candidates.
+
+        Concurrency: the index/ids/delta/tombstone state is snapshotted in
+        one locked read — the delta as a frozen :meth:`DeltaIndex.snapshot`
+        copy — and the whole search runs against that point-in-time cut.
+        Concurrent inserts, deletes, and compaction swaps can therefore
+        never mix generations mid-search or grow the delta under the scan.
         """
-        if sealed is None:
-            sealed = self._sealed_search
-        if not self.has_mutations:
-            return sealed(queries, k, nprobe)
         with self._lock:
-            delta = self.delta
-            sealed_n = self.index.ntotal
+            index = self.index
             gids = self.global_ids
             tomb_local = sorted(self.tombstones)
+            delta = (
+                self.delta.snapshot()
+                if self.delta is not None and self.delta.ntotal
+                else None
+            )
+        sealed_n = index.ntotal
+        if sealed is None:
+
+            def sealed(q, kq, probe):
+                dists, local = index.search(q, kq, nprobe=probe)
+                out = np.full_like(local, -1)
+                valid = local >= 0
+                out[valid] = gids[local[valid]]
+                return dists, out
+
+        if not tomb_local and delta is None:
+            return sealed(queries, k, nprobe)
         tomb_global = (
             gids[np.array(tomb_local, dtype=np.int64)]
             if tomb_local
@@ -233,7 +276,7 @@ class IndexShard:
             dead = np.isin(g_s, tomb_global)
             d_s = np.where(dead, np.inf, d_s)
             g_s = np.where(dead, -1, g_s)
-        if delta is not None and delta.ntotal:
+        if delta is not None:
             d_d, pos = delta.search(queries, k + t_delta)
             g_d = np.full_like(pos, -1)
             valid = pos >= 0
@@ -254,13 +297,6 @@ class IndexShard:
             out_g = np.where(invalid, -1, out_g)
             out_d = np.where(invalid, np.inf, out_d)
         return out_d.astype(np.float32, copy=False), out_g
-
-    def _sealed_search(self, queries, k, nprobe):
-        dists, local = self.index.search(queries, k, nprobe=nprobe)
-        global_out = np.full_like(local, -1)
-        valid = local >= 0
-        global_out[valid] = self.global_ids[local[valid]]
-        return dists, global_out
 
     def memory_bytes(self) -> int:
         total = self.index.memory_bytes()
@@ -316,11 +352,15 @@ class ClusteredDatastore:
     #: per-document shard assignment, length = total ids ever allocated
     #: (tombstoned documents keep their row — global ids are never reused)
     assignments: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
-    #: datastore-wide mutation counter: bumped by every insert, delete, and
-    #: compaction batch. The serving layer folds this into cache validity
-    #: (see ``ServingFrontend``), so any mutation invalidates stale entries.
-    #: Distinct from the per-shard ``IndexShard.generation``, which only
-    #: moves on compaction (the signal that sealed storage was replaced).
+    #: datastore-wide mutation counter: bumped by every insert and delete
+    #: batch — the events that can change search results. The serving layer
+    #: folds this into cache validity (see ``ServingFrontend``), so any
+    #: result-changing mutation invalidates stale entries. Compaction is
+    #: result-preserving by the mutation-equivalence contract and does NOT
+    #: bump it (cached answers stay valid); the per-shard
+    #: ``IndexShard.generation`` is what moves on compaction — the signal
+    #: that sealed storage (and any exported process-pool view of it) was
+    #: replaced.
     mutations: int = 0
 
     def __post_init__(self) -> None:
@@ -428,6 +468,10 @@ class ClusteredDatastore:
         Each changed shard's sealed index is rebuilt warmed and swapped
         atomically under its ``generation`` counter; searches running
         concurrently keep using the old sealed state until the swap.
+        Compaction is result-preserving (the mutation-equivalence
+        contract), so it does *not* bump the datastore-wide ``mutations``
+        counter — retrieval-cache entries stay valid across a compaction;
+        only the per-shard generations move.
         """
         shards = (
             self.shards
@@ -436,7 +480,7 @@ class ClusteredDatastore:
         )
         changed = sum(1 for shard in shards if shard.compact())
         if changed:
-            self._record_mutation(None, 0)
+            self._update_delta_gauge()
         return changed
 
     @property
@@ -450,12 +494,13 @@ class ClusteredDatastore:
             s.delta.ntotal for s in self.shards if getattr(s, "delta", None) is not None
         )
 
-    def _record_mutation(self, counter: "str | None", n: int) -> None:
+    def _record_mutation(self, counter: str, n: int) -> None:
         self.mutations += 1
-        registry = get_registry()
-        if counter:
-            registry.counter(counter, "live datastore mutations").inc(n)
-        registry.gauge(
+        get_registry().counter(counter, "live datastore mutations").inc(n)
+        self._update_delta_gauge()
+
+    def _update_delta_gauge(self) -> None:
+        get_registry().gauge(
             "datastore_delta_size", "rows awaiting compaction in delta memtables"
         ).set(self.delta_rows())
 

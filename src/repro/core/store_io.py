@@ -17,7 +17,10 @@ simply load with no mutation state.
 
 Every file is written via a temp file in the same directory followed by
 ``os.replace``, so a writer crash mid-save never corrupts an existing store:
-readers see either the old complete file or the new complete file.
+readers see either the old complete file or the new complete file. Saving a
+*live* datastore quiesces one shard at a time (``IndexShard.quiesce``):
+mutations on that shard block while its files are written, so the persisted
+index/ids/delta/tombstones are a consistent cut; searches are unaffected.
 """
 
 from __future__ import annotations
@@ -70,37 +73,46 @@ def save_datastore(datastore: ClusteredDatastore, directory: "str | Path") -> No
         "shards": [],
     }
     for shard in datastore.shards:
-        filename = f"shard_{shard.shard_id}.npz"
-        _atomic_write(
-            directory / filename, lambda f, s=shard: save_ivf(s.index, f)
-        )
-        _atomic_save_array(directory / f"ids_{shard.shard_id}.npy", shard.global_ids)
-        _atomic_save_array(
-            directory / f"centroid_{shard.shard_id}.npy", shard.centroid
-        )
-        entry = {
-            "shard_id": shard.shard_id,
-            "file": filename,
-            "size": len(shard),
-            "generation": int(getattr(shard, "generation", 0)),
-        }
-        if getattr(shard, "has_mutations", False):
-            mutation_file = f"mutation_{shard.shard_id}.npz"
-            delta = shard.delta
+        # Quiesce the shard (mutations block, searches proceed) so the
+        # index/ids/delta/tombstones written below are one consistent cut —
+        # an unquiesced save could persist e.g. an ids array longer than
+        # sealed+delta rows, which IndexShard.__post_init__ rejects at load.
+        with shard.quiesce():
+            filename = f"shard_{shard.shard_id}.npz"
             _atomic_write(
-                directory / mutation_file,
-                lambda f, d=delta, s=shard: np.savez_compressed(
-                    f,
-                    delta_codes=(
-                        d.codes if d is not None else np.empty((0, 0), dtype=np.uint8)
-                    ),
-                    delta_cells=(
-                        d.cells if d is not None else np.empty(0, dtype=np.int64)
-                    ),
-                    tombstones=np.array(sorted(s.tombstones), dtype=np.int64),
-                ),
+                directory / filename, lambda f, s=shard: save_ivf(s.index, f)
             )
-            entry["mutation_file"] = mutation_file
+            _atomic_save_array(
+                directory / f"ids_{shard.shard_id}.npy", shard.global_ids
+            )
+            _atomic_save_array(
+                directory / f"centroid_{shard.shard_id}.npy", shard.centroid
+            )
+            entry = {
+                "shard_id": shard.shard_id,
+                "file": filename,
+                "size": len(shard),
+                "generation": int(getattr(shard, "generation", 0)),
+            }
+            if getattr(shard, "has_mutations", False):
+                mutation_file = f"mutation_{shard.shard_id}.npz"
+                delta = shard.delta
+                _atomic_write(
+                    directory / mutation_file,
+                    lambda f, d=delta, s=shard: np.savez_compressed(
+                        f,
+                        delta_codes=(
+                            d.codes
+                            if d is not None
+                            else np.empty((0, 0), dtype=np.uint8)
+                        ),
+                        delta_cells=(
+                            d.cells if d is not None else np.empty(0, dtype=np.int64)
+                        ),
+                        tombstones=np.array(sorted(s.tombstones), dtype=np.int64),
+                    ),
+                )
+                entry["mutation_file"] = mutation_file
         manifest["shards"].append(entry)
     _atomic_save_array(directory / "assignments.npy", datastore.assignments)
     if datastore.clustering is not None:

@@ -9,6 +9,8 @@ set. Hypothesis drives random schedules across codecs and metrics; explicit
 tests cover duplicates, delete-then-reinsert, and thread/process parity.
 """
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -282,6 +284,111 @@ class TestExplicitEdges:
         ids = oracle.insert(vecs)
         shard.insert(vecs, ids)
         assert_shard_matches_oracle(shard, oracle, q)
+
+
+class TestConcurrentMutation:
+    """Interleaved-thread races: the equivalence contract must hold not just
+    for sequential schedules but when mutations, searches, and compactions
+    genuinely overlap in time."""
+
+    def test_mutation_during_compaction_blocks_and_survives(self, monkeypatch):
+        # Freeze a compaction inside its rebuild window (after the fresh
+        # index is warmed, before the swap) and fire an insert + a delete at
+        # the shard. Both must block on the mutation lock until the swap —
+        # the unserialized version let them update the pre-swap state, which
+        # the swap then silently discarded (lost inserts, resurrected
+        # deletes).
+        rng = np.random.default_rng(20)
+        base = rng.normal(size=(40, DIM)).astype(np.float32)
+        shard = build_shard("flat", "l2", base)
+        oracle = FlatOracle(shard.index.quantizer, "l2", base)
+        seed_vecs = rng.normal(size=(3, DIM)).astype(np.float32)
+        shard.insert(seed_vecs, oracle.insert(seed_vecs))
+
+        in_rebuild = threading.Event()
+        resume = threading.Event()
+        real_warm = IVFIndex.warm_scan_state
+
+        def stalled_warm(index):
+            real_warm(index)
+            in_rebuild.set()
+            assert resume.wait(timeout=10)
+
+        monkeypatch.setattr(IVFIndex, "warm_scan_state", stalled_warm)
+        compactor = threading.Thread(target=shard.compact)
+        compactor.start()
+        assert in_rebuild.wait(timeout=10)
+
+        late_vecs = rng.normal(size=(2, DIM)).astype(np.float32)
+        late_ids = oracle.insert(late_vecs)
+        oracle.delete([5])
+        inserter = threading.Thread(target=shard.insert, args=(late_vecs, late_ids))
+        deleter = threading.Thread(target=shard.delete, args=([5],))
+        inserter.start()
+        deleter.start()
+        inserter.join(timeout=0.3)
+        deleter.join(timeout=0.3)
+        assert inserter.is_alive(), "insert slipped into the rebuild window"
+        assert deleter.is_alive(), "delete slipped into the rebuild window"
+
+        resume.set()
+        for t in (compactor, inserter, deleter):
+            t.join(timeout=10)
+            assert not t.is_alive()
+
+        queries = rng.normal(size=(3, DIM)).astype(np.float32)
+        assert_shard_matches_oracle(shard, oracle, queries)
+        _, got = shard.search(base[5][np.newaxis], K)
+        assert 5 not in got  # the late delete stuck
+        _, got = shard.search(late_vecs[:1], 3)
+        assert late_ids[0] in got  # the late insert stuck
+        shard.compact()  # folding the late mutations stays equivalent too
+        assert_shard_matches_oracle(shard, oracle, queries)
+
+    def test_search_stays_consistent_under_concurrent_mutation(self):
+        # Hammer searches while another thread appends delta rows and
+        # periodically compacts. Every search must see one point-in-time cut:
+        # the unsnapshotted version could scan delta rows past its id
+        # snapshot (IndexError / wrong global ids) or mix a post-compaction
+        # sealed index with pre-compaction delta state.
+        rng = np.random.default_rng(21)
+        base = rng.normal(size=(48, DIM)).astype(np.float32)
+        shard = build_shard("sq8", "l2", base)
+        oracle = FlatOracle(shard.index.quantizer, "l2", base)
+        queries = rng.normal(size=(3, DIM)).astype(np.float32)
+        inserted: list = []
+        failures: list = []
+
+        def mutator():
+            try:
+                r = np.random.default_rng(22)
+                next_id = len(base)
+                for step in range(50):
+                    vecs = r.normal(size=(2, DIM)).astype(np.float32)
+                    shard.insert(
+                        vecs, np.arange(next_id, next_id + 2, dtype=np.int64)
+                    )
+                    inserted.append(vecs)
+                    next_id += 2
+                    if step % 10 == 9:
+                        shard.compact()
+            except Exception as exc:  # pragma: no cover - the failure signal
+                failures.append(exc)
+
+        worker = threading.Thread(target=mutator)
+        worker.start()
+        max_id = len(base) + 2 * 50
+        while worker.is_alive():
+            dists, gids = shard.search(queries, K)
+            # The 48 sealed rows are always live, so top-10 must come back
+            # full with in-range ids at every instant.
+            assert np.isfinite(dists).all()
+            assert (gids >= 0).all() and (gids < max_id).all()
+        worker.join()
+        assert not failures, failures
+        for vecs in inserted:
+            oracle.insert(vecs)
+        assert_shard_matches_oracle(shard, oracle, queries)
 
 
 class TestWorkerModeParity:

@@ -1,6 +1,7 @@
 """Tests for clustered-datastore persistence."""
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -122,6 +123,46 @@ class TestMutationStateRoundTrip:
         assert loaded.delta_rows() == 0
         assert all(s.generation == 0 for s in loaded.shards)
         assert all(not s.has_mutations for s in loaded.shards)
+
+
+class TestConcurrentSave:
+    def test_save_during_concurrent_mutation_loads_clean(
+        self, mutable_store, tmp_path
+    ):
+        # save_datastore quiesces each shard while writing it, so a save
+        # racing live mutations must still persist a consistent cut per
+        # shard. IndexShard.__post_init__ rejects torn shards (ids array vs
+        # sealed+delta rows), so a successful load proves consistency.
+        stop = threading.Event()
+        failures: list = []
+
+        def mutator():
+            r = np.random.default_rng(23)
+            n = 0
+            try:
+                while not stop.is_set():
+                    ids = mutable_store.add_documents(
+                        r.normal(size=(2, 32)).astype(np.float32)
+                    )
+                    mutable_store.delete_documents(ids[:1])
+                    n += 1
+                    if n % 3 == 0:
+                        mutable_store.compact()
+            except Exception as exc:  # pragma: no cover - the failure signal
+                failures.append(exc)
+
+        worker = threading.Thread(target=mutator)
+        worker.start()
+        try:
+            for i in range(3):
+                save_datastore(mutable_store, tmp_path / f"store_{i}")
+        finally:
+            stop.set()
+            worker.join()
+        assert not failures, failures
+        for i in range(3):
+            loaded = load_datastore(tmp_path / f"store_{i}")
+            assert loaded.ntotal > 0
 
 
 class TestAtomicWrites:

@@ -157,6 +157,34 @@ class TestGenerationAwareCaching:
         assert (rewarm.kinds == EXACT_HIT).all()
         np.testing.assert_array_equal(rewarm.ids, after.ids)
 
+    def test_compaction_preserves_cached_results(self):
+        from repro.core.clustering import cluster_datastore
+        from repro.core.config import HermesConfig
+        from repro.datastore.embeddings import make_corpus
+
+        corpus = make_corpus(500, n_topics=4, dim=32, seed=33)
+        config = HermesConfig(n_clusters=2, clusters_to_search=2, nlist=8)
+        datastore = cluster_datastore(corpus.embeddings, config)
+        frontend = exact_only_frontend(HermesSearcher(datastore, config=config))
+        rng = np.random.default_rng(34)
+        datastore.add_documents(rng.normal(size=(6, 32)).astype(np.float32))
+        q = rng.normal(size=(4, 32)).astype(np.float32)
+
+        frontend.search(q, k=5)
+        warm = frontend.search(q, k=5)
+        assert (warm.kinds == EXACT_HIT).all()
+
+        # Compaction is result-preserving (the mutation-equivalence
+        # contract), so the generation the cache keys on must not move and
+        # the warm entries keep serving — no needless full flush.
+        generation = datastore.generation
+        assert datastore.compact() > 0
+        assert datastore.generation == generation
+        after = frontend.search(q, k=5)
+        assert (after.kinds == EXACT_HIT).all()
+        np.testing.assert_array_equal(after.ids, warm.ids)
+        assert frontend.cache.stats.stale_generation == 0
+
 
 class TestDynamicBatcher:
     def test_futures_match_batch_search(self, searcher, queries):
