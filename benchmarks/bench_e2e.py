@@ -1,0 +1,20 @@
+"""Thin launcher for the live end-to-end serving benchmark harness.
+
+Usage (from the repo root)::
+
+    python benchmarks/bench_e2e.py [--smoke] [--out BENCH_e2e.json]
+
+The harness itself lives in :mod:`repro.bench.e2e` so it is importable and
+installable (``hermes-bench-e2e`` console entry); this wrapper only makes
+the checkout runnable without an install.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.e2e import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

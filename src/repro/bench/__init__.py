@@ -1,6 +1,7 @@
 """Microbenchmark harnesses seeding the repo's perf trajectory (BENCH_*)."""
 
 from .build import run_benchmarks as run_build_benchmarks
+from .e2e import run_benchmarks as run_e2e_benchmarks
 from .retrieval import run_benchmarks
 from .serve import run_benchmarks as run_serve_benchmarks
 from .sysinfo import cpu_metadata
@@ -9,5 +10,6 @@ __all__ = [
     "cpu_metadata",
     "run_benchmarks",
     "run_build_benchmarks",
+    "run_e2e_benchmarks",
     "run_serve_benchmarks",
 ]

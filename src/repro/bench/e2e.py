@@ -1,0 +1,289 @@
+"""End-to-end serving benchmark: the live stride pipeline, all disciplines.
+
+Where ``bench_serve`` measures the serving *components* (cache, batcher,
+sessions), this harness measures the composed system: the
+:class:`~repro.serving.pipeline.RAGServingPipeline` drives real batched
+retrieval through the frontend per generation stride while prefill/decode
+advance on the calibrated inference clock. Two sections, written to
+``BENCH_e2e.json``:
+
+- **disciplines** — one request cohort served under ``sequential``,
+  ``pipelined``, and ``lookahead`` scheduling (fresh stack per mode):
+  measured mean/p99 TTFT and E2E, per-request energy, NDCG@k of every
+  stride's served ids against brute-force truth for that stride's true
+  query, and the speculation hit/miss split. Full runs assert the
+  acceptance floor: **lookahead E2E beats sequential at equal NDCG@k**
+  (within the drift tolerance) and pipelined E2E beats sequential.
+- **trace** — a traced lookahead cohort: validates the span-tree invariants
+  and measures the cpu/gpu *overlap seconds* (speculative retrieval spans
+  intersected with same-request inference spans), asserting the overlap is
+  real on full runs.
+
+Run from the repo root::
+
+    python benchmarks/bench_e2e.py            # full run
+    python benchmarks/bench_e2e.py --smoke    # seconds, for CI budgets
+
+or, once installed, via the console entry ``hermes-bench-e2e``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..experiments import serve_pipeline
+from ..obs.trace import Tracer
+from ..obs.validate import validate_trace
+from .sysinfo import cpu_metadata
+
+#: Full-run acceptance: lookahead may lose at most this much NDCG@k vs
+#: sequential (the verified-speculation drift tolerance).
+NDCG_TOLERANCE = serve_pipeline.NDCG_TOLERANCE
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Workload sizes for one harness run."""
+
+    docs: int = 1_200
+    dim: int = 48
+    n_topics: int = 6
+    n_clusters: int = 6
+    clusters_to_search: int = 2
+    n_long: int = 24
+    n_short: int = 8
+    long_tokens: int = 96
+    short_tokens: int = 8
+    n_strides: int = 6
+    stride_tokens: int = 16
+    k: int = 10
+    speculation_threshold: float = 0.95
+    trace_requests: int = 4
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "BenchSpec":
+        return cls(
+            docs=150,
+            dim=32,
+            n_topics=4,
+            n_clusters=4,
+            n_long=6,
+            n_short=2,
+            n_strides=4,
+            trace_requests=2,
+        )
+
+
+def _bench_disciplines(spec: BenchSpec, *, smoke: bool) -> dict:
+    t0 = time.perf_counter()
+    report = serve_pipeline.run(
+        docs=spec.docs,
+        dim=spec.dim,
+        n_topics=spec.n_topics,
+        n_clusters=spec.n_clusters,
+        clusters_to_search=spec.clusters_to_search,
+        n_long=spec.n_long,
+        n_short=spec.n_short,
+        long_tokens=spec.long_tokens,
+        short_tokens=spec.short_tokens,
+        n_strides=spec.n_strides,
+        stride_tokens=spec.stride_tokens,
+        k=spec.k,
+        speculation_threshold=spec.speculation_threshold,
+        seed=spec.seed,
+    )
+    wall = time.perf_counter() - t0
+    by_mode = {p.mode: p for p in report.points}
+    seq, pipe, look = (
+        by_mode["sequential"], by_mode["pipelined"], by_mode["lookahead"]
+    )
+    if not smoke:
+        if look.mean_e2e_s >= seq.mean_e2e_s:
+            raise AssertionError(
+                f"e2e: lookahead E2E {look.mean_e2e_s:.3f}s did not beat "
+                f"sequential {seq.mean_e2e_s:.3f}s"
+            )
+        if pipe.mean_e2e_s >= seq.mean_e2e_s:
+            raise AssertionError(
+                f"e2e: pipelined E2E {pipe.mean_e2e_s:.3f}s did not beat "
+                f"sequential {seq.mean_e2e_s:.3f}s"
+            )
+        if look.ndcg < seq.ndcg - NDCG_TOLERANCE:
+            raise AssertionError(
+                f"e2e: lookahead NDCG@{spec.k} {look.ndcg:.3f} below "
+                f"sequential {seq.ndcg:.3f} - {NDCG_TOLERANCE} tolerance"
+            )
+        if look.lookahead_hits <= 0:
+            raise AssertionError("e2e: speculation never hit on the full run")
+    return {
+        "wall_s": wall,
+        "n_requests": report.n_requests,
+        "n_strides": report.n_strides,
+        "chunks": report.chunks,
+        "k": report.k,
+        "speculation_threshold": report.speculation_threshold,
+        "e2e_speedup_lookahead": seq.mean_e2e_s / look.mean_e2e_s,
+        "e2e_speedup_pipelined": seq.mean_e2e_s / pipe.mean_e2e_s,
+        "ndcg_delta_lookahead": look.ndcg - seq.ndcg,
+        "ndcg_delta_pipelined": pipe.ndcg - seq.ndcg,
+        "modes": {p.mode: asdict(p) for p in report.points},
+    }
+
+
+def _span_intervals(root, name: str, **attr_filter) -> list:
+    out = []
+    for span in root.children:
+        if span.name != name:
+            continue
+        if any(span.attrs.get(k) != v for k, v in attr_filter.items()):
+            continue
+        out.append((span.start_s, span.end_s))
+    return out
+
+
+def _bench_trace(spec: BenchSpec, *, smoke: bool) -> dict:
+    """Traced lookahead cohort: invariants + measured cpu/gpu overlap."""
+    tracer = Tracer(enabled=True)
+    serve_pipeline.run(
+        ("lookahead",),
+        docs=spec.docs if smoke else min(spec.docs, 400),
+        dim=spec.dim,
+        n_topics=spec.n_topics,
+        n_clusters=spec.n_clusters,
+        clusters_to_search=spec.clusters_to_search,
+        n_long=spec.trace_requests,
+        n_short=1,
+        long_tokens=spec.long_tokens,
+        short_tokens=spec.short_tokens,
+        n_strides=spec.n_strides,
+        stride_tokens=spec.stride_tokens,
+        k=spec.k,
+        speculation_threshold=spec.speculation_threshold,
+        seed=spec.seed,
+        tracer=tracer,
+    )
+    roots = tracer.finished_roots()
+    validate_trace(roots)
+
+    overlap_s = 0.0
+    retrieval_s = 0.0
+    for root in roots:
+        gpu = [
+            (s.start_s, s.end_s)
+            for s in root.children
+            if s.worker == "gpu" and s.name in ("prefill", "decode")
+        ]
+        for start, end in _span_intervals(root, "retrieval"):
+            retrieval_s += end - start
+            for g0, g1 in gpu:
+                overlap_s += max(0.0, min(end, g1) - max(start, g0))
+    if not smoke and overlap_s <= 0.0:
+        raise AssertionError(
+            "trace: no retrieval span overlapped an inference span — the "
+            "pipeline is not actually overlapping work"
+        )
+    return {
+        "roots": len(roots),
+        "spans": sum(1 + len(r.children) for r in roots),
+        "retrieval_span_s": retrieval_s,
+        "cpu_gpu_overlap_s": overlap_s,
+        "overlap_fraction": overlap_s / retrieval_s if retrieval_s else 0.0,
+        "invariants_ok": True,
+    }
+
+
+def run_benchmarks(
+    *, smoke: bool = False, out: "str | Path | None" = "BENCH_e2e.json"
+) -> dict:
+    """Run the full harness; returns (and optionally writes) the report."""
+    spec = BenchSpec.smoke() if smoke else BenchSpec()
+    report = {
+        "bench": "e2e",
+        "smoke": smoke,
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "docs": spec.docs,
+            "dim": spec.dim,
+            "n_clusters": spec.n_clusters,
+            "n_requests": spec.n_long + spec.n_short,
+            "n_strides": spec.n_strides,
+            "stride_tokens": spec.stride_tokens,
+            "k": spec.k,
+            "speculation_threshold": spec.speculation_threshold,
+            "numpy": np.__version__,
+            **cpu_metadata(),
+        },
+        "disciplines": _bench_disciplines(spec, smoke=smoke),
+        "trace": _bench_trace(spec, smoke=smoke),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _format_report(report: dict) -> str:
+    d = report["disciplines"]
+    t = report["trace"]
+    lines = [
+        f"e2e bench (smoke={report['smoke']}, {d['n_requests']} requests x "
+        f"{d['n_strides']} strides, {d['chunks']} chunks, k={d['k']}, "
+        f"cpus={report['meta']['cpu_count']}, "
+        f"affinity={report['meta']['cpu_affinity']})",
+    ]
+    for mode in ("sequential", "pipelined", "lookahead"):
+        p = d["modes"][mode]
+        hits = p["lookahead_hits"] + p["lookahead_misses"]
+        spec = (
+            f", spec hit {p['lookahead_hit_rate']:.0%} "
+            f"({p['lookahead_hits']}/{hits})"
+            if hits
+            else ""
+        )
+        lines.append(
+            f"  {mode:10s} TTFT {p['mean_ttft_s']:.3f} s, "
+            f"E2E {p['mean_e2e_s']:.3f} s (p99 {p['p99_e2e_s']:.3f}), "
+            f"retrieval {p['mean_retrieval_s'] * 1e3:.1f} ms, "
+            f"energy {p['mean_energy_j']:.0f} J, "
+            f"NDCG@{d['k']} {p['ndcg']:.3f}{spec}"
+        )
+    lines.append(
+        f"  speedup vs sequential: pipelined {d['e2e_speedup_pipelined']:.3f}x, "
+        f"lookahead {d['e2e_speedup_lookahead']:.3f}x "
+        f"(NDCG delta {d['ndcg_delta_lookahead']:+.3f})"
+    )
+    lines.append(
+        f"  trace    {t['roots']} requests, {t['spans']} spans, invariants OK; "
+        f"cpu/gpu overlap {t['cpu_gpu_overlap_s'] * 1e3:.1f} ms "
+        f"({t['overlap_fraction']:.0%} of retrieval span time)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes so the harness fits tier-1 CI time budgets",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_e2e.json",
+        help="report path (default: ./BENCH_e2e.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(smoke=args.smoke, out=args.out)
+    print(_format_report(report))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

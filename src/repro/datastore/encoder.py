@@ -15,11 +15,30 @@ property Hermes's clustering exploits.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..ann.distances import normalize
 from .corpus import Chunk
 from .embeddings import DEFAULT_DIM
+
+#: Unknown (non-``tok<i>``) words hash into token ids at or above this
+#: offset, far outside any corpus vocabulary's ``tok<i>`` id range, so a
+#: free-form word can never collide with (or shadow) a real vocabulary token.
+OOV_TOKEN_OFFSET = 1 << 61
+
+
+def _stable_word_id(word: str) -> int:
+    """Process-stable token id for an out-of-vocabulary word.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), which
+    would make free-form query embeddings differ across restarts — breaking
+    exact-cache digest replay and thread/process parity. blake2b is keyed by
+    nothing, so the mapping is a pure function of the word.
+    """
+    digest = hashlib.blake2b(word.encode("utf-8"), digest_size=8).digest()
+    return OOV_TOKEN_OFFSET | int.from_bytes(digest, "big") % OOV_TOKEN_OFFSET
 
 
 class SyntheticEncoder:
@@ -105,15 +124,17 @@ class SyntheticEncoder:
     def tokenize(text: str) -> np.ndarray:
         """Inverse of :meth:`Chunk.text`: parse ``tok<i>`` words to token ids.
 
-        Unknown words hash into a stable token id so free-form query text is
-        also encodable.
+        Unknown words hash into a *process-stable* token id (blake2b, offset
+        above :data:`OOV_TOKEN_OFFSET` to stay clear of the ``tok<i>`` id
+        namespace) so free-form query text is also encodable and encodes
+        bit-identically across processes and hash seeds.
         """
         ids = []
         for word in text.split():
             if word.startswith("tok") and word[3:].isdigit():
                 ids.append(int(word[3:]))
             else:
-                ids.append(hash(word) & 0x7FFFFFFF)
+                ids.append(_stable_word_id(word))
         if not ids:
             raise ValueError("cannot tokenize empty text")
         return np.asarray(ids, dtype=np.int64)

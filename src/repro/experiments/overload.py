@@ -40,7 +40,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.errors import AdmissionRejectedError
+from ..core.errors import AdmissionRejectedError, DeadlineExceededError
 from ..core.hierarchical import HermesSearcher, RetrievalPolicy, RetryBudget
 from ..datastore.queries import trivia_queries
 from ..metrics.ndcg import ndcg_single
@@ -204,7 +204,10 @@ def _run_load_point(
         for i, fut in futures.items():
             try:
                 results[i] = fut.result(timeout=120)
-            except Exception:
+            except (DeadlineExceededError, AdmissionRejectedError):
+                # Only genuine overload outcomes count as shed; anything else
+                # (a crashed worker, a bug in the stack) must propagate, or
+                # the goodput numbers silently absorb real failures.
                 shed += 1
     finally:
         batcher.close()

@@ -13,8 +13,13 @@ paper's Fig. 7/12 stage decompositions:
 - ``serve-sim``: the discrete-event serving simulator's per-batch span
   trees in simulated time — phase children tile each batch's latency
   exactly;
-- ``e2e``: retrieval followed by generation in one artifact (mixed clocks;
-  export with ``align_roots=True``).
+- ``e2e``: the **live** stride-scheduled serving pipeline
+  (:class:`~repro.serving.pipeline.RAGServingPipeline`, lookahead
+  discipline) on a small corpus: one ``request`` root per served request,
+  with measured encode/retrieval spans on worker ``cpu`` overlapping the
+  modelled prefill/decode block on worker ``gpu`` — open the artifact in
+  the Chrome viewer to see the speculative retrieval running *under* the
+  inference block.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from ..obs.trace import Tracer, chrome_trace, set_tracer
 from ..obs.validate import validate_trace
 from ..perfmodel.aggregate import expected_deep_loads
 from ..serving import PipelineSimulator, plan_from_models
+from . import serve_pipeline
 
 TRACE_EXPERIMENTS = ("retrieval", "generation", "serve-sim", "e2e")
 
@@ -109,6 +115,26 @@ def _traced_generation(seed: int, tracer: Tracer) -> list:
     return tracer.finished_roots()
 
 
+def _traced_e2e(seed: int, tracer: Tracer) -> list:
+    """Serve a small cohort through the live pipeline, traced.
+
+    Lookahead discipline so the artifact shows both outcomes: speculative
+    retrieval spans running under the inference block (hits) and the wasted
+    window + fresh search of a mis-speculation. Every root is a per-request
+    virtual timeline starting at t=0, so no cross-clock alignment is needed.
+    """
+    serve_pipeline.run(
+        ("lookahead",),
+        docs=200,
+        n_long=3,
+        n_short=1,
+        n_strides=4,
+        seed=seed,
+        tracer=tracer,
+    )
+    return tracer.finished_roots()
+
+
 def _traced_serve_sim(seed: int, tracer: Tracer) -> list:
     config = GenerationConfig(batch=32, output_tokens=48, stride=16)
     n_clusters = 4
@@ -131,7 +157,6 @@ def run(experiment: str, *, seed: int = 0) -> TraceRun:
         )
     registry = MetricsRegistry()
     previous_registry = set_registry(registry)
-    mixed = experiment == "e2e"
     try:
         if experiment == "retrieval":
             roots = _traced_retrieval(seed, Tracer(enabled=True))
@@ -139,9 +164,8 @@ def run(experiment: str, *, seed: int = 0) -> TraceRun:
             roots = _traced_generation(seed, Tracer(enabled=True))
         elif experiment == "serve-sim":
             roots = _traced_serve_sim(seed, Tracer(enabled=True))
-        else:  # e2e: wall-clock retrieval + virtual-clock generation
-            roots = _traced_retrieval(seed, Tracer(enabled=True))
-            roots += _traced_generation(seed, Tracer(enabled=True))
+        else:  # e2e: the live serving pipeline, per-request timelines
+            roots = _traced_e2e(seed, Tracer(enabled=True))
     finally:
         set_registry(previous_registry)
     validate_trace(roots)
@@ -149,7 +173,7 @@ def run(experiment: str, *, seed: int = 0) -> TraceRun:
         experiment=experiment,
         roots=roots,
         metrics=registry.snapshot(),
-        mixed_clocks=mixed,
+        mixed_clocks=False,
     )
 
 

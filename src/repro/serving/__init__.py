@@ -15,7 +15,11 @@ Three layers:
 - the **overload layer** (:mod:`repro.serving.admission`,
   :mod:`repro.serving.replication`): bounded-queue admission control,
   deadline shedding, the brownout degradation ladder, and health-aware
-  replica groups with automatic failover and probe-based recovery.
+  replica groups with automatic failover and probe-based recovery;
+- the **live end-to-end pipeline** (:mod:`repro.serving.pipeline`): a stride
+  scheduler that drives real batched retrieval through the frontend per
+  generation stride while prefill/decode advance on the calibrated inference
+  clock, with PipeRAG-style overlap and TeleRAG-style lookahead retrieval.
 """
 
 from .admission import (
@@ -58,6 +62,14 @@ from .faults import (
     kill_shards,
 )
 from .node_sim import NodeScheduleResult, schedule_batch, waves_approximation_error
+from .pipeline import (
+    PIPELINE_MODES,
+    PipelineConfig,
+    PipelineReport,
+    RAGServingPipeline,
+    RequestResult,
+    StrideRecord,
+)
 from .replication import ReplicaGroup, kill_replica, replica_groups, replicate_datastore
 from .simulator import (
     BatchRecord,
@@ -107,6 +119,12 @@ __all__ = [
     "NodeScheduleResult",
     "schedule_batch",
     "waves_approximation_error",
+    "PIPELINE_MODES",
+    "PipelineConfig",
+    "PipelineReport",
+    "RAGServingPipeline",
+    "RequestResult",
+    "StrideRecord",
     "BatchRecord",
     "PipelineSimulator",
     "ServingReport",

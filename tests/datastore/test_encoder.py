@@ -81,6 +81,65 @@ class TestTextInterface:
     def test_encode_batch_empty(self, encoder):
         assert encoder.encode_batch([]).shape == (0, 32)
 
+    def test_oov_ids_clear_of_vocab_namespace(self):
+        from repro.datastore.encoder import OOV_TOKEN_OFFSET
+
+        ids = SyntheticEncoder.tokenize("hello tok12 world")
+        assert ids[1] == 12
+        assert ids[0] >= OOV_TOKEN_OFFSET and ids[2] >= OOV_TOKEN_OFFSET
+        # int64-representable (np.asarray in tokenize would overflow otherwise)
+        assert ids.dtype == np.int64 and (ids > 0).all()
+
+    def test_oov_hash_distinguishes_words(self):
+        a, b = SyntheticEncoder.tokenize("alpha beta")
+        assert a != b
+
+
+class TestHashSeedStability:
+    """Free-form text must encode bit-identically across processes.
+
+    Regression: ``tokenize`` used Python's salted ``hash()`` for unknown
+    words, so the same query embedded differently under different
+    ``PYTHONHASHSEED`` values — breaking exact-cache digest replay across
+    restarts and thread/process parity.
+    """
+
+    SCRIPT = (
+        "import sys; import numpy as np; "
+        "from repro.datastore.encoder import SyntheticEncoder; "
+        "e = SyntheticEncoder(dim=32, seed=0); "
+        "emb = e.encode_text('what is retrieval augmented generation'); "
+        "sys.stdout.buffer.write(emb.tobytes())"
+    )
+
+    def _encode_in_subprocess(self, hash_seed: str) -> bytes:
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        out = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            env=env,
+            capture_output=True,
+            check=True,
+        )
+        return out.stdout
+
+    def test_encode_text_bit_identical_across_hash_seeds(self):
+        first = self._encode_in_subprocess("0")
+        second = self._encode_in_subprocess("424242")
+        assert len(first) == 32 * 4
+        assert first == second
+
+    def test_subprocess_matches_in_process(self, encoder):
+        emb = encoder.encode_text("what is retrieval augmented generation")
+        assert self._encode_in_subprocess("1").startswith(emb.tobytes())
+
 
 class TestEndToEndTopicStructure:
     def test_chunk_embeddings_cluster_by_topic(self):

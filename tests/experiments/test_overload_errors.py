@@ -1,0 +1,78 @@
+"""Regression: overload sweep error accounting.
+
+The open-loop load sweep must count *only* genuine overload outcomes
+(deadline sheds, admission rejections) as "shed"; an unexpected crash in the
+serving stack has to propagate instead of silently corrupting the goodput
+numbers (the old bare ``except Exception`` absorbed everything).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_datastore
+from repro.core.config import HermesConfig
+from repro.core.errors import DeadlineExceededError
+from repro.core.hierarchical import HermesSearcher
+from repro.datastore.embeddings import make_corpus
+from repro.experiments.overload import _run_load_point
+from repro.serving.frontend import ServingFrontend
+
+
+@pytest.fixture(scope="module")
+def small_stack():
+    corpus = make_corpus(400, n_topics=4, dim=16, seed=0)
+    datastore = cluster_datastore(
+        corpus.embeddings,
+        HermesConfig(n_clusters=4, clusters_to_search=2, nlist=8),
+    )
+    searcher = HermesSearcher(datastore)
+    queries, _ = corpus.topic_model.sample_documents(8)
+    queries = np.asarray(queries, dtype=np.float32)
+    truth = np.tile(np.arange(10, dtype=np.int64), (len(queries), 1))
+    return searcher, queries, truth
+
+
+def _point(searcher, queries, truth):
+    return _run_load_point(
+        searcher,
+        queries,
+        truth,
+        load=1.0,
+        offered_qps=5000.0,
+        deadline_s=0.05,
+        k=10,
+        max_batch=8,
+        max_wait_s=0.0,
+        admission=None,
+        seed=0,
+    )
+
+
+class TestUnexpectedErrorsPropagate:
+    def test_crash_in_frontend_propagates(self, small_stack, monkeypatch):
+        searcher, queries, truth = small_stack
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("worker crashed mid-batch")
+
+        monkeypatch.setattr(ServingFrontend, "search", boom)
+        with pytest.raises(RuntimeError, match="worker crashed"):
+            _point(searcher, queries, truth)
+
+    def test_deadline_shed_still_counted(self, small_stack, monkeypatch):
+        searcher, queries, truth = small_stack
+
+        def shed(self, *args, **kwargs):
+            raise DeadlineExceededError(0.001, stage="queue")
+
+        monkeypatch.setattr(ServingFrontend, "search", shed)
+        point = _point(searcher, queries, truth)
+        assert point.shed == len(queries)
+        assert point.completed == 0
+        assert point.goodput_qps == 0.0
+
+    def test_healthy_run_sheds_nothing(self, small_stack):
+        searcher, queries, truth = small_stack
+        point = _point(searcher, queries, truth)
+        assert point.shed == 0
+        assert point.completed == len(queries)

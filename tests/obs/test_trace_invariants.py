@@ -296,6 +296,37 @@ class TestGenerationTimeline:
         assert root.total("prefill") == pytest.approx(result.prefill_s)
         assert root.total("decode") == pytest.approx(result.decode_s)
 
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_timeline_telescopes_to_returned_e2e(self, pipelined):
+        """`_emit_generation_trace` claims the root closes at ``e2e_s`` "up
+        to floating-point association order": the reconstructed timeline must
+        *telescope* — the last emitted span ends exactly where the request
+        ends, and prefill hands off to decode with no gap inside each
+        stride — for both the sequential and the pipelined schedules. (The
+        gpu track may idle *between* strides: that is the sequential
+        retrieval stall the pipeline exists to hide.)"""
+        tracer = Tracer(enabled=True)
+        config = GenerationConfig(
+            batch=8, output_tokens=64, stride=16, pipelined=pipelined
+        )
+        result = simulate_generation(
+            constant_retrieval(RetrievalCost(latency_s=0.05, energy_j=10.0)),
+            InferenceModel(),
+            config,
+            tracer=tracer,
+        )
+        (root,) = tracer.finished_roots()
+        last_end = max(s.end_s for s in root.walk() if s is not root)
+        assert last_end == pytest.approx(result.e2e_s, abs=1e-9)
+        assert root.end_s == pytest.approx(result.e2e_s, abs=1e-9)
+        prefills = {s.attrs["stride"]: s for s in root.find_all("prefill")}
+        decodes = {s.attrs["stride"]: s for s in root.find_all("decode")}
+        assert set(prefills) == set(decodes)
+        for stride, prefill in prefills.items():
+            assert decodes[stride].start_s == pytest.approx(
+                prefill.end_s, abs=1e-9
+            )
+
     def test_pipelined_overlap_visible_cross_worker(self):
         """Under pipelining, stride i+1's retrieval (cpu) starts exactly
         with stride i's prefill (gpu) — TeleRAG-style overlap analysis."""

@@ -14,8 +14,8 @@ class TestParser:
         commands = set(sub.choices)
         assert commands == {
             "build", "build-index", "accuracy", "profile", "multinode",
-            "serve-sim", "cache", "faults", "overload", "mutate", "trace",
-            "reproduce",
+            "serve-sim", "cache", "faults", "overload", "mutate", "serve",
+            "trace", "reproduce",
         }
 
     def test_missing_command_errors(self):
@@ -158,6 +158,26 @@ class TestServingCommands:
         assert churned["peak_delta_rows"] > 0
         assert churned["deleted_leaks"] == 0
         assert churned["live_equals_compacted"] is True
+
+    def test_serve_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        # The --smoke acceptance gate runs as its own CI step (serve-smoke);
+        # here we pin the deterministic plumbing: table, metrics, artifact.
+        out_path = str(tmp_path / "serve.json")
+        assert main([
+            "serve", "--docs", "150", "--requests", "4", "--strides", "3",
+            "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live serving pipeline" in out
+        assert "pipeline_requests_total" in out
+        payload = json.loads(open(out_path).read())
+        assert payload["experiment"] == "serve_pipeline"
+        assert {p["mode"] for p in payload["points"]} == {
+            "sequential", "pipelined", "lookahead",
+        }
+        assert all(p["mean_ttft_s"] > 0 for p in payload["points"])
 
     def test_trace_writes_chrome_trace(self, tmp_path, capsys):
         import json
